@@ -1,0 +1,367 @@
+package caram
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// microbenchmarks of the core structures. The per-experiment benches
+// report the experiment's headline quantities via b.ReportMetric so
+// `go test -bench .` regenerates the numbers EXPERIMENTS.md records;
+// cmd/caram-bench prints the full tables.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"caram/internal/bitutil"
+	"caram/internal/cam"
+	"caram/internal/caram"
+	"caram/internal/cost"
+	"caram/internal/hash"
+	"caram/internal/iproute"
+	"caram/internal/match"
+	"caram/internal/mem"
+	"caram/internal/pktclass"
+	"caram/internal/subsystem"
+	"caram/internal/swsearch"
+	"caram/internal/trigram"
+	"caram/internal/workload"
+)
+
+// Lazily-built shared datasets (1/16-scale IP table, 1/64-scale
+// trigram DB — every load factor matches the paper's).
+var (
+	ipOnce  sync.Once
+	ipTable []iproute.Prefix
+
+	triOnce sync.Once
+	triDB   []trigram.Entry
+)
+
+func benchIPTable() []iproute.Prefix {
+	ipOnce.Do(func() {
+		ipTable = iproute.Generate(iproute.GenConfig{Prefixes: iproute.PaperTableSize / 16, Seed: 1})
+	})
+	return ipTable
+}
+
+func benchTriDB() []trigram.Entry {
+	triOnce.Do(func() {
+		triDB = trigram.Generate(trigram.GenConfig{Entries: trigram.PaperEntries / 64, Seed: 1})
+	})
+	return triDB
+}
+
+// --- Table 1 ---
+
+// BenchmarkTable1MatchProcessor exercises a full 1600-bit-row match
+// (expand, match vector, priority encode, extract) and reports the
+// synthesis model's critical path.
+func BenchmarkTable1MatchProcessor(b *testing.B) {
+	layout := match.Layout{RowBits: 1600, KeyBits: 64, DataBits: 0, AuxBits: 0}
+	proc := match.NewProcessor(layout, 0)
+	row := make([]uint64, bitutil.RowWords(1600))
+	for i := 0; i < layout.Slots(); i++ {
+		rec := match.Record{Key: bitutil.Exact(bitutil.FromUint64(uint64(i * 977)))}
+		if err := layout.WriteSlot(row, i, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	key := bitutil.Exact(bitutil.FromUint64(uint64(12 * 977)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := proc.Search(row, key); !res.Matched() {
+			b.Fatal("match lost")
+		}
+	}
+	s := match.Synthesize(1600, 8)
+	b.ReportMetric(s.CriticalPathNs(), "model-delay-ns")
+	b.ReportMetric(float64(s.TotalCells()), "model-cells")
+}
+
+// --- Figure 6 ---
+
+// BenchmarkFig6Cell reports the cell-size ratios of Figure 6(a).
+func BenchmarkFig6Cell(b *testing.B) {
+	var comp []cost.SchemeComparison
+	for i := 0; i < b.N; i++ {
+		comp = cost.Fig6Comparison(cost.Default, cost.DefaultFig6)
+	}
+	for _, c := range comp {
+		if c.Name == "16T SRAM TCAM" {
+			b.ReportMetric(c.RelativeArea, "16T-area-x")
+			b.ReportMetric(c.RelativePower, "16T-power-x")
+		}
+		if c.Name == "6T dynamic TCAM" {
+			b.ReportMetric(c.RelativeArea, "6T-area-x")
+			b.ReportMetric(c.RelativePower, "6T-power-x")
+		}
+	}
+}
+
+// --- Table 2 ---
+
+// BenchmarkTable2IPLookup builds each Table 2 design and measures LPM
+// lookup throughput, reporting the analytic AMALu.
+func BenchmarkTable2IPLookup(b *testing.B) {
+	table := benchIPTable()
+	for _, d := range iproute.Table2Designs {
+		d := d
+		d.R -= 4 // keep the paper's alpha at 1/16 scale
+		b.Run("design"+d.Name, func(b *testing.B) {
+			ev, err := iproute.Evaluate(table, d, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := workload.NewRand(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p := table[rng.Intn(len(table))]
+				if _, _, ok := iproute.LPMLookup(ev.Slice, p.Addr); !ok {
+					b.Fatal("stored prefix unroutable")
+				}
+			}
+			b.ReportMetric(ev.AMALu, "AMALu")
+			b.ReportMetric(ev.AMALs, "AMALs")
+			b.ReportMetric(ev.SpilledPct, "spilled-%")
+		})
+	}
+}
+
+// --- Table 3 / Figure 7 ---
+
+// BenchmarkTable3Trigram builds each Table 3 design and measures
+// exact-match lookup throughput, reporting the analytic AMAL.
+func BenchmarkTable3Trigram(b *testing.B) {
+	db := benchTriDB()
+	for _, d := range trigram.Table3Designs {
+		d := d
+		d.R -= 6
+		b.Run("design"+d.Name, func(b *testing.B) {
+			ev, err := trigram.Evaluate(db, d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := workload.NewRand(3)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				e := db[rng.Intn(len(db))]
+				if _, _, ok := trigram.Lookup(ev.Slice, e.Text); !ok {
+					b.Fatal("stored trigram lost")
+				}
+			}
+			b.ReportMetric(ev.AMAL, "AMAL")
+			b.ReportMetric(ev.OverflowingPct, "overflowing-%")
+		})
+	}
+}
+
+// BenchmarkFig7Occupancy reports design A's occupancy distribution.
+func BenchmarkFig7Occupancy(b *testing.B) {
+	db := benchTriDB()
+	d := trigram.Table3Designs[0]
+	d.R -= 6
+	ev, err := trigram.Evaluate(db, d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var mean, sd float64
+	for i := 0; i < b.N; i++ {
+		h := ev.OccupancyHistogram()
+		mean, sd = h.Mean(), h.StdDev()
+	}
+	b.ReportMetric(mean, "mean-occupancy")
+	b.ReportMetric(sd, "stddev")
+}
+
+// --- Figure 8 ---
+
+// BenchmarkFig8AreaPower reports the application-level comparisons.
+func BenchmarkFig8AreaPower(b *testing.B) {
+	d := iproute.Table2Designs[3]
+	t := trigram.Table3Designs[0]
+	var ip, tri cost.AppComparison
+	for i := 0; i < b.N; i++ {
+		ip = cost.Fig8(cost.Default, cost.Fig8Params{
+			App: "ip", BaselineKind: cost.TCAM6T, BaselineCells: 198795 * 32,
+			BaselineRateHz: 143e6, CapacityBits: d.CapacityBits(),
+			LoadFactor: float64(iproute.PaperTableSize) / float64(d.Capacity()),
+			BucketBits: float64(d.Slots()) * 64, Slots: float64(d.Slots()),
+			CARAMRateHz: 143e6, ComparePower: true,
+		})
+		tri = cost.Fig8(cost.Default, cost.Fig8Params{
+			App: "trigram", BaselineKind: cost.CAMStacked,
+			BaselineCells: float64(trigram.PaperEntries) * 128,
+			CapacityBits:  t.CapacityBits(),
+			LoadFactor:    float64(trigram.PaperEntries) / float64(t.Capacity()),
+		})
+	}
+	b.ReportMetric(ip.AreaSavingPct, "ip-area-saving-%")
+	b.ReportMetric(ip.PowerSavingPct, "ip-power-saving-%")
+	b.ReportMetric(1/tri.AreaRatio, "trigram-area-x")
+}
+
+// --- §3.4 bandwidth ---
+
+// BenchmarkSubsystemBandwidth simulates banked engines and reports
+// requests per cycle against the analytical formula.
+func BenchmarkSubsystemBandwidth(b *testing.B) {
+	for _, banks := range []int{1, 8} {
+		banks := banks
+		b.Run(map[int]string{1: "1bank", 8: "8banks"}[banks], func(b *testing.B) {
+			sl := caram.MustNew(caram.Config{
+				IndexBits: 12, RowBits: 8*(1+32+16) + 8, KeyBits: 32, DataBits: 16,
+				Tech: mem.DRAM, Index: hash.NewMultShift(12),
+			})
+			rng := workload.NewRand(4)
+			keys := make([]bitutil.Ternary, 4096)
+			for i := range keys {
+				keys[i] = bitutil.Exact(bitutil.FromUint64(uint64(rng.Uint32())))
+			}
+			e := &subsystem.Engine{Name: "bw", Main: sl, Banks: banks}
+			var res subsystem.SimResult
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res = e.Simulate(keys, subsystem.TrafficConfig{QueueDepth: 256}, 1)
+			}
+			b.ReportMetric(res.ThroughputPerCy, "req-per-cycle")
+			b.ReportMetric(cost.CARAMBandwidth(banks, 6, 1), "formula-req-per-cycle")
+		})
+	}
+}
+
+// --- Microbenchmarks of the core structures ---
+
+func benchSlice(b *testing.B, tech mem.Technology) *caram.Slice {
+	b.Helper()
+	sl := caram.MustNew(caram.Config{
+		IndexBits: 12, RowBits: 16*(1+32+16) + 8, KeyBits: 32, DataBits: 16,
+		Tech: tech, Index: hash.NewMultShift(12),
+	})
+	for i := 0; i < 32768; i++ {
+		if err := sl.Insert(match.Record{
+			Key:  bitutil.Exact(bitutil.FromUint64(uint64(i))),
+			Data: bitutil.FromUint64(uint64(i)),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sl
+}
+
+// BenchmarkSliceLookup measures simulator lookup speed (host-side).
+func BenchmarkSliceLookup(b *testing.B) {
+	sl := benchSlice(b, mem.SRAM)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !sl.Lookup(bitutil.Exact(bitutil.FromUint64(uint64(i % 32768)))).Found {
+			b.Fatal("lost record")
+		}
+	}
+}
+
+// BenchmarkSliceInsert measures placement speed.
+func BenchmarkSliceInsert(b *testing.B) {
+	sl := caram.MustNew(caram.Config{
+		IndexBits: 16, RowBits: 16*(1+32+16) + 8, KeyBits: 32, DataBits: 16,
+		Index: hash.NewMultShift(16), AllowDuplicates: true,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i != 0 && i%(sl.Config().Capacity()/2) == 0 {
+			sl.Clear()
+		}
+		if err := sl.Insert(match.Record{Key: bitutil.Exact(bitutil.FromUint64(uint64(i)))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCAMSearch measures the TCAM baseline's full-device search.
+func BenchmarkCAMSearch(b *testing.B) {
+	d := cam.MustNew(cam.Config{Entries: 4096, KeyBits: 32, Kind: cam.Ternary})
+	for i := 0; i < 4096; i++ {
+		if err := d.Append(match.Record{Key: bitutil.Exact(bitutil.FromUint64(uint64(i)))}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !d.Search(bitutil.Exact(bitutil.FromUint64(uint64(i % 4096)))).Found {
+			b.Fatal("lost entry")
+		}
+	}
+}
+
+// BenchmarkTrieLookup measures the software LPM baseline.
+func BenchmarkTrieLookup(b *testing.B) {
+	table := benchIPTable()
+	tr := swsearch.NewTrie(32)
+	for _, p := range table {
+		tr.Insert(uint64(p.Addr), p.Len, uint64(p.NextHop))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Lookup(uint64(table[i%len(table)].Addr))
+	}
+}
+
+// BenchmarkDJBHash measures the trigram index generator.
+func BenchmarkDJBHash(b *testing.B) {
+	key := []byte("plend fack vu")
+	b.SetBytes(int64(len(key)))
+	for i := 0; i < b.N; i++ {
+		hash.DJBBytes(key)
+	}
+}
+
+// BenchmarkPacketClassification measures CA-RAM-engine classification
+// throughput on a synthetic ACL, reporting overflow pressure.
+func BenchmarkPacketClassification(b *testing.B) {
+	rules := pktclass.GenerateRules(pktclass.GenRulesConfig{Rules: 2000, Seed: 1})
+	c, err := pktclass.NewCARAMClassifier(rules, pktclass.CARAMConfig{IndexBits: 9, Slots: 64})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := pktclass.GenerateTrace(rules, 8192, 0.25, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify(trace[i%len(trace)])
+	}
+	main, ovfl := c.Entries()
+	b.ReportMetric(float64(ovfl)/float64(main+ovfl)*100, "overflow-%")
+}
+
+// BenchmarkDispatcherThroughput measures concurrent multi-engine search
+// dispatch.
+func BenchmarkDispatcherThroughput(b *testing.B) {
+	engines := make([]*subsystem.Engine, 4)
+	for i := range engines {
+		sl := caram.MustNew(caram.Config{
+			IndexBits: 10, RowBits: 8*(1+32+16) + 8, KeyBits: 32, DataBits: 16,
+			Index: hash.NewMultShift(10),
+		})
+		for k := 0; k < 4096; k++ {
+			if err := sl.Insert(match.Record{Key: bitutil.Exact(bitutil.FromUint64(uint64(k)))}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		engines[i] = &subsystem.Engine{Name: fmt.Sprintf("e%d", i), Main: sl}
+	}
+	d := subsystem.NewDispatcher(engines, 64)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range d.Results() {
+		}
+	}()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		port := engines[i%4].Name
+		if err := d.Submit(port, uint64(i), bitutil.Exact(bitutil.FromUint64(uint64(i%4096)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	d.Close()
+	<-done
+}

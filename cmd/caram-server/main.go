@@ -1,0 +1,52 @@
+// Command caram-server exposes a CA-RAM subsystem over TCP with the
+// line protocol of internal/server — the accelerator as a lookup
+// service. It starts with one empty general-purpose engine named "db"
+// (64-bit keys, 32-bit data); clients populate and query it.
+//
+//	caram-server -addr :7070 &
+//	printf 'INSERT db dead 42\nSEARCH db dead\n' | nc localhost 7070
+package main
+
+import (
+	"flag"
+	"log"
+	"net"
+
+	"caram/internal/caram"
+	"caram/internal/hash"
+	"caram/internal/server"
+	"caram/internal/subsystem"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", "127.0.0.1:7070", "listen address")
+		rbits = flag.Int("indexbits", 12, "index bits (2^n buckets)")
+		slots = flag.Int("slots", 8, "keys per bucket")
+	)
+	flag.Parse()
+
+	sub := subsystem.New(0)
+	sl, err := caram.New(caram.Config{
+		IndexBits: *rbits,
+		RowBits:   *slots*(1+64+32) + 16,
+		KeyBits:   64,
+		DataBits:  32,
+		AuxBits:   16,
+		Index:     hash.NewMultShift(*rbits),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sub.AddEngine(&subsystem.Engine{Name: "db", Main: sl}); err != nil {
+		log.Fatal(err)
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("caram-server: engine 'db' (%d buckets x %d slots) on %s",
+		sl.Config().Rows(), sl.Config().Slots(), l.Addr())
+	log.Fatal(server.New(sub).Serve(l))
+}

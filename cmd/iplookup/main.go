@@ -1,0 +1,111 @@
+// Command iplookup builds a CA-RAM IP-lookup engine from a synthetic
+// BGP-like table (or a file of "a.b.c.d/len" lines) and resolves
+// addresses against it, reporting the per-lookup memory-access cost.
+//
+// Usage:
+//
+//	iplookup -prefixes 20000 8.8.8.8 62.1.2.3
+//	iplookup -table routes.txt -design D 192.168.1.1
+//	iplookup -prefixes 20000            # no addresses: print design stats
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"caram/internal/iproute"
+)
+
+func main() {
+	var (
+		nPrefixes = flag.Int("prefixes", 20000, "synthetic table size (ignored with -table)")
+		tableFile = flag.String("table", "", "file of 'a.b.c.d/len [nexthop]' lines")
+		design    = flag.String("design", "C", "Table 2 design name (A..F)")
+		seed      = flag.Int64("seed", 1, "synthesis seed")
+	)
+	flag.Parse()
+
+	table, err := loadTable(*tableFile, *nPrefixes, *seed)
+	if err != nil {
+		fail(err)
+	}
+
+	var chosen *iproute.Design
+	for i := range iproute.Table2Designs {
+		if iproute.Table2Designs[i].Name == strings.ToUpper(*design) {
+			chosen = &iproute.Table2Designs[i]
+			break
+		}
+	}
+	if chosen == nil {
+		fail(fmt.Errorf("unknown design %q (use A..F)", *design))
+	}
+	// Shrink the design to fit small tables at a sensible load factor.
+	d := *chosen
+	for d.R > 6 && len(table) < d.Capacity()/4 {
+		d.R--
+	}
+
+	ev, err := iproute.Evaluate(table, d, *seed)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("design %s (R=%d, %d buckets x %d keys): %d prefixes (+%d duplicated), alpha=%.2f\n",
+		d.Name, d.R, d.Buckets(), d.Slots(), ev.Prefixes, ev.Duplicates, ev.LoadFactor)
+	fmt.Printf("overflowing buckets %.2f%%, spilled records %.2f%%, AMALu %.3f, AMALs %.3f\n",
+		ev.OverflowingPct, ev.SpilledPct, ev.AMALu, ev.AMALs)
+
+	for _, arg := range flag.Args() {
+		p, err := iproute.ParsePrefix(arg + "/32")
+		if err != nil {
+			fmt.Printf("%-16s -> bad address: %v\n", arg, err)
+			continue
+		}
+		hop, l, ok := iproute.LPMLookup(ev.Slice, p.Addr)
+		if !ok {
+			fmt.Printf("%-16s -> no route\n", arg)
+			continue
+		}
+		fmt.Printf("%-16s -> next hop %d via /%d\n", arg, hop, l)
+	}
+}
+
+func loadTable(file string, n int, seed int64) ([]iproute.Prefix, error) {
+	if file == "" {
+		return iproute.Generate(iproute.GenConfig{Prefixes: n, Seed: seed}), nil
+	}
+	f, err := os.Open(file)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []iproute.Prefix
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		p, err := iproute.ParsePrefix(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		p.NextHop = uint8(1 + len(out)%255)
+		if len(fields) > 1 {
+			var hop int
+			fmt.Sscanf(fields[1], "%d", &hop)
+			p.NextHop = uint8(hop)
+		}
+		out = append(out, p)
+	}
+	return out, sc.Err()
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "iplookup:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,75 @@
+// Command trigramd builds the trigram-lookup CA-RAM of §4.2 from a
+// synthetic language-model database and serves interactive lookups:
+// exact queries typed on stdin, one per line, answered with the stored
+// score and the number of row accesses the lookup cost.
+//
+// Usage:
+//
+//	trigramd -entries 100000              # interactive
+//	echo "some tri gram" | trigramd -entries 100000
+//	trigramd -entries 100000 -sample 5    # print 5 stored entries, then serve
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"caram/internal/trigram"
+)
+
+func main() {
+	var (
+		entries = flag.Int("entries", 100000, "synthetic database size")
+		seed    = flag.Int64("seed", 1, "synthesis seed")
+		sample  = flag.Int("sample", 0, "print this many stored entries before serving")
+		design  = flag.String("design", "A", "Table 3 design name (A..D)")
+	)
+	flag.Parse()
+
+	db := trigram.Generate(trigram.GenConfig{Entries: *entries, Seed: *seed})
+
+	var chosen *trigram.Design
+	for i := range trigram.Table3Designs {
+		if trigram.Table3Designs[i].Name == strings.ToUpper(*design) {
+			chosen = &trigram.Table3Designs[i]
+			break
+		}
+	}
+	if chosen == nil {
+		fmt.Fprintf(os.Stderr, "trigramd: unknown design %q (use A..D)\n", *design)
+		os.Exit(1)
+	}
+	d := *chosen
+	// Shrink to keep the paper's load factor at small database sizes.
+	for d.R > 4 && float64(len(db)) < 0.5*float64(d.Capacity()) {
+		d.R--
+	}
+
+	ev, err := trigram.Evaluate(db, d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "trigramd:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("design %s (R=%d): %d entries, alpha=%.2f, overflowing %.2f%%, AMAL %.4f\n",
+		d.Name, d.R, ev.Entries, ev.LoadFactor, ev.OverflowingPct, ev.AMAL)
+	for i := 0; i < *sample && i < len(db); i++ {
+		fmt.Printf("stored: %q (score %d)\n", db[i].Text, db[i].Score)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		q := strings.TrimSpace(sc.Text())
+		if q == "" {
+			continue
+		}
+		score, rows, ok := trigram.Lookup(ev.Slice, q)
+		if !ok {
+			fmt.Printf("%q: not in the language model (%d row accesses)\n", q, rows)
+			continue
+		}
+		fmt.Printf("%q: score %d (%d row accesses)\n", q, score, rows)
+	}
+}

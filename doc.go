@@ -1,0 +1,16 @@
+// Package caram is a behavioral and analytical reproduction of
+// "CA-RAM: A High-Performance Memory Substrate for Search-Intensive
+// Applications" (Cho, Martin, Xu, Hammoud, Melhem — ISPASS 2007).
+//
+// CA-RAM implements hashing in hardware: a dense RAM array whose rows
+// are hash buckets, an index generator in front, and parallel match
+// processors behind, searching a large database in one memory access
+// at RAM-class area and power. The packages under internal/ build the
+// full system — bit substrate, index generators, memory array, match
+// processors, the CA-RAM slice, the multi-slice subsystem, CAM/TCAM
+// and software baselines, the cost models of §3.4, and the two
+// application studies (IP routing lookup and speech-recognition
+// trigram lookup). See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results; cmd/caram-bench
+// regenerates every table and figure.
+package caram

@@ -1,0 +1,124 @@
+// Cognitive-model declarative memory (§6 future work): "a large-scale
+// system implementing a cognitive model such as ACT-R will benefit
+// from employing CA-RAM, as it requires much search and data
+// evaluation capabilities."
+//
+// An ACT-R-style declarative memory stores chunks — small typed tuples
+// of slots — retrieved by partial match: the production asks for a
+// chunk whose specified slots match, ignoring the rest. That is
+// exactly search-key masking. Activation decay, applied to the whole
+// memory at once, is the paper's "massive data evaluation and
+// modification" capability of the decoupled match logic.
+//
+// Run: go run ./examples/cognitive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"caram/internal/bitutil"
+	"caram/internal/caram"
+	"caram/internal/hash"
+	"caram/internal/match"
+)
+
+// Chunk encoding: four 8-bit slots packed into a 32-bit key
+// [type | slot1 | slot2 | slot3], with a 16-bit activation as data.
+const (
+	typeAddFact = 0x01 // addition facts: slot1 + slot2 = slot3
+	typeCount   = 0x02 // counting facts: slot1 -> slot2
+)
+
+func chunkKey(ctype, s1, s2, s3 uint8) bitutil.Vec128 {
+	return bitutil.FromUint64(uint64(ctype)<<24 | uint64(s1)<<16 | uint64(s2)<<8 | uint64(s3))
+}
+
+func main() {
+	// Declarative memory: hash on the type and first slot so retrieval
+	// requests that always specify them stay single-bucket.
+	memory := caram.MustNew(caram.Config{
+		IndexBits: 8,
+		RowBits:   16*(1+32+16) + 8,
+		KeyBits:   32,
+		DataBits:  16,
+		Index:     hash.NewBitSelect([]int{16, 17, 18, 19, 24, 25, 26, 27}),
+	})
+
+	// Learn the addition table and counting facts, base activation 1000.
+	for a := uint8(0); a < 10; a++ {
+		for b := uint8(0); b < 10; b++ {
+			rec := match.Record{
+				Key:  bitutil.Exact(chunkKey(typeAddFact, a, b, a+b)),
+				Data: bitutil.FromUint64(1000),
+			}
+			if err := memory.Insert(rec); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	for n := uint8(0); n < 20; n++ {
+		rec := match.Record{
+			Key:  bitutil.Exact(chunkKey(typeCount, n, n+1, 0)),
+			Data: bitutil.FromUint64(1000),
+		}
+		if err := memory.Insert(rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("declarative memory: %d chunks, load factor %.2f\n",
+		memory.Count(), memory.LoadFactor())
+
+	// Retrieval request: (add-fact :slot1 3 :slot2 4 :slot3 ?) — the
+	// unspecified slot is a masked byte; one memory access answers it.
+	request := bitutil.NewTernary(
+		chunkKey(typeAddFact, 3, 4, 0),
+		bitutil.FromUint64(0xff), // slot3 unspecified
+	)
+	res := memory.Lookup(request)
+	if !res.Found {
+		log.Fatal("retrieval failed")
+	}
+	fmt.Printf("retrieve (add 3 4 ?): slot3 = %d, activation %d, %d row access\n",
+		res.Record.Key.Value.Uint64()&0xff, res.Record.Data.Uint64(), res.RowsRead)
+
+	// Counting: what follows 7?
+	req2 := bitutil.NewTernary(chunkKey(typeCount, 7, 0, 0), bitutil.FromUint64(0xff00))
+	res = memory.Lookup(req2)
+	fmt.Printf("retrieve (count 7 ?): next = %d\n", res.Record.Key.Value.Uint64()>>8&0xff)
+
+	// Reinforcement: bump the activation of every addition fact
+	// involving a 3 in slot1 — a masked bulk update.
+	bumped := memory.UpdateWhere(
+		bitutil.NewTernary(chunkKey(typeAddFact, 3, 0, 0), bitutil.FromUint64(0xffff)),
+		func(r match.Record) bitutil.Vec128 {
+			return bitutil.FromUint64(r.Data.Uint64() + 50)
+		})
+	fmt.Printf("reinforced %d chunks with slot1=3\n", bumped)
+
+	// Global activation decay: every chunk, one pass over the array —
+	// the massive-data-modification capability (§1).
+	decayed := memory.UpdateWhere(
+		bitutil.NewTernary(bitutil.Vec128{}, bitutil.Mask(32)), // match all
+		func(r match.Record) bitutil.Vec128 {
+			return bitutil.FromUint64(r.Data.Uint64() * 9 / 10)
+		})
+	fmt.Printf("decayed all %d chunks in one array sweep\n", decayed)
+
+	// The reinforced facts survive decay above the baseline.
+	res = memory.Lookup(bitutil.Exact(chunkKey(typeAddFact, 3, 4, 7)))
+	base := memory.Lookup(bitutil.Exact(chunkKey(typeAddFact, 5, 5, 10)))
+	fmt.Printf("activation after decay: (add 3 4 7) = %d vs baseline (add 5 5 10) = %d\n",
+		res.Record.Data.Uint64(), base.Record.Data.Uint64())
+
+	// Forgetting: drop every chunk whose activation fell below 905.
+	deleted := 0
+	for _, r := range memory.SelectWhere(bitutil.NewTernary(bitutil.Vec128{}, bitutil.Mask(32))) {
+		if r.Data.Uint64() < 905 {
+			if err := memory.Delete(r.Key); err == nil {
+				deleted++
+			}
+		}
+	}
+	fmt.Printf("forgot %d low-activation chunks; %d remain\n", deleted, memory.Count())
+}

@@ -1,0 +1,158 @@
+// Dictionary search processor: the natural-language use case the
+// related work's DISP chip targeted (§5), rebuilt on a CA-RAM
+// subsystem. Two databases share one subsystem behind virtual ports —
+// an exact-match dictionary and a ternary pattern database supporting
+// wildcard queries — demonstrating slice groups, the Submit/Poll port
+// interface, and ternary search-key masking.
+//
+// Run: go run ./examples/dictionary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"caram/internal/bitutil"
+	"caram/internal/caram"
+	"caram/internal/dict"
+	"caram/internal/hash"
+	"caram/internal/match"
+	"caram/internal/subsystem"
+)
+
+// wordKey packs an ASCII word (up to 12 chars) into a 96-bit key.
+func wordKey(w string) bitutil.Vec128 {
+	var buf [12]byte
+	copy(buf[:], w)
+	return bitutil.FromBytes(buf[:])
+}
+
+var words = []string{
+	"cat", "cot", "cut", "car", "cap", "can", "bat", "bet", "bit",
+	"dog", "dig", "dug", "fog", "fig", "ran", "run", "sun", "son",
+	"searching", "matching", "hashing", "probing", "bucket", "record",
+}
+
+func main() {
+	sub := subsystem.New(64)
+
+	// Port 1: exact dictionary (word -> id).
+	lexicon := caram.MustNew(caram.Config{
+		IndexBits: 6,
+		RowBits:   4*(1+96+16) + 8,
+		KeyBits:   96,
+		DataBits:  16,
+		Index:     hash.NewMultShift(6),
+	})
+	if err := sub.AddEngine(&subsystem.Engine{Name: "dict", Main: lexicon}); err != nil {
+		log.Fatal(err)
+	}
+	for i, w := range words {
+		rec := match.Record{Key: bitutil.Exact(wordKey(w)), Data: bitutil.FromUint64(uint64(i))}
+		if err := sub.Insert("dict", rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Exact lookups through the memory-mapped port interface: a store
+	// submits the key, a load polls the result (§3.2).
+	for _, w := range []string{"hashing", "cat", "missing"} {
+		if _, err := sub.Submit("dict", bitutil.Exact(wordKey(w))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	for {
+		r, ok := sub.Poll()
+		if !ok {
+			break
+		}
+		if r.Found {
+			fmt.Printf("port %s: hit, word id %d\n", r.Port, r.Record.Data.Uint64())
+		} else {
+			fmt.Printf("port %s: miss\n", r.Port)
+		}
+	}
+
+	// Wildcard search with a masked search key: "c?t" — byte 1 is a
+	// don't-care. The match processors of every candidate in the row
+	// apply the mask simultaneously (Figure 4(b)).
+	pattern := wordKey("c\x00t")
+	mask := bitutil.FromBytes([]byte{0, 0xff, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	query := bitutil.NewTernary(pattern, mask)
+	fmt.Println("\nwildcard c?t:")
+	matches := 0
+	// The masked byte participates in hashing, so the wildcard expands
+	// into one probe per candidate bucket — the multi-bucket-access
+	// cost §4 attributes to don't-care bits in hash positions, paid
+	// here on the query side.
+	for c := byte('a'); c <= 'z'; c++ {
+		probe := wordKey("c" + string(c) + "t")
+		res := lexicon.Lookup(bitutil.Exact(probe))
+		if res.Found && res.Record.Key.Matches(query) {
+			fmt.Printf("  %s (id %d)\n", words[res.Record.Data.Uint64()], res.Record.Data.Uint64())
+			matches++
+		}
+	}
+	fmt.Printf("%d matches\n", matches)
+
+	// Port 2: ternary pattern database — stored keys carry the don't
+	// cares, so one lookup matches a whole class (no duplication since
+	// the hash bits avoid the masked positions: the index generator
+	// uses the first two characters only).
+	firstTwoChars := make([]int, 12)
+	for i := range firstTwoChars {
+		firstTwoChars[i] = 96 - 16 + i // bits of the top two key bytes
+	}
+	patterns := caram.MustNew(caram.Config{
+		IndexBits: 12,
+		RowBits:   4*(1+96+96+16) + 8,
+		KeyBits:   96,
+		DataBits:  16,
+		Ternary:   true,
+		Index:     hash.NewBitSelect(firstTwoChars),
+	})
+	if err := sub.AddEngine(&subsystem.Engine{Name: "patterns", Main: patterns}); err != nil {
+		log.Fatal(err)
+	}
+	// Pattern "ca?": class 7.
+	pkey := bitutil.NewTernary(wordKey("ca\x00"),
+		bitutil.FromBytes([]byte{0, 0, 0xff, 0, 0, 0, 0, 0, 0, 0, 0, 0}))
+	if err := sub.Insert("patterns", match.Record{Key: pkey, Data: bitutil.FromUint64(7)}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nternary pattern ca?:")
+	for _, w := range []string{"cat", "car", "cap", "cot", "dog"} {
+		res := patterns.Lookup(bitutil.Exact(wordKey(w)))
+		fmt.Printf("  %-4s -> class %v (found=%v)\n", w, res.Record.Data.Uint64(), res.Found)
+	}
+
+	fmt.Printf("\nsubsystem engines: %v\n", sub.Engines())
+
+	// The same machinery, packaged: internal/dict wraps a slice with
+	// word keys (length byte included), wildcard planning (anchored
+	// patterns stay single-bucket; leading wildcards sweep the array
+	// through the match processors), and prefix search.
+	de := dict.MustNew(dict.Config{IndexBits: 6, Slots: 8})
+	for i, w := range words {
+		if err := de.Add(w, uint32(i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ms, rows, err := de.MatchPattern("c?t")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndict.MatchPattern(c?t): %d matches in %d row access(es):", len(ms), rows)
+	for _, m := range ms {
+		fmt.Printf(" %s", m.Word)
+	}
+	ms, rows, err = de.MatchPrefix("ma")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndict.MatchPrefix(ma): %d matches in %d row access(es):", len(ms), rows)
+	for _, m := range ms {
+		fmt.Printf(" %s", m.Word)
+	}
+	fmt.Println()
+}

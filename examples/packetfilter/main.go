@@ -1,0 +1,84 @@
+// Packet filtering — the intro's other search-intensive network
+// workload: classify 5-tuples against an ACL at line rate. The same
+// rule set runs on a flat TCAM and on a CA-RAM engine (hashed on
+// destination bits, wildcard rules in a small parallel overflow TCAM),
+// and both are verified against a linear-scan oracle.
+//
+// Run: go run ./examples/packetfilter
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"caram/internal/iproute"
+	"caram/internal/pktclass"
+)
+
+func main() {
+	rules := pktclass.GenerateRules(pktclass.GenRulesConfig{Rules: 2000, Seed: 1})
+	expanded := 0
+	maxExp := 0
+	for _, r := range rules {
+		e := r.ExpansionFactor()
+		expanded += e
+		if e > maxExp {
+			maxExp = e
+		}
+	}
+	fmt.Printf("ACL: %d rules -> %d ternary entries after range-to-prefix expansion (worst rule: %d)\n",
+		len(rules), expanded, maxExp)
+
+	tcam, err := pktclass.NewTCAMClassifier(rules, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	caramCls, err := pktclass.NewCARAMClassifier(rules, pktclass.CARAMConfig{
+		IndexBits: 9, Slots: 64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	main, ovfl := caramCls.Entries()
+	fmt.Printf("CA-RAM engine: %d entries in the hashed array (+%d duplicated), %d in the overflow TCAM (%.1f%%)\n",
+		main, caramCls.Duplicated, ovfl, 100*float64(ovfl)/float64(main+ovfl))
+
+	trace := pktclass.GenerateTrace(rules, 20000, 0.25, 2)
+	agree, hits, rows := 0, 0, 0
+	for _, p := range trace {
+		want := pktclass.Oracle(rules, p)
+		a := tcam.Classify(p)
+		b := caramCls.Classify(p)
+		if a.Matched != want.Matched || b.Matched != want.Matched {
+			log.Fatalf("classifiers disagree with oracle on %+v", p)
+		}
+		if want.Matched && (a.Priority != want.Priority || b.Priority != want.Priority) {
+			log.Fatalf("priority mismatch on %+v", p)
+		}
+		agree++
+		if want.Matched {
+			hits++
+		}
+		rows += b.RowsRead
+	}
+	fmt.Printf("%d packets classified; %d matched a rule; all three engines agree\n", agree, hits)
+	fmt.Printf("CA-RAM cost: %.3f row accesses per packet (overflow TCAM searched in parallel)\n",
+		float64(rows)/float64(len(trace)))
+
+	// The denial the sample ACL would issue for a probe to a random
+	// host's SSH port, as a concrete look at one decision.
+	probe := pktclass.FiveTuple{
+		SrcIP: 0x0A0A0A0A, DstIP: rules[0].DstPrefix.Addr | 1,
+		SrcPort: 40000, DstPort: 22, Proto: 6,
+	}
+	res := caramCls.Classify(probe)
+	fmt.Printf("probe %s -> %s:22/tcp: matched=%v rule=%d action=%d\n",
+		iproute.AddrString(probe.SrcIP), iproute.AddrString(probe.DstIP),
+		res.Matched, res.RuleID, res.Action)
+
+	// Activity comparison: cells the TCAM lights up per search vs the
+	// CA-RAM's single bucket.
+	st := tcam.Stats()
+	fmt.Printf("TCAM activity: %d cells per search; CA-RAM: one %d-key bucket row\n",
+		st.CellsActivated/st.Searches, 32)
+}

@@ -1,0 +1,3 @@
+module caram
+
+go 1.22

@@ -1,0 +1,82 @@
+package bitutil
+
+// Bit-field access over raw memory rows. A CA-RAM row is a flat run of
+// C bits stored as []uint64 words (word 0 holds bits 0..63 of the row).
+// Records are packed into the row at arbitrary bit offsets, so the
+// slice and match-processor layers need to read and write fields that
+// straddle word boundaries.
+
+// GetBits extracts width bits (width <= 128) starting at bit offset off
+// from the row. Bits beyond the end of the row read as zero.
+func GetBits(row []uint64, off, width int) Vec128 {
+	if width <= 0 || off < 0 {
+		return Vec128{}
+	}
+	if width > 128 {
+		width = 128
+	}
+	var v Vec128
+	w := off / 64
+	shift := off % 64
+	// Gather up to three words: width up to 128 plus a nonzero shift can
+	// span three consecutive words.
+	var w0, w1, w2 uint64
+	if w < len(row) {
+		w0 = row[w]
+	}
+	if w+1 < len(row) {
+		w1 = row[w+1]
+	}
+	if w+2 < len(row) {
+		w2 = row[w+2]
+	}
+	if shift == 0 {
+		v = Vec128{Lo: w0, Hi: w1}
+	} else {
+		v = Vec128{
+			Lo: w0>>shift | w1<<(64-shift),
+			Hi: w1>>shift | w2<<(64-shift),
+		}
+	}
+	return v.Trunc(width)
+}
+
+// SetBits stores the low width bits of v into the row at bit offset off.
+// Writes beyond the end of the row are silently dropped, mirroring a
+// hardware row of fixed width.
+func SetBits(row []uint64, off, width int, v Vec128) {
+	if width <= 0 || off < 0 {
+		return
+	}
+	if width > 128 {
+		width = 128
+	}
+	v = v.Trunc(width)
+	mask := Mask(width)
+	// Shift value and mask into row alignment, then merge word by word.
+	w := off / 64
+	shift := off % 64
+	vals := [3]uint64{v.Lo << shift, 0, 0}
+	masks := [3]uint64{mask.Lo << shift, 0, 0}
+	if shift == 0 {
+		vals[1] = v.Hi
+		masks[1] = mask.Hi
+	} else {
+		vals[1] = v.Lo>>(64-shift) | v.Hi<<shift
+		masks[1] = mask.Lo>>(64-shift) | mask.Hi<<shift
+		vals[2] = v.Hi >> (64 - shift)
+		masks[2] = mask.Hi >> (64 - shift)
+	}
+	for i := 0; i < 3; i++ {
+		if masks[i] == 0 {
+			continue
+		}
+		if w+i >= len(row) {
+			return
+		}
+		row[w+i] = row[w+i]&^masks[i] | vals[i]
+	}
+}
+
+// RowWords returns the number of uint64 words needed to hold bits bits.
+func RowWords(bits int) int { return (bits + 63) / 64 }

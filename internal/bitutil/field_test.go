@@ -1,0 +1,117 @@
+package bitutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRowWords(t *testing.T) {
+	cases := []struct{ bits, want int }{
+		{0, 0}, {1, 1}, {63, 1}, {64, 1}, {65, 2}, {128, 2}, {129, 3}, {1600, 25},
+	}
+	for _, c := range cases {
+		if got := RowWords(c.bits); got != c.want {
+			t.Errorf("RowWords(%d) = %d, want %d", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestSetGetAligned(t *testing.T) {
+	row := make([]uint64, 4)
+	v := Vec128{Lo: 0xdeadbeefcafef00d, Hi: 0x0123456789abcdef}
+	SetBits(row, 64, 128, v)
+	if got := GetBits(row, 64, 128); got != v {
+		t.Errorf("aligned get = %v, want %v", got, v)
+	}
+	if row[0] != 0 || row[3] != 0 {
+		t.Error("aligned set touched neighboring words")
+	}
+}
+
+func TestSetGetStraddling(t *testing.T) {
+	row := make([]uint64, 4)
+	v := Vec128{Lo: ^uint64(0), Hi: ^uint64(0)}
+	SetBits(row, 17, 128, v)
+	if got := GetBits(row, 17, 128); got != Mask(128) {
+		t.Errorf("straddling get = %v", got)
+	}
+	// Bits outside [17, 145) must be untouched.
+	if GetBits(row, 0, 17) != (Vec128{}) {
+		t.Error("set spilled below offset")
+	}
+	if GetBits(row, 145, 64) != (Vec128{}) {
+		t.Error("set spilled above field")
+	}
+}
+
+func TestSetDoesNotClobberNeighbors(t *testing.T) {
+	row := make([]uint64, 3)
+	for i := range row {
+		row[i] = ^uint64(0)
+	}
+	SetBits(row, 40, 30, Vec128{})
+	if got := GetBits(row, 40, 30); !got.IsZero() {
+		t.Errorf("cleared field reads %v", got)
+	}
+	if GetBits(row, 0, 40) != Mask(40) {
+		t.Error("low neighbor damaged")
+	}
+	if GetBits(row, 70, 50) != Mask(50) {
+		t.Error("high neighbor damaged")
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	row := make([]uint64, 1)
+	SetBits(row, 200, 8, FromUint64(0xff)) // dropped
+	if row[0] != 0 {
+		t.Error("out-of-range write modified the row")
+	}
+	SetBits(row, -1, 8, FromUint64(0xff))
+	if row[0] != 0 {
+		t.Error("negative-offset write modified the row")
+	}
+	if got := GetBits(row, 200, 8); !got.IsZero() {
+		t.Errorf("out-of-range read = %v", got)
+	}
+	if got := GetBits(row, 0, -5); !got.IsZero() {
+		t.Errorf("negative-width read = %v", got)
+	}
+	// A write that starts in range but runs off the end keeps the
+	// in-range part.
+	SetBits(row, 60, 8, FromUint64(0xff))
+	if got := GetBits(row, 60, 4); got != FromUint64(0xf) {
+		t.Errorf("partial tail write lost in-range bits: %v", got)
+	}
+}
+
+// Property: writing then reading the same field round-trips, for random
+// offsets and widths within a 1600-bit row (the paper's prototype C).
+func TestSetGetRoundTripQuick(t *testing.T) {
+	const rowBits = 1600
+	f := func(v Vec128, offRaw uint16, wRaw uint8) bool {
+		width := 1 + int(wRaw)%128
+		off := int(offRaw) % (rowBits - width)
+		row := make([]uint64, RowWords(rowBits))
+		SetBits(row, off, width, v)
+		return GetBits(row, off, width) == v.Trunc(width)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: two disjoint fields never interfere.
+func TestDisjointFieldsQuick(t *testing.T) {
+	f := func(a, b Vec128, offRaw uint16) bool {
+		const w = 96
+		off := int(offRaw) % 400
+		row := make([]uint64, RowWords(1024))
+		SetBits(row, off, w, a)
+		SetBits(row, off+w, w, b)
+		return GetBits(row, off, w) == a.Trunc(w) && GetBits(row, off+w, w) == b.Trunc(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

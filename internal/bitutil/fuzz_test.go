@@ -1,0 +1,50 @@
+package bitutil
+
+import "testing"
+
+// FuzzParseTernary checks that arbitrary inputs never panic, and that
+// accepted inputs round-trip through String.
+func FuzzParseTernary(f *testing.F) {
+	for _, seed := range []string{"", "0", "1", "X", "110XX", "xXxX10", "10Z", "0000000011111111XXXXXXXX"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		tn, ok := ParseTernary(s)
+		if !ok {
+			return
+		}
+		if got := tn.String(len(s)); got != normalizeUpper(s) {
+			t.Fatalf("round trip %q -> %q", s, got)
+		}
+	})
+}
+
+// normalizeUpper uppercases 'x' the way String renders don't-cares.
+func normalizeUpper(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] == 'x' {
+			b[i] = 'X'
+		}
+	}
+	return string(b)
+}
+
+// FuzzFieldAccess checks SetBits/GetBits never panic and round-trip for
+// in-range fields of a fixed row.
+func FuzzFieldAccess(f *testing.F) {
+	f.Add(uint64(1), uint64(2), 10, 33)
+	f.Add(uint64(0), uint64(0), 0, 1)
+	f.Add(^uint64(0), ^uint64(0), 1500, 128)
+	f.Fuzz(func(t *testing.T, lo, hi uint64, off, width int) {
+		row := make([]uint64, RowWords(1600))
+		v := Vec128{Lo: lo, Hi: hi}
+		SetBits(row, off, width, v)
+		got := GetBits(row, off, width)
+		if width > 0 && width <= 128 && off >= 0 && off+width <= 1600 {
+			if got != v.Trunc(width) {
+				t.Fatalf("round trip (%d,%d): %v != %v", off, width, got, v.Trunc(width))
+			}
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package bitutil
+
+import "strings"
+
+// Ternary is a key whose bits may each be 0, 1, or X (don't care). It is
+// the software image of the two-bit-per-symbol encoding used by TCAM
+// cells and by ternary CA-RAM records: Value carries the cared-for bits
+// and Mask has a 1 wherever the bit is X. Bits of Value under a set Mask
+// bit are ignored (kept zero by Normalize).
+type Ternary struct {
+	Value Vec128
+	Mask  Vec128 // 1 = don't care
+}
+
+// NewTernary returns a normalized ternary key.
+func NewTernary(value, mask Vec128) Ternary {
+	return Ternary{Value: value.AndNot(mask), Mask: mask}
+}
+
+// Exact returns a ternary key with no don't-care bits.
+func Exact(value Vec128) Ternary { return Ternary{Value: value} }
+
+// Normalize zeroes Value bits under the mask so that equal ternary keys
+// have equal representations.
+func (t Ternary) Normalize() Ternary {
+	t.Value = t.Value.AndNot(t.Mask)
+	return t
+}
+
+// MatchesKey reports whether the exact search key matches t: every
+// cared-for bit of t equals the corresponding key bit. This is the
+// stored-key-masking (ternary search) direction of Figure 4(b).
+func (t Ternary) MatchesKey(key Vec128) bool {
+	return t.Value.Xor(key).AndNot(t.Mask).IsZero()
+}
+
+// Matches reports whether a search key that itself carries don't-care
+// bits matches t. A bit mismatches only when both sides care and the
+// values differ — the full two-don't-care-input comparator of
+// Figure 4(b).
+func (t Ternary) Matches(search Ternary) bool {
+	return t.Value.Xor(search.Value).AndNot(t.Mask.Or(search.Mask)).IsZero()
+}
+
+// Equal reports whether two ternary keys are identical after
+// normalization (same cared-for bits and same don't-care positions).
+func (t Ternary) Equal(u Ternary) bool {
+	t, u = t.Normalize(), u.Normalize()
+	return t.Value == u.Value && t.Mask == u.Mask
+}
+
+// CareCount returns the number of cared-for bits within width.
+func (t Ternary) CareCount(width int) int {
+	return t.Mask.Not(width).OnesCount()
+}
+
+// Specificity orders ternary keys by how many bits they care about;
+// larger means more specific. Used as the default match priority for
+// longest-prefix-match style lookups.
+func (t Ternary) Specificity(width int) int { return t.CareCount(width) }
+
+// String renders the low width bits of t MSB-first as a string over
+// {0, 1, X}.
+func (t Ternary) String(width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if width > 128 {
+		width = 128
+	}
+	var b strings.Builder
+	b.Grow(width)
+	for i := width - 1; i >= 0; i-- {
+		switch {
+		case t.Mask.Bit(i) == 1:
+			b.WriteByte('X')
+		case t.Value.Bit(i) == 1:
+			b.WriteByte('1')
+		default:
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// ParseTernary parses an MSB-first string of {0,1,X,x} into a ternary
+// key. Any other rune is rejected.
+func ParseTernary(s string) (Ternary, bool) {
+	if len(s) > 128 {
+		return Ternary{}, false
+	}
+	var t Ternary
+	for _, r := range s {
+		t.Value = t.Value.Shl(1)
+		t.Mask = t.Mask.Shl(1)
+		switch r {
+		case '0':
+		case '1':
+			t.Value.Lo |= 1
+		case 'X', 'x':
+			t.Mask.Lo |= 1
+		default:
+			return Ternary{}, false
+		}
+	}
+	return t, true
+}

@@ -1,0 +1,140 @@
+package bitutil
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, s string) Ternary {
+	t.Helper()
+	tn, ok := ParseTernary(s)
+	if !ok {
+		t.Fatalf("ParseTernary(%q) failed", s)
+	}
+	return tn
+}
+
+func TestTernaryMatchesKey(t *testing.T) {
+	// The paper's example: stored key 110XX matches 11000..11011.
+	stored := mustParse(t, "110XX")
+	for k := uint64(0); k < 32; k++ {
+		want := k>>2 == 0b110
+		if got := stored.MatchesKey(FromUint64(k)); got != want {
+			t.Errorf("110XX vs %05b: got %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestTernaryMatchesBothMasks(t *testing.T) {
+	cases := []struct {
+		stored, search string
+		want           bool
+	}{
+		{"1010", "1010", true},
+		{"1010", "1011", false},
+		{"10X0", "1010", true},
+		{"10X0", "1000", true},
+		{"10X0", "1001", false},
+		{"1010", "10X0", true}, // don't care in the search key
+		{"1010", "101X", true}, // search masks the mismatching... no, last bit matches anyway
+		{"1011", "101X", true}, // search key masks the differing bit
+		{"1011", "X011", true},
+		{"1011", "X111", false},
+		{"XXXX", "1010", true},
+		{"1010", "XXXX", true},
+		{"1X10", "10XX", true}, // overlap of masks never mismatches
+	}
+	for _, c := range cases {
+		stored := mustParse(t, c.stored)
+		search := mustParse(t, c.search)
+		if got := stored.Matches(search); got != c.want {
+			t.Errorf("stored %s vs search %s: got %v, want %v", c.stored, c.search, got, c.want)
+		}
+	}
+}
+
+func TestTernaryNormalizeAndEqual(t *testing.T) {
+	a := Ternary{Value: FromUint64(0b1111), Mask: FromUint64(0b0011)}
+	b := Ternary{Value: FromUint64(0b1100), Mask: FromUint64(0b0011)}
+	if !a.Equal(b) {
+		t.Error("keys differing only under the mask must be Equal")
+	}
+	if n := a.Normalize(); n.Value != FromUint64(0b1100) {
+		t.Errorf("Normalize value = %v", n.Value)
+	}
+}
+
+func TestTernaryStringRoundTrip(t *testing.T) {
+	for _, s := range []string{"0", "1", "X", "10X", "110XX", "X0X1X0X1"} {
+		tn := mustParse(t, s)
+		if got := tn.String(len(s)); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+	if _, ok := ParseTernary("10Z"); ok {
+		t.Error("ParseTernary accepted an invalid rune")
+	}
+	if _, ok := ParseTernary(string(make([]byte, 200))); ok {
+		t.Error("ParseTernary accepted an overlong string")
+	}
+	if got := (Ternary{}).String(0); got != "" {
+		t.Errorf("String(0) = %q", got)
+	}
+}
+
+func TestCareCountAndSpecificity(t *testing.T) {
+	tn := mustParse(t, "1X0X")
+	if got := tn.CareCount(4); got != 2 {
+		t.Errorf("CareCount = %d", got)
+	}
+	if tn.Specificity(4) != 2 {
+		t.Error("Specificity should equal CareCount")
+	}
+	if got := Exact(FromUint64(0b101)).CareCount(3); got != 3 {
+		t.Errorf("Exact CareCount = %d", got)
+	}
+}
+
+// Property: MatchesKey agrees with a bit-by-bit reference comparator.
+func TestMatchesKeyAgainstReferenceQuick(t *testing.T) {
+	f := func(value, mask, key Vec128) bool {
+		tn := NewTernary(value, mask)
+		want := true
+		for i := 0; i < 128; i++ {
+			if tn.Mask.Bit(i) == 1 {
+				continue
+			}
+			if tn.Value.Bit(i) != key.Bit(i) {
+				want = false
+				break
+			}
+		}
+		return tn.MatchesKey(key) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Matches is symmetric when both sides carry masks.
+func TestMatchesSymmetricQuick(t *testing.T) {
+	f := func(v1, m1, v2, m2 Vec128) bool {
+		a := NewTernary(v1, m1)
+		b := NewTernary(v2, m2)
+		return a.Matches(b) == b.Matches(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: an exact search key reduces Matches to MatchesKey.
+func TestMatchesReducesToMatchesKeyQuick(t *testing.T) {
+	f := func(v, m, key Vec128) bool {
+		tn := NewTernary(v, m)
+		return tn.Matches(Exact(key)) == tn.MatchesKey(key)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

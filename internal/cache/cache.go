@@ -1,0 +1,202 @@
+// Package cache implements a set-associative cache on the same memory
+// substrate and row layout the CA-RAM slice uses — the structural
+// cousin §1 singles out: "a CA-RAM slice and a set-associative cache
+// bear similarity in their hardware structure. However, the required
+// and supported operations for CA-RAM and for caches are different."
+//
+// The tag array is a mem.Array whose rows hold one set: per way a
+// valid bit, the tag (the match.Layout key field), and an LRU counter
+// (the data field). A lookup fetches the set row and compares every
+// way in parallel — exactly a CA-RAM bucket search with a trivial
+// index function (address bit selection) — but the operations on top
+// are loads and stores with replacement, not insert/search/delete on
+// an explicit database.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"caram/internal/bitutil"
+	"caram/internal/match"
+	"caram/internal/mem"
+)
+
+// Config describes the cache geometry.
+type Config struct {
+	Sets      int // power of two
+	Ways      int
+	BlockBits int // log2 of the block size in bytes
+	AddrBits  int // address width, <= 64
+	Tech      mem.Technology
+}
+
+// Validate checks the geometry.
+func (c Config) Validate() error {
+	if c.Sets < 1 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache: Sets %d must be a positive power of two", c.Sets)
+	}
+	if c.Ways < 1 || c.Ways > 64 {
+		return fmt.Errorf("cache: Ways %d outside [1,64]", c.Ways)
+	}
+	if c.BlockBits < 0 || c.BlockBits > 12 {
+		return fmt.Errorf("cache: BlockBits %d outside [0,12]", c.BlockBits)
+	}
+	if c.AddrBits < 1 || c.AddrBits > 64 {
+		return fmt.Errorf("cache: AddrBits %d outside [1,64]", c.AddrBits)
+	}
+	if c.indexBits()+c.BlockBits >= c.AddrBits {
+		return fmt.Errorf("cache: no tag bits left (addr %d, index %d, block %d)",
+			c.AddrBits, c.indexBits(), c.BlockBits)
+	}
+	return nil
+}
+
+func (c Config) indexBits() int { return bits.TrailingZeros(uint(c.Sets)) }
+
+// tagBits returns the stored tag width.
+func (c Config) tagBits() int { return c.AddrBits - c.indexBits() - c.BlockBits }
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+// HitRate returns hits per access.
+func (s Stats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+// Cache is the behavioral model (tag array only; data payloads are
+// outside its concern, like the paper's key-only CA-RAM view).
+type Cache struct {
+	cfg    Config
+	layout match.Layout
+	tags   *mem.Array
+	clock  uint64 // LRU timestamp source
+	stats  Stats
+}
+
+// lruBits sizes the per-way LRU counter field.
+const lruBits = 32
+
+// New builds an empty cache.
+func New(cfg Config) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	layout := match.Layout{
+		RowBits:  cfg.Ways*(1+cfg.tagBits()+lruBits) + 8,
+		KeyBits:  cfg.tagBits(),
+		DataBits: lruBits,
+	}
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	tags, err := mem.New(mem.Config{Rows: cfg.Sets, RowBits: layout.RowBits, Tech: cfg.Tech})
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{cfg: cfg, layout: layout, tags: tags}, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Cache {
+	c, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// split decomposes an address.
+func (c *Cache) split(addr uint64) (set uint32, tag uint64) {
+	addr &= 1<<uint(c.cfg.AddrBits) - 1
+	blockAddr := addr >> uint(c.cfg.BlockBits)
+	set = uint32(blockAddr) & uint32(c.cfg.Sets-1)
+	tag = blockAddr >> uint(c.cfg.indexBits())
+	return set, tag
+}
+
+// Access performs one cache access (load or store look the same to the
+// tag array) and returns whether it hit. Misses fill the block,
+// evicting the least recently used way when the set is full.
+func (c *Cache) Access(addr uint64) bool {
+	c.stats.Accesses++
+	c.clock++
+	set, tag := c.split(addr)
+	row := c.tags.ReadRow(set)
+	// Parallel tag compare across the ways — the CA-RAM bucket match.
+	hitWay := -1
+	freeWay := -1
+	lruWay, lruStamp := 0, uint64(1)<<63
+	for w := 0; w < c.cfg.Ways; w++ {
+		rec, ok := c.layout.ReadSlot(row, w)
+		if !ok {
+			if freeWay < 0 {
+				freeWay = w
+			}
+			continue
+		}
+		if rec.Key.Value.Uint64() == tag {
+			hitWay = w
+		}
+		if stamp := rec.Data.Uint64(); stamp < lruStamp {
+			lruWay, lruStamp = w, stamp
+		}
+	}
+	if hitWay >= 0 {
+		c.stats.Hits++
+		c.touch(set, hitWay, tag)
+		return true
+	}
+	c.stats.Misses++
+	way := freeWay
+	if way < 0 {
+		way = lruWay
+		c.stats.Evictions++
+	}
+	c.touch(set, way, tag)
+	return false
+}
+
+// touch writes a way's tag and LRU stamp.
+func (c *Cache) touch(set uint32, way int, tag uint64) {
+	row := c.tags.RowForUpdate(set)
+	rec := match.Record{
+		Key:  bitutil.Exact(bitutil.FromUint64(tag)),
+		Data: bitutil.FromUint64(c.clock & (1<<lruBits - 1)),
+	}
+	if err := c.layout.WriteSlot(row, way, rec); err != nil {
+		panic(fmt.Sprintf("cache: tag write: %v", err)) // geometry-checked at New
+	}
+}
+
+// Contains reports whether the block holding addr is resident, without
+// touching LRU state or statistics.
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.split(addr)
+	row := c.tags.PeekRow(set)
+	for w := 0; w < c.cfg.Ways; w++ {
+		rec, ok := c.layout.ReadSlot(row, w)
+		if ok && rec.Key.Value.Uint64() == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns a snapshot.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Tags exposes the tag array (access counts, RAM-mode view).
+func (c *Cache) Tags() *mem.Array { return c.tags }

@@ -1,0 +1,157 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+
+	"caram/internal/mem"
+)
+
+func small() Config {
+	return Config{Sets: 16, Ways: 4, BlockBits: 6, AddrBits: 32}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := small().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Sets: 0, Ways: 4, BlockBits: 6, AddrBits: 32},
+		{Sets: 12, Ways: 4, BlockBits: 6, AddrBits: 32}, // not a power of two
+		{Sets: 16, Ways: 0, BlockBits: 6, AddrBits: 32},
+		{Sets: 16, Ways: 65, BlockBits: 6, AddrBits: 32},
+		{Sets: 16, Ways: 4, BlockBits: 13, AddrBits: 32},
+		{Sets: 16, Ways: 4, BlockBits: 6, AddrBits: 0},
+		{Sets: 1 << 20, Ways: 4, BlockBits: 6, AddrBits: 24}, // no tag bits
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v accepted", c)
+		}
+	}
+}
+
+func TestHitMissBasics(t *testing.T) {
+	c := MustNew(small())
+	addr := uint64(0x12340)
+	if c.Access(addr) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(addr) {
+		t.Error("warm access missed")
+	}
+	// Same block, different offset: hit.
+	if !c.Access(addr + 63) {
+		t.Error("same-block access missed")
+	}
+	// Different block, same set (stride = sets * blocksize).
+	if c.Access(addr + 16*64) {
+		t.Error("distinct block hit")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Hits != 2 || st.Misses != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Errorf("HitRate = %f", st.HitRate())
+	}
+	if !c.Contains(addr) || c.Contains(0xdead0000) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	c := MustNew(small()) // 4 ways
+	base := uint64(0x1000)
+	stride := uint64(16 * 64) // same set
+	// Fill the set with blocks 0..3.
+	for i := uint64(0); i < 4; i++ {
+		c.Access(base + i*stride)
+	}
+	// Touch block 0 so block 1 becomes LRU.
+	c.Access(base)
+	// A fifth block evicts block 1, not block 0.
+	c.Access(base + 4*stride)
+	if !c.Contains(base) {
+		t.Error("recently used block evicted")
+	}
+	if c.Contains(base + 1*stride) {
+		t.Error("LRU block survived")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Errorf("Evictions = %d", c.Stats().Evictions)
+	}
+}
+
+// Oracle check: random trace against a map-based LRU model.
+func TestAgainstLRUOracle(t *testing.T) {
+	cfg := Config{Sets: 8, Ways: 2, BlockBits: 4, AddrBits: 16}
+	c := MustNew(cfg)
+	type entry struct {
+		tag   uint64
+		stamp int
+	}
+	oracle := make(map[uint32][]entry)
+	clock := 0
+	rng := rand.New(rand.NewSource(9))
+	for op := 0; op < 5000; op++ {
+		addr := uint64(rng.Intn(1 << 16))
+		got := c.Access(addr)
+		// Oracle.
+		clock++
+		block := addr >> 4
+		set := uint32(block) & 7
+		tag := block >> 3
+		ways := oracle[set]
+		want := false
+		for i := range ways {
+			if ways[i].tag == tag {
+				want = true
+				ways[i].stamp = clock
+				break
+			}
+		}
+		if !want {
+			if len(ways) < cfg.Ways {
+				ways = append(ways, entry{tag, clock})
+			} else {
+				lru := 0
+				for i := range ways {
+					if ways[i].stamp < ways[lru].stamp {
+						lru = i
+					}
+				}
+				ways[lru] = entry{tag, clock}
+			}
+			oracle[set] = ways
+		}
+		if got != want {
+			t.Fatalf("op %d addr %#x: hit=%v oracle=%v", op, addr, got, want)
+		}
+	}
+}
+
+func TestSequentialScanThrashes(t *testing.T) {
+	// A scan over more blocks than the cache holds must miss every
+	// time on the second pass too (LRU pathological case).
+	c := MustNew(Config{Sets: 4, Ways: 2, BlockBits: 6, AddrBits: 32})
+	blocks := 4 * 2 * 2 // twice the capacity
+	for pass := 0; pass < 2; pass++ {
+		for b := 0; b < blocks; b++ {
+			if c.Access(uint64(b*64)) && pass == 1 {
+				t.Fatal("scan should thrash an LRU cache")
+			}
+		}
+	}
+}
+
+func TestDRAMTagsCharged(t *testing.T) {
+	c := MustNew(Config{Sets: 8, Ways: 2, BlockBits: 6, AddrBits: 32, Tech: mem.DRAM})
+	c.Access(0)
+	if c.Tags().Stats().Accesses() == 0 {
+		t.Error("tag array access not charged")
+	}
+	if c.Config().Sets != 8 {
+		t.Error("Config accessor wrong")
+	}
+}

@@ -1,0 +1,111 @@
+package cam
+
+import (
+	"fmt"
+
+	"caram/internal/bitutil"
+	"caram/internal/hash"
+	"caram/internal/match"
+)
+
+// Banked is the CoolCAM scheme of Zane, Narlikar and Basu (§5.2): a
+// two-phase lookup where a bit-selection first phase picks one TCAM
+// partition and only that partition searches, cutting power by the
+// partition count. Like CA-RAM, stored keys whose don't-care bits
+// overlap the selection bits must be duplicated into every partition
+// they may match in, and a search key with don't-care selection bits
+// must search multiple partitions.
+type Banked struct {
+	sel     *hash.BitSelect
+	banks   []*Device
+	keyBits int
+	kind    Kind
+}
+
+// NewBanked builds 2^sel.Bits() partitions, each with perBank entries.
+func NewBanked(perBank, keyBits int, kind Kind, sel *hash.BitSelect) (*Banked, error) {
+	if sel == nil || sel.Bits() < 1 || sel.Bits() > 8 {
+		return nil, fmt.Errorf("cam: bank selector must produce 1..8 bits")
+	}
+	n := 1 << uint(sel.Bits())
+	b := &Banked{sel: sel, keyBits: keyBits, kind: kind}
+	for i := 0; i < n; i++ {
+		d, err := New(Config{Entries: perBank, KeyBits: keyBits, Kind: kind})
+		if err != nil {
+			return nil, err
+		}
+		b.banks = append(b.banks, d)
+	}
+	return b, nil
+}
+
+// Banks returns the partition count.
+func (b *Banked) Banks() int { return len(b.banks) }
+
+// Len returns the total stored entries (duplicates counted per copy).
+func (b *Banked) Len() int {
+	n := 0
+	for _, d := range b.banks {
+		n += d.Len()
+	}
+	return n
+}
+
+// Insert stores the record in every partition its key can match in.
+func (b *Banked) Insert(rec match.Record, priority int) error {
+	for _, idx := range b.sel.TernaryIndices(rec.Key) {
+		if err := b.banks[idx].Insert(rec, priority); err != nil {
+			return fmt.Errorf("bank %d: %w", idx, err)
+		}
+	}
+	return nil
+}
+
+// Search runs the two-phase lookup: the selector picks the partitions
+// (one, unless the search key masks selection bits) and only those
+// search. The winning result is the highest-priority match across the
+// searched partitions.
+func (b *Banked) Search(search bitutil.Ternary) Result {
+	best := Result{Index: -1}
+	bestPrio := -1
+	total := 0
+	for _, idx := range b.sel.TernaryIndices(search) {
+		r := b.banks[idx].Search(search)
+		total += r.Count
+		if r.Found {
+			if p := b.banks[idx].prio[r.Index]; p > bestPrio {
+				best, bestPrio = r, p
+			}
+		}
+	}
+	best.Count = total
+	return best
+}
+
+// Stats aggregates partition activity — the quantity that shows the
+// power saving: CellsActivated grows by one partition per search, not
+// the whole device.
+func (b *Banked) Stats() Stats {
+	var s Stats
+	for _, d := range b.banks {
+		st := d.Stats()
+		s.Searches += st.Searches
+		s.RowsActivated += st.RowsActivated
+		s.CellsActivated += st.CellsActivated
+		s.Inserts += st.Inserts
+		s.InsertMoves += st.InsertMoves
+		s.Deletes += st.Deletes
+		s.DeleteMoves += st.DeleteMoves
+	}
+	return s
+}
+
+// Verify checks every partition's ordering invariant.
+func (b *Banked) Verify() string {
+	for i, d := range b.banks {
+		if msg := d.Verify(); msg != "" {
+			return fmt.Sprintf("bank %d: %s", i, msg)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,248 @@
+package cam
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"caram/internal/bitutil"
+	"caram/internal/match"
+)
+
+func exact(key, data uint64) match.Record {
+	return match.Record{Key: bitutil.Exact(bitutil.FromUint64(key)), Data: bitutil.FromUint64(data)}
+}
+
+func tern(t *testing.T, s string, data uint64) match.Record {
+	t.Helper()
+	k, ok := bitutil.ParseTernary(s)
+	if !ok {
+		t.Fatalf("bad ternary %q", s)
+	}
+	return match.Record{Key: k, Data: bitutil.FromUint64(data)}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{Entries: 0, KeyBits: 32}).Validate(); err == nil {
+		t.Error("zero entries accepted")
+	}
+	if err := (Config{Entries: 4, KeyBits: 0}).Validate(); err == nil {
+		t.Error("zero key bits accepted")
+	}
+	if err := (Config{Entries: 4, KeyBits: 200}).Validate(); err == nil {
+		t.Error("oversized key accepted")
+	}
+	if err := (Config{Entries: 4, KeyBits: 64}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Binary.String() != "CAM" || Ternary.String() != "TCAM" {
+		t.Error("Kind names wrong")
+	}
+}
+
+func TestSearchExactAndMiss(t *testing.T) {
+	d := MustNew(Config{Entries: 8, KeyBits: 32})
+	for i := 0; i < 4; i++ {
+		if err := d.Append(exact(uint64(i*10), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := d.Search(bitutil.Exact(bitutil.FromUint64(20)))
+	if !res.Found || res.Record.Data.Uint64() != 2 || res.Count != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res := d.Search(bitutil.Exact(bitutil.FromUint64(99))); res.Found || res.Index != -1 {
+		t.Errorf("miss = %+v", res)
+	}
+	if d.Len() != 4 || d.Capacity() != 8 {
+		t.Error("Len/Capacity wrong")
+	}
+}
+
+func TestBinaryRejectsMask(t *testing.T) {
+	d := MustNew(Config{Entries: 2, KeyBits: 8, Kind: Binary})
+	if err := d.Insert(tern(t, "1XXX0000", 0), 4); err == nil {
+		t.Error("binary CAM accepted a masked key")
+	}
+	dt := MustNew(Config{Entries: 2, KeyBits: 8, Kind: Ternary})
+	if err := dt.Insert(tern(t, "1XXX0000", 0), 4); err != nil {
+		t.Errorf("ternary CAM rejected a masked key: %v", err)
+	}
+}
+
+func TestLPMPriority(t *testing.T) {
+	d := MustNew(Config{Entries: 8, KeyBits: 8, Kind: Ternary})
+	// Insert short prefix first, long second — priority must still give
+	// the long one on a multi-match.
+	short := tern(t, "11XXXXXX", 1)
+	long := tern(t, "1100XXXX", 2)
+	if err := d.Insert(short, short.Key.Specificity(8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(long, long.Key.Specificity(8)); err != nil {
+		t.Fatal(err)
+	}
+	if msg := d.Verify(); msg != "" {
+		t.Fatalf("Verify: %s", msg)
+	}
+	res := d.Search(bitutil.Exact(bitutil.FromUint64(0b11001111)))
+	if !res.Found || res.Record.Data.Uint64() != 2 || res.Count != 2 {
+		t.Fatalf("LPM = %+v", res)
+	}
+	// Only the short prefix covers 1111....
+	res = d.Search(bitutil.Exact(bitutil.FromUint64(0b11111111)))
+	if !res.Found || res.Record.Data.Uint64() != 1 {
+		t.Fatalf("short match = %+v", res)
+	}
+}
+
+func TestInsertMovesBounded(t *testing.T) {
+	d := MustNew(Config{Entries: 100, KeyBits: 8, Kind: Ternary})
+	// Fill groups 0..7, then insert at priority 8: at most one move per
+	// nonempty lower group.
+	for p := 0; p < 8; p++ {
+		for i := 0; i < 3; i++ {
+			if err := d.Insert(exact(uint64(p*16+i), 0), p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	before := d.Stats().InsertMoves
+	if err := d.Insert(exact(200, 0), 8); err != nil {
+		t.Fatal(err)
+	}
+	if moves := d.Stats().InsertMoves - before; moves > 8 {
+		t.Errorf("insert performed %d moves, want <= 8", moves)
+	}
+	if msg := d.Verify(); msg != "" {
+		t.Fatalf("Verify: %s", msg)
+	}
+}
+
+func TestErrFullAndBadPriority(t *testing.T) {
+	d := MustNew(Config{Entries: 1, KeyBits: 8})
+	if err := d.Append(exact(1, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Append(exact(2, 0)); !errors.Is(err, ErrFull) {
+		t.Errorf("full device: %v", err)
+	}
+	d2 := MustNew(Config{Entries: 4, KeyBits: 8})
+	if err := d2.Insert(exact(1, 0), -1); err == nil {
+		t.Error("negative priority accepted")
+	}
+	if err := d2.Insert(exact(1, 0), 1000); err == nil {
+		t.Error("huge priority accepted")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	d := MustNew(Config{Entries: 16, KeyBits: 8, Kind: Ternary})
+	recs := []match.Record{
+		tern(t, "11111111", 1), tern(t, "1111111X", 2),
+		tern(t, "111111XX", 3), tern(t, "11111XXX", 4),
+	}
+	for _, r := range recs {
+		if err := d.Insert(r, r.Key.Specificity(8)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Delete(recs[1].Key); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 3 {
+		t.Errorf("Len = %d", d.Len())
+	}
+	if msg := d.Verify(); msg != "" {
+		t.Fatalf("Verify after delete: %s", msg)
+	}
+	if err := d.Delete(recs[1].Key); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double delete: %v", err)
+	}
+	// Remaining records still searchable with right priority.
+	res := d.Search(bitutil.Exact(bitutil.FromUint64(0xff)))
+	if !res.Found || res.Record.Data.Uint64() != 1 {
+		t.Fatalf("post-delete search = %+v", res)
+	}
+}
+
+func TestActivityAccounting(t *testing.T) {
+	d := MustNew(Config{Entries: 32, KeyBits: 64})
+	d.Append(exact(1, 0))
+	d.Search(bitutil.Exact(bitutil.FromUint64(1)))
+	d.Search(bitutil.Exact(bitutil.FromUint64(2)))
+	s := d.Stats()
+	if s.Searches != 2 {
+		t.Errorf("Searches = %d", s.Searches)
+	}
+	// Full-device activity regardless of occupancy.
+	if s.RowsActivated != 64 || s.CellsActivated != 2*32*64 {
+		t.Errorf("activity = %+v", s)
+	}
+	d.ResetStats()
+	if d.Stats() != (Stats{}) {
+		t.Error("ResetStats did not zero")
+	}
+}
+
+func TestEntryAccessor(t *testing.T) {
+	d := MustNew(Config{Entries: 4, KeyBits: 8})
+	d.Append(exact(5, 50))
+	if r, ok := d.Entry(0); !ok || r.Data.Uint64() != 50 {
+		t.Errorf("Entry(0) = %+v, %v", r, ok)
+	}
+	if _, ok := d.Entry(1); ok {
+		t.Error("Entry past total")
+	}
+	if _, ok := d.Entry(-1); ok {
+		t.Error("Entry(-1)")
+	}
+}
+
+// Randomized ordering test: random priorities, interleaved deletes; the
+// invariant must hold throughout and search must always return a
+// highest-priority match.
+func TestRandomOpsKeepInvariant(t *testing.T) {
+	d := MustNew(Config{Entries: 64, KeyBits: 16, Kind: Ternary})
+	rng := rand.New(rand.NewSource(3))
+	type live struct {
+		key  bitutil.Ternary
+		prio int
+	}
+	var stored []live
+	for op := 0; op < 500; op++ {
+		if rng.Intn(3) != 0 || len(stored) == 0 {
+			if d.Len() == d.Capacity() {
+				continue
+			}
+			k := bitutil.Exact(bitutil.FromUint64(uint64(op)).Trunc(16))
+			p := rng.Intn(17)
+			if err := d.Insert(match.Record{Key: k}, p); err != nil {
+				t.Fatal(err)
+			}
+			stored = append(stored, live{k, p})
+		} else {
+			i := rng.Intn(len(stored))
+			if err := d.Delete(stored[i].key); err != nil {
+				t.Fatalf("op %d: delete: %v", op, err)
+			}
+			stored = append(stored[:i], stored[i+1:]...)
+		}
+		if msg := d.Verify(); msg != "" {
+			t.Fatalf("op %d: %s", op, msg)
+		}
+	}
+	// Physical order must equal a stable sort by descending priority.
+	var prios []int
+	for i := 0; i < d.Len(); i++ {
+		_, _ = d.Entry(i)
+		prios = append(prios, d.prio[i])
+	}
+	if !sort.SliceIsSorted(prios, func(i, j int) bool { return prios[i] > prios[j] }) {
+		t.Error("entries not in descending priority order")
+	}
+}

@@ -1,0 +1,169 @@
+package caram
+
+import (
+	"fmt"
+	"sort"
+
+	"caram/internal/bitutil"
+	"caram/internal/match"
+)
+
+// Massive data evaluation and modification (§1, §3.1): because the
+// match logic is decoupled from the memory array, a CA-RAM can stream
+// its rows through the match processors and evaluate or transform
+// every matching record — the capability the paper contrasts against
+// CAM, whose per-row logic does comparison only. Each row costs one
+// read (plus one write when modified), so a whole-database pass is
+// Rows() accesses regardless of the predicate.
+
+// CountWhere returns how many stored records match the (possibly
+// masked) search key, streaming the whole array through the match
+// processors.
+func (s *Slice) CountWhere(search bitutil.Ternary) int {
+	n := 0
+	for b := 0; b < s.cfg.Rows(); b++ {
+		row := s.array.ReadRow(uint32(b))
+		res := s.proc.Search(row, search)
+		n += res.Count
+	}
+	return n
+}
+
+// SelectWhere returns every stored record matching the search key, in
+// bucket/slot order.
+func (s *Slice) SelectWhere(search bitutil.Ternary) []match.Record {
+	var out []match.Record
+	for b := 0; b < s.cfg.Rows(); b++ {
+		row := s.array.ReadRow(uint32(b))
+		out = append(out, s.proc.SearchAll(row, search)...)
+	}
+	return out
+}
+
+// UpdateWhere applies fn to the data field of every record matching
+// the search key, writing each modified row back once. It returns the
+// number of records updated.
+func (s *Slice) UpdateWhere(search bitutil.Ternary, fn func(match.Record) bitutil.Vec128) int {
+	updated := 0
+	for b := 0; b < s.cfg.Rows(); b++ {
+		row := s.array.ReadRow(uint32(b))
+		res := s.proc.Search(row, search)
+		if res.Count == 0 {
+			continue
+		}
+		wrow := s.array.RowForUpdate(uint32(b))
+		for i := 0; i < s.layout.Slots(); i++ {
+			if res.Vector[i/64]>>uint(i%64)&1 == 0 {
+				continue
+			}
+			rec, _ := s.layout.ReadSlot(wrow, i)
+			rec.Data = fn(rec)
+			if err := s.layout.WriteSlot(wrow, i, rec); err != nil {
+				// Unreachable: the record came from this layout.
+				panic(fmt.Sprintf("caram: UpdateWhere rewrite: %v", err))
+			}
+			updated++
+		}
+	}
+	return updated
+}
+
+// DeleteWhere removes every record matching the search key and returns
+// how many were removed. Placement bookkeeping is rebuilt afterwards,
+// since bulk deletion invalidates the incremental spill counters.
+func (s *Slice) DeleteWhere(search bitutil.Ternary) int {
+	deleted := 0
+	for b := 0; b < s.cfg.Rows(); b++ {
+		row := s.array.ReadRow(uint32(b))
+		res := s.proc.Search(row, search)
+		if res.Count == 0 {
+			continue
+		}
+		wrow := s.array.RowForUpdate(uint32(b))
+		for i := 0; i < s.layout.Slots(); i++ {
+			if res.Vector[i/64]>>uint(i%64)&1 == 1 {
+				s.layout.ClearSlot(wrow, i)
+				deleted++
+			}
+		}
+	}
+	if deleted > 0 {
+		s.count -= deleted
+		s.rebuildPlacement()
+	}
+	return deleted
+}
+
+// rebuildPlacement recomputes homeLoad/overflow/spilled from the
+// array's contents. Valid only when every record's home is its key's
+// index (i.e. not after foreign InsertAt placements).
+func (s *Slice) rebuildPlacement() {
+	for i := range s.homeLoad {
+		s.homeLoad[i] = 0
+		s.overflow[i] = false
+	}
+	s.spilled = 0
+	if s.foreign {
+		return // homes unknowable; leave counters cleared
+	}
+	rows := s.cfg.Rows()
+	s.Records(func(bucket uint32, slot int, rec match.Record) bool {
+		home := s.Index(rec.Key.Value)
+		s.homeLoad[home]++
+		if bucket != home {
+			s.spilled++
+			s.overflow[home] = true
+			d := (int(bucket) - int(home) + rows) % rows
+			s.raiseReach(home, uint64(d))
+		}
+		return true
+	})
+}
+
+// BuildFromRecords bulk-loads a database: records are placed in
+// priority order (descending score when score is non-nil, so the
+// priority encoder resolves multi-matches the way the application
+// wants) after clearing the slice. This is the §3.2 database
+// construction path, the software analogue of a DMA fill. It returns
+// the number of records that could not be placed.
+func (s *Slice) BuildFromRecords(records []match.Record, score func(match.Record) int) int {
+	s.Clear()
+	ordered := append([]match.Record(nil), records...)
+	if score != nil {
+		sort.SliceStable(ordered, func(i, j int) bool { return score(ordered[i]) > score(ordered[j]) })
+	}
+	unplaced := 0
+	for _, rec := range ordered {
+		if err := s.Insert(rec); err != nil {
+			unplaced++
+		}
+	}
+	return unplaced
+}
+
+// Image returns a copy of the slice's raw storage — the bit-for-bit
+// database image RAM mode exposes for DMA-style copies (§3.2).
+func (s *Slice) Image() []uint64 {
+	out := make([]uint64, s.array.Words())
+	for w := 0; w < s.array.Words(); w++ {
+		out[w] = s.array.ReadWord(w)
+	}
+	return out
+}
+
+// LoadImage installs a raw storage image produced by Image on a slice
+// with identical geometry, rebuilding the placement bookkeeping. The
+// receiving slice must use the same layout and index generator for the
+// counters to be meaningful.
+func (s *Slice) LoadImage(img []uint64) error {
+	if len(img) != s.array.Words() {
+		return fmt.Errorf("caram: image of %d words for an array of %d", len(img), s.array.Words())
+	}
+	for w, v := range img {
+		s.array.WriteWord(w, v)
+	}
+	s.count = 0
+	s.Records(func(uint32, int, match.Record) bool { s.count++; return true })
+	s.rebuildPlacement()
+	return nil
+}

@@ -1,0 +1,79 @@
+package caram
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Portable database images (§3.2: "If the 'hashed' database already
+// exists at other memory location or in hard disk, the construction of
+// a CA-RAM database can be done via a series of memory copy operations
+// or using an existing DMA mechanism"). WriteImage serializes the raw
+// array plus a geometry header; ReadImage validates the header against
+// the receiving slice and installs the image, rebuilding placement
+// bookkeeping.
+
+// imageMagic identifies a CA-RAM image stream.
+const imageMagic = 0x4341_5241_4D31 // "CARAM1"
+
+// imageHeader pins the geometry an image was built for.
+type imageHeader struct {
+	Magic    uint64
+	Rows     uint64
+	RowBits  uint64
+	KeyBits  uint32
+	DataBits uint32
+	AuxBits  uint32
+	Flags    uint32 // bit 0: ternary
+	Words    uint64
+}
+
+func (s *Slice) header() imageHeader {
+	h := imageHeader{
+		Magic:    imageMagic,
+		Rows:     uint64(s.cfg.Rows()),
+		RowBits:  uint64(s.cfg.RowBits),
+		KeyBits:  uint32(s.cfg.KeyBits),
+		DataBits: uint32(s.cfg.DataBits),
+		AuxBits:  uint32(s.layout.AuxBits),
+		Words:    uint64(s.array.Words()),
+	}
+	if s.cfg.Ternary {
+		h.Flags |= 1
+	}
+	return h
+}
+
+// WriteImage writes the slice's database image to w.
+func (s *Slice) WriteImage(w io.Writer) error {
+	if err := binary.Write(w, binary.LittleEndian, s.header()); err != nil {
+		return fmt.Errorf("caram: writing image header: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, s.Image()); err != nil {
+		return fmt.Errorf("caram: writing image body: %w", err)
+	}
+	return nil
+}
+
+// ReadImage loads an image produced by WriteImage into this slice. The
+// geometries must match exactly; the index generator is assumed
+// compatible (it is part of the application's contract, as the paper's
+// host-computed hashed databases assume the CA-RAM's generator).
+func (s *Slice) ReadImage(r io.Reader) error {
+	var h imageHeader
+	if err := binary.Read(r, binary.LittleEndian, &h); err != nil {
+		return fmt.Errorf("caram: reading image header: %w", err)
+	}
+	if h.Magic != imageMagic {
+		return fmt.Errorf("caram: not a CA-RAM image (magic %#x)", h.Magic)
+	}
+	if want := s.header(); h != want {
+		return fmt.Errorf("caram: image geometry %+v does not match slice %+v", h, want)
+	}
+	img := make([]uint64, h.Words)
+	if err := binary.Read(r, binary.LittleEndian, img); err != nil {
+		return fmt.Errorf("caram: reading image body: %w", err)
+	}
+	return s.LoadImage(img)
+}

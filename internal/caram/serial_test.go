@@ -1,0 +1,67 @@
+package caram
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"caram/internal/bitutil"
+	"caram/internal/hash"
+)
+
+func TestImageSerializationRoundTrip(t *testing.T) {
+	src := filledSlice(t, 200)
+	var buf bytes.Buffer
+	if err := src.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := MustNew(src.Config())
+	if err := dst.ReadImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Count() != src.Count() {
+		t.Fatalf("count %d, want %d", dst.Count(), src.Count())
+	}
+	for i := 0; i < 200; i += 7 {
+		res := dst.Lookup(bitutil.Exact(bitutil.FromUint64(uint64(i))))
+		if !res.Found || res.Record.Data.Uint64() != uint64(i%100) {
+			t.Fatalf("record %d lost over serialization", i)
+		}
+	}
+	if msg := dst.Verify(); msg != "" {
+		t.Errorf("Verify: %s", msg)
+	}
+}
+
+func TestReadImageRejectsGarbageAndMismatch(t *testing.T) {
+	s := filledSlice(t, 10)
+	// Garbage stream.
+	if err := s.ReadImage(strings.NewReader("not an image at all, sorry")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Truncated stream.
+	var buf bytes.Buffer
+	if err := s.WriteImage(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := bytes.NewReader(buf.Bytes()[:buf.Len()/2])
+	if err := s.ReadImage(trunc); err == nil {
+		t.Error("truncated image accepted")
+	}
+	// Geometry mismatch.
+	var buf2 bytes.Buffer
+	if err := s.WriteImage(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	bigger := MustNew(Config{
+		IndexBits: 7,
+		RowBits:   s.Config().RowBits,
+		KeyBits:   s.Config().KeyBits,
+		DataBits:  s.Config().DataBits,
+		Index:     hash.LowBits(7),
+	})
+	if err := bigger.ReadImage(&buf2); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}

@@ -1,0 +1,354 @@
+package caram
+
+import (
+	"fmt"
+
+	"caram/internal/bitutil"
+	"caram/internal/match"
+	"caram/internal/mem"
+)
+
+// Slice is one CA-RAM slice (Figure 3). It owns its memory array and
+// match processors; higher-level structure (multiple slices, overflow
+// areas, request queues) lives in the subsystem package.
+//
+// A Slice is not safe for concurrent use; the subsystem serializes
+// access per slice, exactly as the hardware's single row port does.
+type Slice struct {
+	cfg    Config
+	layout match.Layout
+	array  *mem.Array
+	proc   *match.Processor
+
+	count    int     // records stored
+	homeLoad []int32 // records hashing to each bucket (pre-spill), Figure 7's quantity
+	overflow []bool  // buckets from which at least one record spilled
+	spilled  int     // records placed outside their home bucket
+	foreign  bool    // InsertAt was used with a home != Index(key)
+	stats    Stats
+}
+
+// New builds a slice from a validated configuration.
+func New(cfg Config) (*Slice, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	layout := cfg.layout()
+	array, err := mem.New(mem.Config{
+		Rows:    cfg.Rows(),
+		RowBits: cfg.RowBits,
+		Tech:    cfg.Tech,
+		Timing:  cfg.Timing,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Slice{
+		cfg:      cfg,
+		layout:   layout,
+		array:    array,
+		proc:     match.NewProcessor(layout, cfg.MatchProcessors),
+		homeLoad: make([]int32, cfg.Rows()),
+		overflow: make([]bool, cfg.Rows()),
+	}, nil
+}
+
+// MustNew is New that panics on error, for static configurations.
+func MustNew(cfg Config) *Slice {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Config returns the slice configuration.
+func (s *Slice) Config() Config { return s.cfg }
+
+// Layout returns the row layout.
+func (s *Slice) Layout() match.Layout { return s.layout }
+
+// Array exposes the underlying memory array — the RAM-mode view of
+// §3.2 (scratch-pad access, bulk database construction, memory tests).
+func (s *Slice) Array() *mem.Array { return s.array }
+
+// Count returns the number of stored records (duplicated ternary
+// records count once per copy, as they each occupy a slot).
+func (s *Slice) Count() int { return s.count }
+
+// LoadFactor returns α = N / (M*S).
+func (s *Slice) LoadFactor() float64 {
+	return float64(s.count) / float64(s.cfg.Capacity())
+}
+
+// Index computes the home bucket for a key via the configured index
+// generator, reduced modulo the row count when TotalRows is in use.
+func (s *Slice) Index(key bitutil.Vec128) uint32 {
+	idx := s.cfg.Index.Index(key)
+	if rows := uint32(s.cfg.Rows()); idx >= rows {
+		idx %= rows
+	}
+	return idx
+}
+
+// Insert stores a record in the bucket chosen by the index generator,
+// spilling to subsequent buckets by linear probing when the home bucket
+// is full (§2.1). The home row's auxiliary field is raised to cover the
+// record's displacement so later searches know how far to reach.
+func (s *Slice) Insert(rec match.Record) error {
+	return s.InsertAt(s.Index(rec.Key.Value), rec)
+}
+
+// InsertAt stores a record with an explicit home bucket. Applications
+// use this to duplicate ternary records whose don't-care bits overlap
+// the hash bits (§4): each copy is a separate InsertAt.
+func (s *Slice) InsertAt(home uint32, rec match.Record) error {
+	_, err := s.Place(home, rec)
+	return err
+}
+
+// Place is InsertAt reporting the record's displacement from its home
+// bucket — the per-record quantity behind the AMAL analyses of §4
+// (a record displaced by d costs 1+d accesses to look up).
+func (s *Slice) Place(home uint32, rec match.Record) (displacement int, err error) {
+	if int(home) >= s.cfg.Rows() {
+		return 0, fmt.Errorf("caram: home bucket %d out of range", home)
+	}
+	if home != s.Index(rec.Key.Value) {
+		s.foreign = true
+	}
+	if !s.cfg.AllowDuplicates {
+		if _, _, _, found := s.locate(home, rec.Key); found {
+			return 0, ErrExists
+		}
+	}
+	rows := s.cfg.Rows()
+	limit := s.cfg.probeLimit()
+	// A displacement the aux field cannot record would make the record
+	// unreachable, so the reach counter's capacity bounds probing too.
+	if maxAux := int(uint64(1)<<uint(s.layout.AuxBits) - 1); limit > maxAux {
+		limit = maxAux
+	}
+	s.homeLoad[home]++
+	for d := 0; d <= limit && d < rows; d++ {
+		idx := uint32((int(home) + d) % rows)
+		row := s.array.ReadRow(idx)
+		s.stats.InsertProbes++
+		slot := s.freeSlot(row)
+		if slot < 0 {
+			continue
+		}
+		wrow := s.array.RowForUpdate(idx)
+		if err := s.layout.WriteSlot(wrow, slot, rec); err != nil {
+			return 0, err
+		}
+		s.count++
+		s.stats.Inserts++
+		if d > 0 {
+			s.spilled++
+			s.overflow[home] = true
+			s.raiseReach(home, uint64(d))
+		}
+		return d, nil
+	}
+	s.homeLoad[home]--
+	return 0, ErrFull
+}
+
+// freeSlot returns the first invalid slot in the row, or -1.
+func (s *Slice) freeSlot(row []uint64) int {
+	for i := 0; i < s.layout.Slots(); i++ {
+		if !s.layout.SlotValid(row, i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// raiseReach lifts the home bucket's auxiliary reach counter to at
+// least d, saturating at the field's capacity.
+func (s *Slice) raiseReach(home uint32, d uint64) {
+	row := s.array.PeekRow(home) // metadata maintenance, not a charged access
+	max := uint64(1)<<uint(s.layout.AuxBits) - 1
+	if d > max {
+		d = max
+	}
+	if s.layout.ReadAux(row) < d {
+		s.layout.WriteAux(row, d)
+	}
+}
+
+// Reach returns the overflow reach recorded for a bucket.
+func (s *Slice) Reach(bucket uint32) int {
+	return int(s.layout.ReadAux(s.array.PeekRow(bucket)))
+}
+
+// LookupResult reports the outcome of a search.
+type LookupResult struct {
+	Found      bool
+	Record     match.Record
+	RowsRead   int  // buckets examined — the per-lookup AMAL contribution
+	Multi      bool // more than one slot matched in the winning bucket
+	HomeBucket uint32
+}
+
+// Lookup searches for a key: one access to the home bucket, then — only
+// if the bucket had overflowed — subsequent buckets up to the recorded
+// reach. The search key may carry don't-care bits (search-key masking);
+// stored ternary masks are honored per Figure 4(b). The first match in
+// probe order wins, so insertion order defines priority.
+func (s *Slice) Lookup(search bitutil.Ternary) LookupResult {
+	home := s.Index(search.Value)
+	res := LookupResult{HomeBucket: home}
+	rows := s.cfg.Rows()
+	reach := 0
+	for d := 0; d <= reach && d < rows; d++ {
+		idx := uint32((int(home) + d) % rows)
+		row := s.array.ReadRow(idx)
+		res.RowsRead++
+		if d == 0 {
+			reach = int(s.layout.ReadAux(row))
+		}
+		m := s.proc.Search(row, search)
+		if m.Matched() {
+			res.Found = true
+			res.Record = m.Record
+			res.Multi = m.Multi()
+			break
+		}
+	}
+	s.recordLookup(res)
+	return res
+}
+
+// LookupBest searches the full reach of the bucket chain and returns
+// the matching record with the highest score (ties to the earliest
+// match). This is the LPM-style search: a longer prefix may live
+// anywhere within the reach, so early exit is not sound.
+func (s *Slice) LookupBest(search bitutil.Ternary, score func(match.Record) int) LookupResult {
+	home := s.Index(search.Value)
+	res := LookupResult{HomeBucket: home}
+	rows := s.cfg.Rows()
+	reach := 0
+	bestScore := 0
+	for d := 0; d <= reach && d < rows; d++ {
+		idx := uint32((int(home) + d) % rows)
+		row := s.array.ReadRow(idx)
+		res.RowsRead++
+		if d == 0 {
+			reach = int(s.layout.ReadAux(row))
+		}
+		if rec, ok := s.proc.Best(row, search, score); ok {
+			if sc := score(rec); !res.Found || sc > bestScore {
+				res.Found, res.Record, bestScore = true, rec, sc
+			}
+		}
+	}
+	s.recordLookup(res)
+	return res
+}
+
+func (s *Slice) recordLookup(res LookupResult) {
+	s.stats.Lookups++
+	s.stats.RowsAccessed += uint64(res.RowsRead)
+	if res.Found {
+		s.stats.Hits++
+	} else {
+		s.stats.Misses++
+	}
+}
+
+// locate finds the bucket and slot holding a key (exact ternary
+// equality, not match semantics), scanning the home bucket's reach.
+func (s *Slice) locate(home uint32, key bitutil.Ternary) (bucket uint32, slot, rowsRead int, found bool) {
+	rows := s.cfg.Rows()
+	reach := s.Reach(home)
+	for d := 0; d <= reach && d < rows; d++ {
+		idx := uint32((int(home) + d) % rows)
+		row := s.array.PeekRow(idx)
+		rowsRead++
+		for i := 0; i < s.layout.Slots(); i++ {
+			rec, ok := s.layout.ReadSlot(row, i)
+			if ok && rec.Key.Equal(key) {
+				return idx, i, rowsRead, true
+			}
+		}
+	}
+	return 0, 0, rowsRead, false
+}
+
+// Delete removes the record with exactly this key (value and mask).
+// The home bucket's reach is left as-is — conservative but correct, as
+// the paper's insert/delete maintenance via auxiliary bits implies.
+func (s *Slice) Delete(key bitutil.Ternary) error {
+	return s.DeleteAt(s.Index(key.Value), key)
+}
+
+// DeleteAt removes a record given its explicit home bucket (the
+// duplicated-ternary-record counterpart of InsertAt).
+func (s *Slice) DeleteAt(home uint32, key bitutil.Ternary) error {
+	if int(home) >= s.cfg.Rows() {
+		return fmt.Errorf("caram: home bucket %d out of range", home)
+	}
+	bucket, slot, _, found := s.locate(home, key)
+	if !found {
+		return ErrNotFound
+	}
+	row := s.array.RowForUpdate(bucket)
+	s.layout.ClearSlot(row, slot)
+	s.count--
+	s.stats.Deletes++
+	if s.homeLoad[home] > 0 {
+		s.homeLoad[home]--
+	}
+	return nil
+}
+
+// Update replaces the data of an existing record in place (one
+// read-modify-write of its row).
+func (s *Slice) Update(key bitutil.Ternary, data bitutil.Vec128) error {
+	home := s.Index(key.Value)
+	bucket, slot, _, found := s.locate(home, key)
+	if !found {
+		return ErrNotFound
+	}
+	row := s.array.RowForUpdate(bucket)
+	rec, _ := s.layout.ReadSlot(row, slot)
+	rec.Data = data
+	return s.layout.WriteSlot(row, slot, rec)
+}
+
+// Contains reports whether the exact key is stored, without touching
+// the lookup statistics.
+func (s *Slice) Contains(key bitutil.Ternary) bool {
+	_, _, _, found := s.locate(s.Index(key.Value), key)
+	return found
+}
+
+// Records calls fn for every stored record in bucket/slot order,
+// stopping early if fn returns false. It reads via PeekRow and charges
+// no accesses (a diagnostic, not a hardware operation).
+func (s *Slice) Records(fn func(bucket uint32, slot int, rec match.Record) bool) {
+	for b := 0; b < s.cfg.Rows(); b++ {
+		row := s.array.PeekRow(uint32(b))
+		for i := 0; i < s.layout.Slots(); i++ {
+			if rec, ok := s.layout.ReadSlot(row, i); ok {
+				if !fn(uint32(b), i, rec) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// Clear empties the slice and resets placement bookkeeping (statistics
+// are kept; use ResetStats separately).
+func (s *Slice) Clear() {
+	s.array.Clear()
+	s.count = 0
+	s.spilled = 0
+	for i := range s.homeLoad {
+		s.homeLoad[i] = 0
+		s.overflow[i] = false
+	}
+}

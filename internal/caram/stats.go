@@ -1,0 +1,141 @@
+package caram
+
+import (
+	"fmt"
+
+	"caram/internal/match"
+)
+
+// Stats accumulates slice activity. AMAL — the average number of
+// memory accesses per lookup, the paper's main performance metric — is
+// derived from Lookups and RowsAccessed.
+type Stats struct {
+	Lookups      uint64
+	RowsAccessed uint64
+	Hits         uint64
+	Misses       uint64
+	Inserts      uint64
+	InsertProbes uint64
+	Deletes      uint64
+}
+
+// AMAL returns the average number of memory accesses per lookup, or 0
+// when no lookups have been recorded.
+func (s Stats) AMAL() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.RowsAccessed) / float64(s.Lookups)
+}
+
+// HitRate returns the fraction of lookups that found a record.
+func (s Stats) HitRate() float64 {
+	if s.Lookups == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Lookups)
+}
+
+// Stats returns a snapshot of the slice's activity counters.
+func (s *Slice) Stats() Stats { return s.stats }
+
+// ResetStats zeroes activity counters on the slice, its array and its
+// match processors (placement bookkeeping — load factor, spill counts —
+// is preserved, since it describes the stored database, not activity).
+func (s *Slice) ResetStats() {
+	s.stats = Stats{}
+	s.array.ResetStats()
+	s.proc.ResetStats()
+}
+
+// PlacementSummary describes how the stored database landed in the
+// hash table — the quantities of Tables 2 and 3.
+type PlacementSummary struct {
+	Records            int     // records stored
+	Capacity           int     // M*S
+	LoadFactor         float64 // α
+	OverflowingBuckets int     // home buckets that spilled at least one record
+	OverflowingPct     float64 // as % of all buckets
+	SpilledRecords     int     // records placed outside their home bucket
+	SpilledPct         float64 // as % of all records
+	MaxReach           int     // worst displacement recorded in any aux field
+}
+
+// Placement computes the placement summary for the current contents.
+func (s *Slice) Placement() PlacementSummary {
+	p := PlacementSummary{
+		Records:        s.count,
+		Capacity:       s.cfg.Capacity(),
+		LoadFactor:     s.LoadFactor(),
+		SpilledRecords: s.spilled,
+	}
+	for b, ov := range s.overflow {
+		if ov {
+			p.OverflowingBuckets++
+		}
+		if r := s.Reach(uint32(b)); r > p.MaxReach {
+			p.MaxReach = r
+		}
+	}
+	if rows := s.cfg.Rows(); rows > 0 {
+		p.OverflowingPct = 100 * float64(p.OverflowingBuckets) / float64(rows)
+	}
+	if s.count > 0 {
+		p.SpilledPct = 100 * float64(s.spilled) / float64(s.count)
+	}
+	return p
+}
+
+// HomeLoads returns, for each bucket, the number of records that hash
+// to it (before any spilling) — the distribution Figure 7 plots. The
+// returned slice is a copy.
+func (s *Slice) HomeLoads() []int32 {
+	out := make([]int32, len(s.homeLoad))
+	copy(out, s.homeLoad)
+	return out
+}
+
+// Verify checks the slice's internal invariants and returns a
+// description of the first violation, or "" if all hold:
+//
+//  1. Count equals the number of valid slots.
+//  2. homeLoad sums to Count.
+//  3. Every record whose key hashes to a home bucket (the Insert path)
+//     sits within that bucket's recorded reach, so Lookup can find it.
+//
+// Records placed via InsertAt with a foreign home bucket (duplicated
+// ternary records) are exempt from check 3; their reachability is the
+// application's contract.
+func (s *Slice) Verify() string {
+	valid := 0
+	violation := ""
+	rows := s.cfg.Rows()
+	s.Records(func(bucket uint32, slot int, rec match.Record) bool {
+		valid++
+		if s.foreign {
+			return true // placement homes unknown; skip reachability
+		}
+		home := s.Index(rec.Key.Value)
+		d := (int(bucket) - int(home) + rows) % rows
+		if d > s.Reach(home) {
+			violation = fmt.Sprintf("record at bucket %d slot %d: displacement %d exceeds home %d reach %d",
+				bucket, slot, d, home, s.Reach(home))
+			return false
+		}
+		return true
+	})
+	if violation != "" {
+		return violation
+	}
+	if valid != s.count {
+		return fmt.Sprintf("count %d but %d valid slots", s.count, valid)
+	}
+	sum := int32(0)
+	for _, l := range s.homeLoad {
+		sum += l
+	}
+	if int(sum) != s.count {
+		return fmt.Sprintf("homeLoad sums to %d, count is %d", sum, s.count)
+	}
+	return ""
+}

@@ -1,0 +1,142 @@
+package cost
+
+// The Figure 6 and Figure 8 computations. Figure 6 compares storage
+// schemes on a fixed configuration (16 CA-RAM slices of 64K cells —
+// 2^20 cells total — with the prototype's 1600-bit rows); Figure 8
+// compares full application designs, which the iproute and trigram
+// packages parameterize.
+
+// Fig6Config is the §3.4 comparison configuration.
+type Fig6Config struct {
+	Cells   float64 // total ternary symbols (2 bits each in CA-RAM)
+	RowBits float64 // bits fetched per CA-RAM search
+	Slots   float64 // keys matched per CA-RAM search
+	RateHz  float64 // search rate applied to every scheme
+}
+
+// DefaultFig6 mirrors the paper: one slice per 64K cells, 16 slices,
+// 1600-bit rows holding 25 64-bit keys, searching at the TCAM's
+// 143 MHz.
+var DefaultFig6 = Fig6Config{
+	Cells:   1 << 20,
+	RowBits: 1600,
+	Slots:   25,
+	RateHz:  143e6,
+}
+
+// SchemeComparison is one bar of Figure 6: a scheme's absolute cell
+// area and power, and both relative to ternary DRAM CA-RAM.
+type SchemeComparison struct {
+	Name          string
+	CellUm2       float64
+	RelativeArea  float64 // scheme / CA-RAM (Figure 6a)
+	Power         float64
+	RelativePower float64 // scheme / CA-RAM (Figure 6b)
+}
+
+// Fig6Comparison computes Figure 6(a) and 6(b) for the three published
+// TCAM cells against a DRAM-based ternary CA-RAM.
+func Fig6Comparison(m EnergyModel, cfg Fig6Config) []SchemeComparison {
+	caramCell := CARAMCellUm2(EDRAM, true) // per ternary symbol
+	// CA-RAM stores 2 bits per ternary symbol.
+	caramPower := m.CARAMSearchPower(cfg.RowBits, cfg.Slots, 2*cfg.Cells, cfg.RateHz)
+	out := []SchemeComparison{
+		{
+			Name:          "CA-RAM (DRAM, ternary)",
+			CellUm2:       caramCell,
+			RelativeArea:  1,
+			Power:         caramPower,
+			RelativePower: 1,
+		},
+	}
+	for _, k := range []CellKind{TCAM6T, TCAM8T, TCAM16T} {
+		p := m.CAMSearchPower(k, cfg.Cells, cfg.RateHz)
+		out = append(out, SchemeComparison{
+			Name:          k.String(),
+			CellUm2:       CellAreaUm2(k),
+			RelativeArea:  CellAreaUm2(k) / caramCell,
+			Power:         p,
+			RelativePower: p / caramPower,
+		})
+	}
+	return out
+}
+
+// Area helpers for Figure 8.
+
+// TCAMAreaMM2 returns the macro area of a TCAM holding the given
+// number of ternary symbols.
+func TCAMAreaMM2(symbols float64) float64 {
+	return symbols * CellAreaUm2(TCAM6T) * MacroCAM / 1e6
+}
+
+// BinaryCAMAreaMM2 returns the macro area of a binary CAM holding the
+// given number of bits.
+func BinaryCAMAreaMM2(bits float64) float64 {
+	return bits * CellAreaUm2(CAMStacked) * MacroCAM / 1e6
+}
+
+// CARAMAreaMM2 returns the macro area of a DRAM CA-RAM storing the
+// given number of physical bits (ternary symbols already count 2 bits).
+func CARAMAreaMM2(bits float64) float64 {
+	return bits * CellAreaUm2(EDRAM) * MatchOverhead * MacroDRAM / 1e6
+}
+
+// CARAMLoadAdjustedAreaMM2 applies the paper's Figure 8 accounting:
+// "we take into account the load factor for area calculation" — the
+// array is charged only for the fraction it actually fills.
+func CARAMLoadAdjustedAreaMM2(capacityBits, loadFactor float64) float64 {
+	return CARAMAreaMM2(capacityBits * loadFactor)
+}
+
+// AppComparison is one application's Figure 8 pairing.
+type AppComparison struct {
+	App             string
+	Baseline        string // "TCAM" or "CAM"
+	BaselineAreaMM2 float64
+	CARAMAreaMM2    float64
+	AreaRatio       float64 // CA-RAM / baseline
+	AreaSavingPct   float64 // 100*(1 - ratio)
+	BaselinePower   float64
+	CARAMPower      float64
+	PowerSavingPct  float64 // 0 when the paper declines to compare
+	PowerCompared   bool
+}
+
+// Fig8Params parameterizes one application comparison.
+type Fig8Params struct {
+	App            string
+	BaselineKind   CellKind // TCAM6T or CAMStacked
+	BaselineCells  float64  // symbols (TCAM) or bits (CAM)
+	BaselineRateHz float64
+	CapacityBits   float64 // CA-RAM physical capacity
+	LoadFactor     float64
+	BucketBits     float64 // bits fetched+matched per search
+	Slots          float64 // keys compared per search
+	CARAMRateHz    float64
+	ComparePower   bool
+}
+
+// Fig8 computes one bar pair of Figure 8.
+func Fig8(m EnergyModel, p Fig8Params) AppComparison {
+	c := AppComparison{
+		App:          p.App,
+		Baseline:     "TCAM",
+		CARAMAreaMM2: CARAMLoadAdjustedAreaMM2(p.CapacityBits, p.LoadFactor),
+	}
+	if p.BaselineKind == CAMStacked {
+		c.Baseline = "CAM"
+		c.BaselineAreaMM2 = BinaryCAMAreaMM2(p.BaselineCells)
+	} else {
+		c.BaselineAreaMM2 = TCAMAreaMM2(p.BaselineCells)
+	}
+	c.AreaRatio = c.CARAMAreaMM2 / c.BaselineAreaMM2
+	c.AreaSavingPct = 100 * (1 - c.AreaRatio)
+	if p.ComparePower {
+		c.PowerCompared = true
+		c.BaselinePower = m.CAMSearchPower(p.BaselineKind, p.BaselineCells, p.BaselineRateHz)
+		c.CARAMPower = m.CARAMSearchPower(p.BucketBits, p.Slots, p.CapacityBits, p.CARAMRateHz)
+		c.PowerSavingPct = 100 * (1 - c.CARAMPower/c.BaselinePower)
+	}
+	return c
+}

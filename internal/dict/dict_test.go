@@ -1,0 +1,273 @@
+package dict
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"caram/internal/workload"
+)
+
+var sampleWords = []string{
+	"cat", "cot", "cut", "car", "cap", "can", "cane", "candle",
+	"bat", "bet", "bit", "but", "bad", "bed",
+	"dog", "dig", "dug", "den", "din",
+	"a", "an", "ant", "and",
+	"search", "searching", "matcher", "matching", "match",
+	"hash", "hashing", "bucket", "buckets",
+}
+
+func loaded(t *testing.T) *Dict {
+	t.Helper()
+	d := MustNew(Config{IndexBits: 6, Slots: 8})
+	for i, w := range sampleWords {
+		if err := d.Add(w, uint32(i+1)); err != nil {
+			t.Fatalf("Add(%q): %v", w, err)
+		}
+	}
+	return d
+}
+
+// naiveMatch applies the '?' pattern semantics directly.
+func naiveMatch(pattern string) []string {
+	var out []string
+	for _, w := range sampleWords {
+		if len(w) != len(pattern) {
+			continue
+		}
+		ok := true
+		for i := range w {
+			if pattern[i] != '?' && pattern[i] != w[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, w)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func words(ms []Match) []string {
+	out := make([]string, len(ms))
+	for i, m := range ms {
+		out[i] = m.Word
+	}
+	sort.Strings(out)
+	return out
+}
+
+func equal(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestExactLookup(t *testing.T) {
+	d := loaded(t)
+	if d.Len() != len(sampleWords) {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	for i, w := range sampleWords {
+		v, ok := d.Lookup(w)
+		if !ok || v != uint32(i+1) {
+			t.Fatalf("Lookup(%q) = %d, %v", w, v, ok)
+		}
+	}
+	if _, ok := d.Lookup("missing"); ok {
+		t.Error("phantom hit")
+	}
+	if _, ok := d.Lookup(""); ok {
+		t.Error("empty word matched")
+	}
+	// "cat" and "catx" are distinct; "ca" is not stored.
+	if _, ok := d.Lookup("ca"); ok {
+		t.Error("prefix matched as exact word")
+	}
+}
+
+func TestAddRemoveValidation(t *testing.T) {
+	d := MustNew(Config{})
+	if err := d.Add("", 1); err == nil {
+		t.Error("empty word accepted")
+	}
+	if err := d.Add(strings.Repeat("x", 16), 1); err == nil {
+		t.Error("16-char word accepted")
+	}
+	if err := d.Add("nul\x00word", 1); err == nil {
+		t.Error("NUL word accepted")
+	}
+	if err := d.Add("fine", 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Add("fine", 10); err == nil {
+		t.Error("duplicate accepted")
+	}
+	if err := d.Remove("fine"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Lookup("fine"); ok {
+		t.Error("removed word found")
+	}
+	if err := d.Remove("fine"); err == nil {
+		t.Error("double remove accepted")
+	}
+	if _, err := New(Config{IndexBits: 20}); err == nil {
+		t.Error("oversized IndexBits accepted")
+	}
+}
+
+func TestMatchPatternAnchored(t *testing.T) {
+	d := loaded(t)
+	cases := []string{"c?t", "ca?", "b?t", "d?g", "ma?ch", "c??", "hashing"}
+	for _, pat := range cases {
+		got, rows, err := d.MatchPattern(pat)
+		if err != nil {
+			t.Fatalf("MatchPattern(%q): %v", pat, err)
+		}
+		want := naiveMatch(pat)
+		if !equal(words(got), want) {
+			t.Errorf("MatchPattern(%q) = %v, want %v", pat, words(got), want)
+		}
+		if pat[0] != '?' && pat[1] != '?' && rows > 3 {
+			t.Errorf("anchored pattern %q cost %d rows", pat, rows)
+		}
+	}
+}
+
+func TestMatchPatternUnanchoredSweeps(t *testing.T) {
+	d := loaded(t)
+	got, rows, err := d.MatchPattern("?at")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := naiveMatch("?at")
+	if !equal(words(got), want) {
+		t.Errorf("MatchPattern(?at) = %v, want %v", words(got), want)
+	}
+	// A sweep reads every bucket.
+	if rows != d.Slice().Config().Rows() {
+		t.Errorf("sweep read %d rows, want %d", rows, d.Slice().Config().Rows())
+	}
+	// Fully wild single char.
+	got, _, err = d.MatchPattern("?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equal(words(got), []string{"a"}) {
+		t.Errorf("MatchPattern(?) = %v", words(got))
+	}
+	if _, _, err := d.MatchPattern(""); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if _, _, err := d.MatchPattern(strings.Repeat("?", 16)); err == nil {
+		t.Error("overlong pattern accepted")
+	}
+}
+
+func TestMatchPrefix(t *testing.T) {
+	d := loaded(t)
+	got, rows, err := d.MatchPrefix("ca")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []string
+	for _, w := range sampleWords {
+		if strings.HasPrefix(w, "ca") {
+			want = append(want, w)
+		}
+	}
+	sort.Strings(want)
+	if !equal(words(got), want) {
+		t.Errorf("MatchPrefix(ca) = %v, want %v", words(got), want)
+	}
+	if rows > 3 {
+		t.Errorf("anchored prefix cost %d rows", rows)
+	}
+	// One-character prefix sweeps.
+	got, _, err = d.MatchPrefix("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = want[:0]
+	for _, w := range sampleWords {
+		if strings.HasPrefix(w, "b") {
+			want = append(want, w)
+		}
+	}
+	sort.Strings(want)
+	if !equal(words(got), want) {
+		t.Errorf("MatchPrefix(b) = %v, want %v", words(got), want)
+	}
+}
+
+// A larger randomized cross-check against the naive matcher.
+func TestMatchPatternRandomized(t *testing.T) {
+	d := MustNew(Config{IndexBits: 8, Slots: 16})
+	rng := workload.NewRand(5)
+	vocab := map[string]uint32{}
+	letters := "abcdef"
+	for len(vocab) < 800 {
+		n := 2 + rng.Intn(5)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(letters[rng.Intn(len(letters))])
+		}
+		w := b.String()
+		if _, dup := vocab[w]; dup {
+			continue
+		}
+		v := uint32(len(vocab) + 1)
+		vocab[w] = v
+		if err := d.Add(w, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(5)
+		pat := make([]byte, n)
+		for i := range pat {
+			if rng.Intn(3) == 0 {
+				pat[i] = '?'
+			} else {
+				pat[i] = letters[rng.Intn(len(letters))]
+			}
+		}
+		got, _, err := d.MatchPattern(string(pat))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for w := range vocab {
+			if len(w) != n {
+				continue
+			}
+			ok := true
+			for i := range w {
+				if pat[i] != '?' && pat[i] != w[i] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("pattern %q: %d matches, want %d", pat, len(got), want)
+		}
+		for _, m := range got {
+			if vocab[m.Word] != m.Value {
+				t.Fatalf("pattern %q: wrong value for %q", pat, m.Word)
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"fmt"
+
+	"caram/internal/pktclass"
+	"caram/internal/trigram"
+)
+
+func init() {
+	Experiments = append(Experiments,
+		Experiment{"pktclass", "packet classification: ACL on TCAM vs CA-RAM + overflow engine", runPktClass},
+		Experiment{"svm", "§2.1 trade-off: S vs M at fixed capacity (trigram workload)", runSvsM},
+		Experiment{"probelimit", "probe-limit sensitivity: bounded probing vs unplaced records", runProbeLimit},
+	)
+}
+
+// --- Packet classification ---
+
+func runPktClass(sc Scale) (string, error) {
+	nRules := 4000 >> uint(sc.IPDrop/2)
+	rules := pktclass.GenerateRules(pktclass.GenRulesConfig{Rules: nRules, Seed: sc.Seed})
+	expanded := 0
+	for _, r := range rules {
+		expanded += r.ExpansionFactor()
+	}
+
+	tcam, err := pktclass.NewTCAMClassifier(rules, 0)
+	if err != nil {
+		return "", err
+	}
+	cc, err := pktclass.NewCARAMClassifier(rules, pktclass.CARAMConfig{IndexBits: 9, Slots: 64})
+	if err != nil {
+		return "", err
+	}
+	trace := pktclass.GenerateTrace(rules, 10000, 0.25, sc.Seed+1)
+	rows := 0
+	for _, p := range trace {
+		want := pktclass.Oracle(rules, p)
+		a := tcam.Classify(p)
+		b := cc.Classify(p)
+		if a.Matched != want.Matched || b.Matched != want.Matched ||
+			(want.Matched && (a.Priority != want.Priority || b.Priority != want.Priority)) {
+			return "", fmt.Errorf("pktclass: engines disagree with the oracle")
+		}
+		rows += b.RowsRead
+	}
+	main, ovfl := cc.Entries()
+	t := &Table{
+		Title:  "Packet classification: one ACL on both engines, verified against a linear oracle",
+		Header: []string{"Quantity", "value"},
+	}
+	t.AddRow("rules", nRules)
+	t.AddRow("ternary entries after range expansion", expanded)
+	t.AddRow("TCAM entries", tcam.Entries())
+	t.AddRow("CA-RAM entries (hashed array)", main)
+	t.AddRow("overflow TCAM entries", fmt.Sprintf("%d (%.1f%%)", ovfl, 100*float64(ovfl)/float64(main+ovfl)))
+	t.AddRow("CA-RAM row accesses per packet", f3(float64(rows)/float64(len(trace))))
+	st := tcam.Stats()
+	t.AddRow("TCAM cells activated per search", st.CellsActivated/st.Searches)
+	t.Note("every packet classified identically by TCAM, CA-RAM engine, and the oracle")
+	t.Note("wildcard-heavy rules and hot buckets live in the small parallel overflow TCAM (§4.3)")
+	return t.Render(), nil
+}
+
+// --- S vs M at fixed capacity (§2.1) ---
+
+func runSvsM(sc Scale) (string, error) {
+	db := trigramDB(sc)
+	t := &Table{
+		Title:  "S vs M at fixed capacity M*S (trigram workload, alpha held at the design-A level)",
+		Header: []string{"S (keys/bucket)", "M (buckets)", "Ovf bkts", "Spilled", "AMAL"},
+	}
+	// Design A's capacity, repartitioned: S in {24, 48, 96, 192, 384}.
+	baseBuckets := trigram.Table3Designs[0].Buckets() >> uint(sc.TrigramDrop)
+	baseSlots := trigram.Table3Designs[0].Slots() // 96
+	for _, factor := range []int{-2, -1, 0, 1, 2} {
+		s := baseSlots
+		m := baseBuckets
+		switch {
+		case factor < 0:
+			s >>= uint(-factor)
+			m <<= uint(-factor)
+		case factor > 0:
+			s <<= uint(factor)
+			m >>= uint(factor)
+		}
+		ev, err := evaluateTrigramGeometry(db, m, s)
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(s, m, pct(ev.OverflowingPct), pct(ev.SpilledPct), f3(ev.AMAL))
+	}
+	t.Note("%s", sc.Label())
+	t.Note("§2.1: \"when (MxS) is fixed, one can potentially reduce the number of collisions by increasing S\"")
+	return t.Render(), nil
+}
+
+// evaluateTrigramGeometry builds a custom (M, S) trigram table reusing
+// the trigram package's vertical-design plumbing: a design with R such
+// that slices<<R = m.
+func evaluateTrigramGeometry(db []trigram.Entry, m, s int) (*trigram.Evaluation, error) {
+	// Express m as slices * 2^R with slices in 1..15.
+	r := 0
+	for 1<<uint(r+1) <= m {
+		r++
+	}
+	slices := m >> uint(r)
+	for slices<<uint(r) != m && r > 0 {
+		r--
+		slices = m >> uint(r)
+	}
+	d := trigram.Design{Name: fmt.Sprintf("S%d", s), R: r, Slices: slices, Arr: trigram.Vertical}
+	return trigram.EvaluateGeometry(db, d, s)
+}
+
+// --- Probe-limit sensitivity ---
+
+func runProbeLimit(sc Scale) (string, error) {
+	db := trigramDB(sc)
+	d := scaledTriDesign(trigram.Table3Designs[0], sc.TrigramDrop)
+	t := &Table{
+		Title:  "Probe-limit sensitivity (trigram design A): bounded probing vs unplaced records",
+		Header: []string{"Probe limit", "Spilled", "AMAL", "unplaced"},
+	}
+	for _, limit := range []int{-1, 1, 2, 4, 0} { // -1 = none, 0 = unlimited
+		ev, err := trigram.EvaluateWithProbeLimit(db, d, limit)
+		if err != nil {
+			return "", err
+		}
+		label := fmt.Sprintf("%d", limit)
+		if limit == -1 {
+			label = "none"
+		}
+		if limit == 0 {
+			label = "unlimited"
+		}
+		t.AddRow(label, pct(ev.SpilledPct), f3(ev.AMAL), ev.Unplaced)
+	}
+	t.Note("%s", sc.Label())
+	t.Note("no probing leaves records homeless (they need an overflow area); a couple of probes already place everything")
+	return t.Render(), nil
+}

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "bbbb"}}
+	tab.AddRow(1, 2.5)
+	tab.AddRow("long-cell", "x")
+	tab.Note("note %d", 7)
+	out := tab.Render()
+	for _, want := range []string{"== T ==", "a", "bbbb", "2.500", "long-cell", "note: note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestScale(t *testing.T) {
+	if DefaultScale().IPPrefixes() != 186760>>4 {
+		t.Error("default IP scale wrong")
+	}
+	if FullScale().Label() != "full paper scale" {
+		t.Error("full-scale label wrong")
+	}
+	if !strings.Contains(DefaultScale().Label(), "scaled") {
+		t.Error("scaled label wrong")
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if _, err := Run("nope", DefaultScale()); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestFastExperiments(t *testing.T) {
+	// The analytic experiments run instantly and must mention their
+	// paper anchor values.
+	checks := map[string][]string{
+		"table1": {"Expand search key", "15992", "4.85"},
+		"fig6a":  {"16T SRAM TCAM", "12.0x", "4.8x"},
+		"fig6b":  {"6T dynamic TCAM", "CA-RAM"},
+		"fig8":   {"IP lookup", "trigram", "area saving"},
+	}
+	for name, wants := range checks {
+		out, err := Run(name, DefaultScale())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Errorf("%s output missing %q:\n%s", name, w, out)
+			}
+		}
+	}
+}
+
+func TestWorkloadExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset-building experiments in -short mode")
+	}
+	sc := Scale{IPDrop: 6, TrigramDrop: 8, Seed: 1} // extra small for test speed
+	for _, name := range []string{"table2", "table3", "fig7", "bandwidth", "overflow",
+		"hashes", "software", "ipv6", "lowpower", "matchp", "pktclass", "svm", "probelimit",
+		"partition", "amaltrace", "updates", "energy", "zane"} {
+		out, err := Run(name, sc)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(out) < 100 {
+			t.Errorf("%s output suspiciously short:\n%s", name, out)
+		}
+		if !strings.Contains(out, "==") {
+			t.Errorf("%s output has no table header", name)
+		}
+	}
+}
+
+func TestExperimentNamesUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range Experiments {
+		if seen[e.Name] {
+			t.Errorf("duplicate experiment %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Desc == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.Name)
+		}
+	}
+}

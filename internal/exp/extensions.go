@@ -1,0 +1,156 @@
+package exp
+
+import (
+	"fmt"
+
+	"caram/internal/bitutil"
+	"caram/internal/cam"
+	"caram/internal/cost"
+	"caram/internal/hash"
+	"caram/internal/iproute"
+	"caram/internal/match"
+	"caram/internal/workload"
+)
+
+// Extension experiments: the paper's forward-looking claims and
+// related-work comparisons, built on the same substrates.
+
+func init() {
+	Experiments = append(Experiments,
+		Experiment{"ipv6", "§4.1 projection: IPv6 quadruples the table; CA-RAM vs TCAM capacity", runIPv6},
+		Experiment{"lowpower", "§5.2: per-search cell activity — flat TCAM vs CoolCAM banks vs CA-RAM", runLowPower},
+		Experiment{"matchp", "ablation: match-processor count P vs pipelined passes and area", runMatchP},
+	)
+}
+
+// --- IPv6 scaling (§4.1) ---
+
+func runIPv6(sc Scale) (string, error) {
+	// Scale the projected 4x table with the same drop as the v4 runs,
+	// shrinking the designs identically so alpha is scale-invariant.
+	n := 4 * iproute.PaperTableSize >> uint(sc.IPDrop)
+	table := iproute.Generate6(n, sc.Seed)
+	t := &Table{
+		Title: "IPv6 projection: 64-bit ternary keys, table 4x the v4 size (scaled)",
+		Header: []string{"Design", "R", "keys/bkt", "alpha", "Ovf bkts", "Spilled",
+			"AMALu", "dup"},
+	}
+	// Two geometries at the paper's preferred load factors (~.36, ~.24).
+	designs := []iproute.Design6{
+		{Name: "C6", R: 13 - sc.IPDrop, KeysPerRow: 32, Slices: 8},
+		{Name: "E6", R: 13 - sc.IPDrop, KeysPerRow: 32, Slices: 12},
+	}
+	var lastAlpha float64
+	for _, d := range designs {
+		ev, err := iproute.Evaluate6(table, d)
+		if err != nil {
+			return "", err
+		}
+		t.AddRow(d.Name, d.R, d.KeysPerRow*d.Slices, f2(ev.LoadFactor),
+			pct(ev.OverflowingPct), pct(ev.SpilledPct), f3(ev.AMALu), pct(ev.DupPct))
+		lastAlpha = ev.LoadFactor
+	}
+	// Area at full projected scale: TCAM must hold 4x entries of 64
+	// symbols each; CA-RAM the E6 geometry at full scale (R=13), with
+	// the same load-factor accounting Figure 8 uses.
+	fullEntries := 4.0 * float64(iproute.PaperTableSize) * 1.02 // + duplication
+	tcamArea := cost.TCAMAreaMM2(fullEntries * 64)
+	fullCapacityBits := 12.0 * float64(int(1)<<13) * 32 * 128
+	caramArea := cost.CARAMLoadAdjustedAreaMM2(fullCapacityBits, lastAlpha)
+	t.Note("full-scale area projection: TCAM %.0f mm^2 vs CA-RAM %.0f mm^2 (%.0f%% saving)",
+		tcamArea, caramArea, 100*(1-caramArea/tcamArea))
+	t.Note("the paper's §4.1 motivation: associative capacity is where TCAM scaling breaks first")
+	return t.Render(), nil
+}
+
+// --- Low-power CAM schemes (§5.2) ---
+
+func runLowPower(sc Scale) (string, error) {
+	const keyBits = 32
+	rng := workload.NewRand(sc.Seed)
+	entries := make([]match.Record, 4096)
+	for i := range entries {
+		entries[i] = match.Record{
+			Key:  bitutil.Exact(bitutil.FromUint64(uint64(rng.Uint32()))),
+			Data: bitutil.FromUint64(uint64(i)),
+		}
+	}
+
+	flat := cam.MustNew(cam.Config{Entries: len(entries), KeyBits: keyBits, Kind: cam.Ternary})
+	// Real partitioned TCAMs need slack over a perfect split, since the
+	// selector does not balance banks exactly; 30% here.
+	slack := func(banks int) int { return len(entries) * 13 / (10 * banks) }
+	banked4, err := cam.NewBanked(slack(4), keyBits, cam.Ternary, hash.NewBitSelect([]int{30, 31}))
+	if err != nil {
+		return "", err
+	}
+	banked8, err := cam.NewBanked(slack(8), keyBits, cam.Ternary, hash.NewBitSelect([]int{29, 30, 31}))
+	if err != nil {
+		return "", err
+	}
+	pre, err := cam.NewPrecomputed(keyBits)
+	if err != nil {
+		return "", err
+	}
+	for _, e := range entries {
+		if err := flat.Append(e); err != nil {
+			return "", err
+		}
+		if err := banked4.Insert(e, 0); err != nil {
+			return "", err
+		}
+		if err := banked8.Insert(e, 0); err != nil {
+			return "", err
+		}
+		if err := pre.Insert(e); err != nil {
+			return "", err
+		}
+	}
+
+	const searches = 2000
+	for i := 0; i < searches; i++ {
+		k := entries[rng.Intn(len(entries))].Key
+		if !flat.Search(k).Found || !banked4.Search(k).Found ||
+			!banked8.Search(k).Found || !pre.Search(k.Value).Found {
+			return "", fmt.Errorf("lowpower: schemes disagree")
+		}
+	}
+
+	t := &Table{
+		Title:  "Low-power schemes: storage cells activated per search (4096 entries x 32b)",
+		Header: []string{"Scheme", "cells/search", "vs flat TCAM"},
+	}
+	flatCells := float64(flat.Stats().CellsActivated) / searches
+	row := func(name string, cells float64) {
+		t.AddRow(name, fmt.Sprintf("%.0f", cells), fmt.Sprintf("%.1f%%", 100*cells/flatCells))
+	}
+	row("flat TCAM", flatCells)
+	row("CoolCAM, 4 banks", float64(banked4.Stats().CellsActivated)/searches)
+	row("CoolCAM, 8 banks", float64(banked8.Stats().CellsActivated)/searches)
+	row("precomputation CAM (binary)", float64(pre.Stats().CellsActivated)/searches)
+	// CA-RAM: one bucket row of, say, 8 keys: 8*keyBits "cells" matched.
+	row("CA-RAM (8-key bucket)", 8*keyBits)
+	t.Note("paper §5.2: four partitions ideally cut power 75%%; 'In CA-RAM, even better, a memory access is made on a single row'")
+	return t.Render(), nil
+}
+
+// --- Match-processor count ablation ---
+
+func runMatchP(Scale) (string, error) {
+	t := &Table{
+		Title:  "Match-processor count P (C=1600, 64-bit keys, S=24 slots): passes vs area",
+		Header: []string{"P", "pipelined passes", "relative match area"},
+	}
+	layout := match.Layout{RowBits: 1600, KeyBits: 64, AuxBits: 0}
+	s := layout.Slots()
+	for _, p := range []int{1, 4, 8, 16, s} {
+		proc := match.NewProcessor(layout, p)
+		row := make([]uint64, bitutil.RowWords(1600))
+		res := proc.Search(row, bitutil.Exact(bitutil.Vec128{}))
+		// Match-stage logic scales with the processors instantiated;
+		// expand/decode/extract are row-wide either way.
+		t.AddRow(p, res.Passes, fmt.Sprintf("%.2f", float64(p)/float64(s)))
+	}
+	t.Note("P = S gives the paper's single-step matching; smaller P trades latency (passes) for area")
+	return t.Render(), nil
+}

@@ -1,0 +1,35 @@
+package exp
+
+import "caram/internal/iproute"
+
+// Scale selects dataset sizes. The paper's full datasets (186,760
+// prefixes; 5,385,231 trigrams) run in minutes; the default scale
+// shrinks both the dataset and each design's row count by the same
+// power of two, which preserves every load factor and therefore the
+// statistics Tables 2 and 3 measure.
+type Scale struct {
+	// IPDrop halves the IP table and designs IPDrop times.
+	IPDrop int
+	// TrigramDrop halves the trigram database and designs TrigramDrop
+	// times.
+	TrigramDrop int
+	// Seed drives all dataset synthesis.
+	Seed int64
+}
+
+// DefaultScale runs in a few seconds.
+func DefaultScale() Scale { return Scale{IPDrop: 4, TrigramDrop: 6, Seed: 1} }
+
+// FullScale reproduces the paper's exact dataset sizes.
+func FullScale() Scale { return Scale{Seed: 1} }
+
+// IPPrefixes returns the scaled routing-table size.
+func (s Scale) IPPrefixes() int { return iproute.PaperTableSize >> uint(s.IPDrop) }
+
+// Label describes the scale in table notes.
+func (s Scale) Label() string {
+	if s.IPDrop == 0 && s.TrigramDrop == 0 {
+		return "full paper scale"
+	}
+	return "scaled (same load factors as the paper; see -full)"
+}

@@ -1,0 +1,165 @@
+package hash
+
+import (
+	"fmt"
+	"strings"
+
+	"caram/internal/bitutil"
+)
+
+// Programmable index generation (§3.1): "Depending on the application
+// requirements, a small degree of programmability in index generation
+// can be employed." Program is a tiny accumulator machine over the
+// search key — field extracts combined with xor/add/multiply/shift —
+// expressive enough for bit selection, folding, and simple arithmetic
+// mixing, while staying a few gate-levels deep like the hardware it
+// models.
+
+// OpCode is one Program operation.
+type OpCode int
+
+// Operations. Field operations read Width key bits at Off; immediate
+// operations use Imm; shifts use Imm as the distance.
+const (
+	OpLoad   OpCode = iota // acc = key[Off:Off+Width]
+	OpXor                  // acc ^= key[Off:Off+Width]
+	OpAdd                  // acc += key[Off:Off+Width]
+	OpXorImm               // acc ^= Imm
+	OpAddImm               // acc += Imm
+	OpMulImm               // acc *= Imm
+	OpShl                  // acc <<= Imm
+	OpShr                  // acc >>= Imm
+)
+
+// String names the opcode.
+func (o OpCode) String() string {
+	names := [...]string{"load", "xor", "add", "xori", "addi", "muli", "shl", "shr"}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Instr is one instruction.
+type Instr struct {
+	Op         OpCode
+	Off, Width int    // key field for Load/Xor/Add
+	Imm        uint64 // immediate for *Imm and shift distance
+}
+
+// Program is a compiled index generator: the instructions run in order
+// over a 64-bit accumulator and the low R bits of the result form the
+// index.
+type Program struct {
+	Instrs []Instr
+	R      int
+	Label  string
+}
+
+// Validate checks instruction fields.
+func (p *Program) Validate() error {
+	if p.R < 1 || p.R > 32 {
+		return fmt.Errorf("hash: program index width %d outside [1,32]", p.R)
+	}
+	if len(p.Instrs) == 0 {
+		return fmt.Errorf("hash: empty program")
+	}
+	for i, in := range p.Instrs {
+		switch in.Op {
+		case OpLoad, OpXor, OpAdd:
+			if in.Off < 0 || in.Width < 1 || in.Width > 64 || in.Off+in.Width > 128 {
+				return fmt.Errorf("hash: instr %d: field [%d,+%d) invalid", i, in.Off, in.Width)
+			}
+		case OpShl, OpShr:
+			if in.Imm > 63 {
+				return fmt.Errorf("hash: instr %d: shift %d too large", i, in.Imm)
+			}
+		case OpXorImm, OpAddImm, OpMulImm:
+			// any immediate is fine
+		default:
+			return fmt.Errorf("hash: instr %d: unknown opcode %d", i, in.Op)
+		}
+	}
+	return nil
+}
+
+// NewProgram validates and returns a program.
+func NewProgram(r int, label string, instrs ...Instr) (*Program, error) {
+	p := &Program{Instrs: instrs, R: r, Label: label}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustProgram is NewProgram that panics on error.
+func MustProgram(r int, label string, instrs ...Instr) *Program {
+	p, err := NewProgram(r, label, instrs...)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Index executes the program over the key.
+func (p *Program) Index(key bitutil.Vec128) uint32 {
+	var acc uint64
+	for _, in := range p.Instrs {
+		switch in.Op {
+		case OpLoad:
+			acc = key.Shr(in.Off).Trunc(in.Width).Uint64()
+		case OpXor:
+			acc ^= key.Shr(in.Off).Trunc(in.Width).Uint64()
+		case OpAdd:
+			acc += key.Shr(in.Off).Trunc(in.Width).Uint64()
+		case OpXorImm:
+			acc ^= in.Imm
+		case OpAddImm:
+			acc += in.Imm
+		case OpMulImm:
+			acc *= in.Imm
+		case OpShl:
+			acc <<= in.Imm
+		case OpShr:
+			acc >>= in.Imm
+		}
+	}
+	return uint32(acc) & (1<<uint(p.R) - 1)
+}
+
+// Bits returns the index width.
+func (p *Program) Bits() int { return p.R }
+
+// Name identifies the program.
+func (p *Program) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	ops := make([]string, len(p.Instrs))
+	for i, in := range p.Instrs {
+		ops[i] = in.Op.String()
+	}
+	return "prog[" + strings.Join(ops, ",") + "]"
+}
+
+// FoldProgram builds a program equivalent to XorFold(r, keyWidth): the
+// canonical example of expressing a standard generator in the
+// programmable engine.
+func FoldProgram(r, keyWidth int) *Program {
+	instrs := []Instr{{Op: OpLoad, Off: 0, Width: min(r, keyWidth)}}
+	for off := r; off < keyWidth; off += r {
+		w := keyWidth - off
+		if w > r {
+			w = r
+		}
+		instrs = append(instrs, Instr{Op: OpXor, Off: off, Width: w})
+	}
+	return MustProgram(r, fmt.Sprintf("prog-xorfold/%d", r), instrs...)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

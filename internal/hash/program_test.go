@@ -1,0 +1,140 @@
+package hash
+
+import (
+	"testing"
+	"testing/quick"
+
+	"caram/internal/bitutil"
+)
+
+func TestProgramValidate(t *testing.T) {
+	good := []struct {
+		r      int
+		instrs []Instr
+	}{
+		{8, []Instr{{Op: OpLoad, Off: 0, Width: 8}}},
+		{12, []Instr{{Op: OpLoad, Off: 16, Width: 16}, {Op: OpMulImm, Imm: 33}, {Op: OpShr, Imm: 4}}},
+	}
+	for _, g := range good {
+		if _, err := NewProgram(g.r, "", g.instrs...); err != nil {
+			t.Errorf("valid program rejected: %v", err)
+		}
+	}
+	bad := []struct {
+		name   string
+		r      int
+		instrs []Instr
+	}{
+		{"empty", 8, nil},
+		{"r too small", 0, []Instr{{Op: OpLoad, Width: 8}}},
+		{"r too big", 33, []Instr{{Op: OpLoad, Width: 8}}},
+		{"field off end", 8, []Instr{{Op: OpLoad, Off: 100, Width: 40}}},
+		{"zero width", 8, []Instr{{Op: OpXor, Off: 0, Width: 0}}},
+		{"wide field", 8, []Instr{{Op: OpAdd, Off: 0, Width: 65}}},
+		{"big shift", 8, []Instr{{Op: OpLoad, Width: 8}, {Op: OpShl, Imm: 64}}},
+		{"bad op", 8, []Instr{{Op: OpCode(99)}}},
+	}
+	for _, b := range bad {
+		if _, err := NewProgram(b.r, "", b.instrs...); err == nil {
+			t.Errorf("%s: accepted", b.name)
+		}
+	}
+}
+
+func TestProgramBitSelectEquivalence(t *testing.T) {
+	// load key[16:24] == bit selection of positions 16..23.
+	prog := MustProgram(8, "", Instr{Op: OpLoad, Off: 16, Width: 8})
+	sel := NewBitSelect([]int{16, 17, 18, 19, 20, 21, 22, 23})
+	f := func(lo, hi uint64) bool {
+		k := bitutil.FromParts(lo, hi)
+		return prog.Index(k) == sel.Index(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFoldProgramMatchesXorFold(t *testing.T) {
+	prog := FoldProgram(10, 64)
+	xf := NewXorFold(10, 64)
+	f := func(lo uint64) bool {
+		k := bitutil.FromUint64(lo)
+		return prog.Index(k) == xf.Index(k)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Uneven tail width too.
+	prog = FoldProgram(12, 50)
+	xf = NewXorFold(12, 50)
+	f2 := func(lo uint64) bool {
+		k := bitutil.FromUint64(lo).Trunc(50)
+		return prog.Index(k) == xf.Index(k)
+	}
+	if err := quick.Check(f2, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProgramArithmetic(t *testing.T) {
+	// (key[0:16] + key[16:16]) * 33 >> 4, low 8 bits.
+	prog := MustProgram(8, "mix",
+		Instr{Op: OpLoad, Off: 0, Width: 16},
+		Instr{Op: OpAdd, Off: 16, Width: 16},
+		Instr{Op: OpMulImm, Imm: 33},
+		Instr{Op: OpShr, Imm: 4},
+	)
+	key := bitutil.FromUint64(0x0003_0005)
+	want := uint32((5+3)*33>>4) & 0xff
+	if got := prog.Index(key); got != want {
+		t.Errorf("Index = %d, want %d", got, want)
+	}
+	if prog.Bits() != 8 || prog.Name() != "mix" {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestProgramOpsCoverage(t *testing.T) {
+	prog := MustProgram(16, "",
+		Instr{Op: OpLoad, Off: 0, Width: 16},
+		Instr{Op: OpXorImm, Imm: 0xffff},
+		Instr{Op: OpAddImm, Imm: 1},
+		Instr{Op: OpShl, Imm: 2},
+		Instr{Op: OpXor, Off: 16, Width: 8},
+	)
+	key := bitutil.FromUint64(0xab_1234)
+	want := uint32(((0x1234^0xffff)+1)<<2^0xab) & 0xffff
+	if got := prog.Index(key); got != want {
+		t.Errorf("Index = %#x, want %#x", got, want)
+	}
+	// Unnamed programs describe themselves.
+	if got := prog.Name(); got != "prog[load,xori,addi,shl,xor]" {
+		t.Errorf("Name = %q", got)
+	}
+	if OpCode(99).String() == "" {
+		t.Error("unknown opcode renders empty")
+	}
+}
+
+func TestProgramStaysInRangeQuick(t *testing.T) {
+	prog := MustProgram(9, "",
+		Instr{Op: OpLoad, Off: 0, Width: 32},
+		Instr{Op: OpMulImm, Imm: 0x9e3779b9},
+		Instr{Op: OpShr, Imm: 16},
+	)
+	f := func(lo, hi uint64) bool {
+		return prog.Index(bitutil.FromParts(lo, hi)) < 1<<9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustProgramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProgram did not panic")
+		}
+	}()
+	MustProgram(0, "")
+}

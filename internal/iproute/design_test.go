@@ -1,0 +1,210 @@
+package iproute
+
+import (
+	"math/rand"
+	"testing"
+
+	"caram/internal/swsearch"
+)
+
+func TestDesignGeometry(t *testing.T) {
+	cases := []struct {
+		name           string
+		buckets, slots int
+		alpha          float64 // paper's load factor at 186,760 prefixes
+	}{
+		{"A", 2048, 192, 0.47},
+		{"B", 2048, 224, 0.40},
+		{"C", 2048, 256, 0.36},
+		{"D", 4096, 128, 0.36},
+		{"E", 4096, 192, 0.24},
+		{"F", 8192, 64, 0.36},
+	}
+	byName := map[string]Design{}
+	for _, d := range Table2Designs {
+		byName[d.Name] = d
+	}
+	for _, c := range cases {
+		d, ok := byName[c.name]
+		if !ok {
+			t.Fatalf("design %s missing", c.name)
+		}
+		if d.Buckets() != c.buckets {
+			t.Errorf("%s: buckets = %d, want %d", c.name, d.Buckets(), c.buckets)
+		}
+		if d.Slots() != c.slots {
+			t.Errorf("%s: slots = %d, want %d", c.name, d.Slots(), c.slots)
+		}
+		alpha := float64(PaperTableSize) / float64(d.Capacity())
+		if alpha < c.alpha-0.01 || alpha > c.alpha+0.01 {
+			t.Errorf("%s: alpha = %.3f, paper %.2f", c.name, alpha, c.alpha)
+		}
+		if _, err := d.IndexBits(); err != nil {
+			t.Errorf("%s: %v", c.name, err)
+		}
+	}
+}
+
+func TestDesignIndexBits(t *testing.T) {
+	if n, _ := (Design{R: 12, Slices: 2, Arr: Vertical, KeysPerRow: 64}).IndexBits(); n != 13 {
+		t.Errorf("vertical index bits = %d, want 13", n)
+	}
+	if n, _ := (Design{R: 12, Slices: 3, Arr: Horizontal, KeysPerRow: 64}).IndexBits(); n != 12 {
+		t.Errorf("horizontal index bits = %d, want 12", n)
+	}
+	if _, err := (Design{R: 12, Slices: 3, Arr: Vertical, KeysPerRow: 64}).IndexBits(); err == nil {
+		t.Error("3 vertical slices should be rejected")
+	}
+}
+
+func TestHashPositions(t *testing.T) {
+	pos := HashPositions(11)
+	if len(pos) != 11 || pos[0] != 16 || pos[10] != 26 {
+		t.Errorf("positions = %v", pos)
+	}
+}
+
+func TestCapacityBits(t *testing.T) {
+	d := Design{R: 12, KeysPerRow: 64, Slices: 2, Arr: Horizontal}
+	if got := d.CapacityBits(); got != 2*4096*64*64 {
+		t.Errorf("CapacityBits = %f", got)
+	}
+}
+
+// scaledDesign shrinks a Table 2 design by dropping index bits,
+// preserving alpha when the table shrinks by the same factor.
+func scaledDesign(d Design, drop int) Design {
+	d.R -= drop
+	d.Name += "'"
+	return d
+}
+
+func smallTable(t *testing.T, n int) []Prefix {
+	t.Helper()
+	return Generate(GenConfig{Prefixes: n, Seed: 11})
+}
+
+func TestEvaluateConsistency(t *testing.T) {
+	// Quarter..sixteenth scale: design C at R=7 with a table scaled by
+	// 2^-4 keeps alpha at 0.36.
+	d := scaledDesign(Table2Designs[2], 4)
+	table := smallTable(t, PaperTableSize/16)
+	ev, err := Evaluate(table, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Prefixes != len(table) {
+		t.Errorf("Prefixes = %d", ev.Prefixes)
+	}
+	if ev.Stored != len(table)+ev.Duplicates-ev.Unplaced {
+		t.Errorf("Stored %d != prefixes %d + dup %d - unplaced %d",
+			ev.Stored, ev.Prefixes, ev.Duplicates, ev.Unplaced)
+	}
+	if ev.Unplaced != 0 {
+		t.Errorf("unplaced = %d", ev.Unplaced)
+	}
+	if ev.AMALu < 1 || ev.AMALs < 1 {
+		t.Errorf("AMAL below 1: u=%f s=%f", ev.AMALu, ev.AMALs)
+	}
+	if ev.AMALs > ev.AMALu+1e-9 {
+		t.Errorf("skewed placement worsened AMAL: u=%f s=%f", ev.AMALu, ev.AMALs)
+	}
+	if ev.LoadFactor < 0.30 || ev.LoadFactor > 0.42 {
+		t.Errorf("alpha = %f, want ~0.36", ev.LoadFactor)
+	}
+	if ev.DupPct < 4 || ev.DupPct > 9 {
+		t.Errorf("duplication = %.2f%%", ev.DupPct)
+	}
+	if msg := ev.Slice.Verify(); msg != "" {
+		t.Errorf("slice invariant: %s", msg)
+	}
+}
+
+// The core Table 2 relationships, at 1/16 scale:
+//   - more area (lower alpha) => lower AMAL (A' > B' > C', D' > E')
+//   - same alpha, better-distributing hash (D vs F) => D' < F'
+//   - F (vertical) is the worst design.
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-design evaluation in -short mode")
+	}
+	table := smallTable(t, PaperTableSize/16)
+	amal := map[string]float64{}
+	spill := map[string]float64{}
+	for _, d := range Table2Designs {
+		sd := scaledDesign(d, 4)
+		ev, err := Evaluate(table, sd, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		amal[d.Name] = ev.AMALu
+		spill[d.Name] = ev.SpilledPct
+		t.Logf("design %s: alpha=%.2f overflow=%.2f%% spilled=%.2f%% AMALu=%.3f AMALs=%.3f",
+			d.Name, ev.LoadFactor, ev.OverflowingPct, ev.SpilledPct, ev.AMALu, ev.AMALs)
+	}
+	if !(amal["A"] > amal["B"] && amal["B"] > amal["C"]) {
+		t.Errorf("A>B>C violated: %v", amal)
+	}
+	if !(amal["D"] > amal["E"]) {
+		t.Errorf("D>E violated: %v", amal)
+	}
+	if !(amal["F"] > amal["D"]) {
+		t.Errorf("F>D violated: %v", amal)
+	}
+	for n, v := range amal {
+		if v < 1 || v > 3 {
+			t.Errorf("design %s AMALu=%f out of plausible range", n, v)
+		}
+	}
+	if spill["F"] <= spill["D"] {
+		t.Errorf("F should spill more than D: %v", spill)
+	}
+}
+
+// Trace-driven LPM against a software trie oracle.
+func TestLPMAgainstTrie(t *testing.T) {
+	table := smallTable(t, 4000)
+	d := Design{Name: "T", R: 8, KeysPerRow: 32, Slices: 4, Arr: Horizontal}
+	ev, err := Evaluate(table, d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := swsearch.NewTrie(32)
+	for _, p := range table {
+		// Value encodes (len, nexthop) so equal-length duplicates in
+		// the table cannot disagree invisibly.
+		oracle.Insert(uint64(p.Addr), p.Len, uint64(p.Len)<<8|uint64(p.NextHop))
+	}
+	rng := rand.New(rand.NewSource(6))
+	checked := 0
+	for i := 0; i < 4000; i++ {
+		var addr uint32
+		if i%2 == 0 {
+			addr = uint32(rng.Uint64())
+		} else {
+			p := table[rng.Intn(len(table))]
+			addr = p.Addr | uint32(rng.Uint64())&^p.Canonical().netMask()&^p.netMask()
+			addr = p.Addr | uint32(rng.Uint64())&^p.netMask()
+		}
+		oVal, oLen, oOK := oracle.Lookup(uint64(addr))
+		hop, l, ok := LPMLookup(ev.Slice, addr)
+		if ok != oOK {
+			t.Fatalf("addr %s: found=%v oracle=%v", AddrString(addr), ok, oOK)
+		}
+		if !ok {
+			continue
+		}
+		if l != oLen {
+			t.Fatalf("addr %s: len=%d oracle=%d", AddrString(addr), l, oLen)
+		}
+		// Next hops can legitimately differ only if two same-length
+		// prefixes both match, which dedup prevents.
+		if int(oVal>>8) == l && uint8(oVal&0xff) != hop {
+			t.Fatalf("addr %s: hop=%d oracle=%d (len %d)", AddrString(addr), hop, oVal&0xff, l)
+		}
+		checked++
+	}
+	if checked < 1000 {
+		t.Errorf("only %d positive lookups checked", checked)
+	}
+}

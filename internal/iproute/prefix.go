@@ -1,0 +1,84 @@
+// Package iproute implements the paper's first application study
+// (§4.1): IP address lookup in core routers. It provides the prefix
+// model, a synthetic BGP-like routing-table generator standing in for
+// the AS1103 RIPE snapshot (see DESIGN.md, "Substitutions"), the
+// mapping of prefixes onto CA-RAM designs — bit-selection hashing over
+// the first 16 address bits, duplication of prefixes whose don't-care
+// bits overlap the hash bits, LPM priority by prefix length — and the
+// evaluation that regenerates Table 2.
+package iproute
+
+import (
+	"fmt"
+
+	"caram/internal/bitutil"
+)
+
+// Prefix is one routing-table entry: a CIDR prefix and its next hop.
+type Prefix struct {
+	Addr    uint32 // network byte order value; bits below Len are zero
+	Len     int    // prefix length, 0..32
+	NextHop uint8
+}
+
+// Canonical returns the prefix with bits below its length zeroed.
+func (p Prefix) Canonical() Prefix {
+	p.Addr = p.Addr & p.netMask()
+	return p
+}
+
+func (p Prefix) netMask() uint32 {
+	if p.Len <= 0 {
+		return 0
+	}
+	if p.Len >= 32 {
+		return ^uint32(0)
+	}
+	return ^uint32(0) << uint(32-p.Len)
+}
+
+// Matches reports whether addr falls inside the prefix.
+func (p Prefix) Matches(addr uint32) bool {
+	return addr&p.netMask() == p.Addr&p.netMask()
+}
+
+// Key returns the prefix as a 32-bit ternary CA-RAM key: the address
+// bits with the low 32-Len bits marked don't-care. (The paper counts
+// this as a 64-bit key since each ternary symbol occupies two bits;
+// our layout stores value and mask fields of 32 bits each, the same
+// 64 bits of storage.)
+func (p Prefix) Key() bitutil.Ternary {
+	return bitutil.NewTernary(
+		bitutil.FromUint64(uint64(p.Addr)),
+		bitutil.FromUint64(uint64(^p.netMask())),
+	)
+}
+
+// String renders dotted-quad CIDR form.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d/%d",
+		p.Addr>>24, p.Addr>>16&0xff, p.Addr>>8&0xff, p.Addr&0xff, p.Len)
+}
+
+// ParsePrefix parses "a.b.c.d/len".
+func ParsePrefix(s string) (Prefix, error) {
+	var a, b, c, d, l int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d/%d", &a, &b, &c, &d, &l); err != nil {
+		return Prefix{}, fmt.Errorf("iproute: bad prefix %q: %v", s, err)
+	}
+	for _, o := range []int{a, b, c, d} {
+		if o < 0 || o > 255 {
+			return Prefix{}, fmt.Errorf("iproute: bad octet in %q", s)
+		}
+	}
+	if l < 0 || l > 32 {
+		return Prefix{}, fmt.Errorf("iproute: bad length in %q", s)
+	}
+	p := Prefix{Addr: uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d), Len: l}
+	return p.Canonical(), nil
+}
+
+// AddrString renders an address in dotted-quad form.
+func AddrString(addr uint32) string {
+	return fmt.Sprintf("%d.%d.%d.%d", addr>>24, addr>>16&0xff, addr>>8&0xff, addr&0xff)
+}

@@ -1,0 +1,87 @@
+package iproute
+
+import (
+	"testing"
+	"testing/quick"
+
+	"caram/internal/bitutil"
+)
+
+func TestPrefixStringParseRoundTrip(t *testing.T) {
+	cases := []string{"10.0.0.0/8", "192.168.1.0/24", "0.0.0.0/0", "255.255.255.255/32", "172.16.0.0/12"}
+	for _, s := range cases {
+		p, err := ParsePrefix(s)
+		if err != nil {
+			t.Fatalf("ParsePrefix(%q): %v", s, err)
+		}
+		if got := p.String(); got != s {
+			t.Errorf("round trip %q -> %q", s, got)
+		}
+	}
+	for _, bad := range []string{"1.2.3/8", "300.0.0.0/8", "1.2.3.4/40", "garbage"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCanonicalZeroesHostBits(t *testing.T) {
+	p := Prefix{Addr: 0xC0A80123, Len: 16}.Canonical()
+	if p.Addr != 0xC0A80000 {
+		t.Errorf("Canonical = %08x", p.Addr)
+	}
+	if got := (Prefix{Addr: 0xffffffff, Len: 0}).Canonical().Addr; got != 0 {
+		t.Errorf("len-0 canonical = %08x", got)
+	}
+}
+
+func TestMatches(t *testing.T) {
+	p, _ := ParsePrefix("192.168.0.0/16")
+	if !p.Matches(0xC0A8FFFF) {
+		t.Error("inside address rejected")
+	}
+	if p.Matches(0xC0A90000) {
+		t.Error("outside address accepted")
+	}
+	def, _ := ParsePrefix("0.0.0.0/0")
+	if !def.Matches(0x12345678) {
+		t.Error("default route must match everything")
+	}
+}
+
+func TestKeyTernary(t *testing.T) {
+	p, _ := ParsePrefix("192.168.0.0/16")
+	k := p.Key()
+	// Low 16 bits don't care.
+	if k.Mask != bitutil.FromUint64(0xffff) {
+		t.Errorf("mask = %v", k.Mask)
+	}
+	if !k.MatchesKey(bitutil.FromUint64(0xC0A81234)) {
+		t.Error("key does not match member address")
+	}
+	if k.MatchesKey(bitutil.FromUint64(0xC0A91234)) {
+		t.Error("key matches foreign address")
+	}
+	// Specificity equals prefix length.
+	if got := k.Specificity(32); got != 16 {
+		t.Errorf("specificity = %d", got)
+	}
+}
+
+// Property: Key().MatchesKey agrees with Matches for random prefixes
+// and addresses.
+func TestKeyAgreesWithMatchesQuick(t *testing.T) {
+	f := func(addr, probe uint32, lenRaw uint8) bool {
+		p := Prefix{Addr: addr, Len: int(lenRaw) % 33}.Canonical()
+		return p.Key().MatchesKey(bitutil.FromUint64(uint64(probe))) == p.Matches(probe)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddrString(t *testing.T) {
+	if got := AddrString(0x01020304); got != "1.2.3.4" {
+		t.Errorf("AddrString = %q", got)
+	}
+}

@@ -1,0 +1,143 @@
+package iproute
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"caram/internal/bitutil"
+	"caram/internal/hash"
+	"caram/internal/swsearch"
+)
+
+func TestPrefix6Basics(t *testing.T) {
+	p := Prefix6{Addr: 0x20010db8_00000000, Len: 32}.Canonical()
+	if got := p.String(); got != "2001:db8:0:0::/32" {
+		t.Errorf("String = %q", got)
+	}
+	if !p.Matches(0x20010db8_12345678) {
+		t.Error("member rejected")
+	}
+	if p.Matches(0x20010db9_00000000) {
+		t.Error("outsider accepted")
+	}
+	if got := (Prefix6{Addr: ^uint64(0), Len: 0}).Canonical().Addr; got != 0 {
+		t.Errorf("len-0 canonical = %x", got)
+	}
+	if (Prefix6{Addr: 1, Len: 64}).netMask() != ^uint64(0) {
+		t.Error("full-length mask wrong")
+	}
+}
+
+func TestPrefix6KeyAgreesWithMatchesQuick(t *testing.T) {
+	f := func(addr, probe uint64, lenRaw uint8) bool {
+		p := Prefix6{Addr: addr, Len: int(lenRaw) % 65}.Canonical()
+		return p.Key().MatchesKey(bitutil.FromUint64(probe)) == p.Matches(probe)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenerate6Shape(t *testing.T) {
+	table := Generate6(40000, 1)
+	if len(table) != 40000 {
+		t.Fatalf("len = %d", len(table))
+	}
+	var h [65]int
+	seen := map[uint64]bool{}
+	for _, p := range table {
+		if p.Len < 24 || p.Len > 64 {
+			t.Fatalf("prefix length %d out of range", p.Len)
+		}
+		if p.Canonical() != p {
+			t.Fatal("non-canonical prefix")
+		}
+		if p.Addr>>61 != 1 {
+			t.Fatalf("prefix %s outside 2000::/3", p)
+		}
+		id := p.Addr ^ uint64(p.Len)<<1
+		if seen[id] {
+			t.Fatal("duplicate prefix")
+		}
+		seen[id] = true
+		h[p.Len]++
+	}
+	// /48 is the mode; >98% of prefixes at least /32.
+	if h[48] < len(table)/3 {
+		t.Errorf("/48 count = %d", h[48])
+	}
+	atLeast32 := 0
+	for l := 32; l <= 64; l++ {
+		atLeast32 += h[l]
+	}
+	if frac := float64(atLeast32) / float64(len(table)); frac < 0.98 {
+		t.Errorf("only %.1f%% >= /32", 100*frac)
+	}
+}
+
+func TestGenerate6DuplicationBounded(t *testing.T) {
+	table := Generate6(80000, 2)
+	gen := hash.NewBitSelect(HashPositions6(12))
+	extra := 0
+	for _, p := range table {
+		extra += gen.DuplicationFactor(p.Key()) - 1
+	}
+	pct := 100 * float64(extra) / float64(len(table))
+	if pct > 5 {
+		t.Errorf("IPv6 duplication = %.2f%%, should stay small", pct)
+	}
+	if extra == 0 {
+		t.Error("no duplication at all: short prefixes missing")
+	}
+}
+
+func TestEvaluate6AndLPM(t *testing.T) {
+	table := Generate6(30000, 3)
+	d := Design6{Name: "v6", R: 9, KeysPerRow: 32, Slices: 4}
+	ev, err := Evaluate6(table, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Unplaced != 0 {
+		t.Fatalf("unplaced = %d", ev.Unplaced)
+	}
+	if ev.AMALu < 1 || ev.AMALu > 3 {
+		t.Errorf("AMALu = %f", ev.AMALu)
+	}
+	if ev.Stored != ev.Prefixes+ev.Duplicates {
+		t.Errorf("stored %d != %d + %d", ev.Stored, ev.Prefixes, ev.Duplicates)
+	}
+
+	// LPM against a 64-bit software trie oracle.
+	oracle := swsearch.NewTrie(64)
+	for _, p := range table {
+		oracle.Insert(p.Addr, p.Len, uint64(p.Len)<<8|uint64(p.NextHop))
+	}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 3000; i++ {
+		p := table[rng.Intn(len(table))]
+		addr := p.Addr
+		if p.Len < 64 {
+			addr |= rng.Uint64() & (1<<uint(64-p.Len) - 1)
+		}
+		oVal, oLen, oOK := oracle.Lookup(addr)
+		hop, l, ok := LPMLookup6(ev.Slice, addr)
+		if ok != oOK || (ok && l != oLen) {
+			t.Fatalf("addr %x: got %v/%d, oracle %v/%d", addr, ok, l, oOK, oLen)
+		}
+		if ok && int(oVal>>8) == l && uint8(oVal) != hop {
+			t.Fatalf("addr %x: hop %d, oracle %d", addr, hop, uint8(oVal))
+		}
+	}
+}
+
+func TestGenerate6DefaultQuadruples(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size v6 generation in -short mode")
+	}
+	table := Generate6(0, 1)
+	if len(table) != 4*PaperTableSize {
+		t.Errorf("default size = %d, want %d", len(table), 4*PaperTableSize)
+	}
+}

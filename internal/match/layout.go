@@ -1,0 +1,145 @@
+// Package match implements the match-processor side of CA-RAM (§3.1,
+// §3.3): how records are laid out inside a memory row, the four-stage
+// match pipeline (expand search key, calculate match vector, decode
+// match vector, extract result), the Figure 4(b) comparator with both
+// don't-care inputs, and the synthesis cost model calibrated against
+// the paper's Table 1.
+package match
+
+import (
+	"fmt"
+
+	"caram/internal/bitutil"
+)
+
+// Record is one searchable entry: a (possibly ternary) key plus an
+// associated data item. Storing data alongside the key inside CA-RAM is
+// the optimization §3.2 highlights as impractical in CAM.
+type Record struct {
+	Key  bitutil.Ternary
+	Data bitutil.Vec128
+}
+
+// Layout describes how records are packed into a C-bit row. Each slot
+// holds, in order from its base bit: a valid bit, the key value, the
+// key mask (ternary layouts only — this is the 2-bits-per-symbol cost
+// of ternary storage), and the data field. The auxiliary field of §3.1
+// (overflow reach, occupancy) occupies the top AuxBits of the row.
+type Layout struct {
+	RowBits  int  // C
+	KeyBits  int  // N, 1..128
+	DataBits int  // 0..128
+	Ternary  bool // store an N-bit mask with every key
+	AuxBits  int  // top-of-row auxiliary field, 0..64
+}
+
+// Validate checks the layout and returns a descriptive error when the
+// geometry is impossible.
+func (l Layout) Validate() error {
+	if l.KeyBits < 1 || l.KeyBits > 128 {
+		return fmt.Errorf("match: KeyBits %d outside [1,128]", l.KeyBits)
+	}
+	if l.DataBits < 0 || l.DataBits > 128 {
+		return fmt.Errorf("match: DataBits %d outside [0,128]", l.DataBits)
+	}
+	if l.AuxBits < 0 || l.AuxBits > 64 {
+		return fmt.Errorf("match: AuxBits %d outside [0,64]", l.AuxBits)
+	}
+	if l.RowBits <= 0 {
+		return fmt.Errorf("match: RowBits %d must be positive", l.RowBits)
+	}
+	if l.Slots() < 1 {
+		return fmt.Errorf("match: row of %d bits cannot hold one %d-bit slot plus %d aux bits",
+			l.RowBits, l.SlotBits(), l.AuxBits)
+	}
+	return nil
+}
+
+// SlotBits returns the width of one record slot.
+func (l Layout) SlotBits() int {
+	bits := 1 + l.KeyBits + l.DataBits // valid + key + data
+	if l.Ternary {
+		bits += l.KeyBits // stored don't-care mask
+	}
+	return bits
+}
+
+// Slots returns S, the number of record slots per row — the paper's
+// floor(C/N) generalized to slots carrying valid/mask/data bits.
+func (l Layout) Slots() int {
+	return (l.RowBits - l.AuxBits) / l.SlotBits()
+}
+
+// slotBase returns the bit offset of slot i.
+func (l Layout) slotBase(i int) int { return i * l.SlotBits() }
+
+// ReadSlot decodes slot i of a row. ok is false for an empty (invalid)
+// slot.
+func (l Layout) ReadSlot(row []uint64, i int) (rec Record, ok bool) {
+	base := l.slotBase(i)
+	if bitutil.GetBits(row, base, 1).IsZero() {
+		return Record{}, false
+	}
+	off := base + 1
+	rec.Key.Value = bitutil.GetBits(row, off, l.KeyBits)
+	off += l.KeyBits
+	if l.Ternary {
+		rec.Key.Mask = bitutil.GetBits(row, off, l.KeyBits)
+		off += l.KeyBits
+	}
+	rec.Data = bitutil.GetBits(row, off, l.DataBits)
+	return rec, true
+}
+
+// WriteSlot encodes rec into slot i of a row and marks it valid. A
+// non-empty mask on a binary (non-ternary) layout is rejected, because
+// the row has no bits to store it.
+func (l Layout) WriteSlot(row []uint64, i int, rec Record) error {
+	if !l.Ternary && !rec.Key.Mask.IsZero() {
+		return fmt.Errorf("match: ternary key in a binary layout")
+	}
+	base := l.slotBase(i)
+	bitutil.SetBits(row, base, 1, bitutil.FromUint64(1))
+	off := base + 1
+	bitutil.SetBits(row, off, l.KeyBits, rec.Key.Value.AndNot(rec.Key.Mask))
+	off += l.KeyBits
+	if l.Ternary {
+		bitutil.SetBits(row, off, l.KeyBits, rec.Key.Mask)
+		off += l.KeyBits
+	}
+	bitutil.SetBits(row, off, l.DataBits, rec.Data)
+	return nil
+}
+
+// ClearSlot invalidates slot i (its stale key/data bits are zeroed too,
+// so RAM-mode dumps stay clean).
+func (l Layout) ClearSlot(row []uint64, i int) {
+	bitutil.SetBits(row, l.slotBase(i), l.SlotBits(), bitutil.Vec128{})
+}
+
+// SlotValid reports whether slot i holds a record.
+func (l Layout) SlotValid(row []uint64, i int) bool {
+	return !bitutil.GetBits(row, l.slotBase(i), 1).IsZero()
+}
+
+// ReadAux returns the row's auxiliary field (0 when AuxBits is 0).
+func (l Layout) ReadAux(row []uint64) uint64 {
+	return bitutil.GetBits(row, l.RowBits-l.AuxBits, l.AuxBits).Uint64()
+}
+
+// WriteAux stores v into the row's auxiliary field, truncated to
+// AuxBits.
+func (l Layout) WriteAux(row []uint64, v uint64) {
+	bitutil.SetBits(row, l.RowBits-l.AuxBits, l.AuxBits, bitutil.FromUint64(v))
+}
+
+// OccupiedSlots counts valid slots in the row.
+func (l Layout) OccupiedSlots(row []uint64) int {
+	n := 0
+	for i := 0; i < l.Slots(); i++ {
+		if l.SlotValid(row, i) {
+			n++
+		}
+	}
+	return n
+}

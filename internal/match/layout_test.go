@@ -1,0 +1,184 @@
+package match
+
+import (
+	"testing"
+	"testing/quick"
+
+	"caram/internal/bitutil"
+)
+
+func ipLayout() Layout {
+	// The IP-lookup geometry: 64-bit ternary keys (32 symbols) in a
+	// 32-key row of 64-bit keys -> C = 32*64*... here a small variant.
+	return Layout{RowBits: 2048, KeyBits: 64, DataBits: 16, Ternary: true, AuxBits: 8}
+}
+
+func TestLayoutValidate(t *testing.T) {
+	good := []Layout{
+		{RowBits: 2048, KeyBits: 32, DataBits: 0},
+		ipLayout(),
+		{RowBits: 12288, KeyBits: 128, DataBits: 0, AuxBits: 16},
+	}
+	for _, l := range good {
+		if err := l.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v", l, err)
+		}
+	}
+	bad := []Layout{
+		{RowBits: 0, KeyBits: 32},
+		{RowBits: 64, KeyBits: 0},
+		{RowBits: 64, KeyBits: 200},
+		{RowBits: 64, KeyBits: 32, DataBits: 200},
+		{RowBits: 64, KeyBits: 32, DataBits: -1},
+		{RowBits: 64, KeyBits: 32, AuxBits: 100},
+		{RowBits: 64, KeyBits: 63, DataBits: 8}, // slot doesn't fit
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid layout", l)
+		}
+	}
+}
+
+func TestSlotGeometry(t *testing.T) {
+	l := Layout{RowBits: 12288, KeyBits: 128, DataBits: 0, Ternary: false}
+	// Paper (§4.2): 96 keys of 128 bits in a 12,288-bit row. Our slot
+	// carries an extra valid bit, so we fit 95 — the geometry the tests
+	// and experiments account for explicitly.
+	if got := l.SlotBits(); got != 129 {
+		t.Errorf("SlotBits = %d", got)
+	}
+	if got := l.Slots(); got != 95 {
+		t.Errorf("Slots = %d", got)
+	}
+	lt := Layout{RowBits: 2048, KeyBits: 64, DataBits: 16, Ternary: true}
+	if got := lt.SlotBits(); got != 1+64+64+16 {
+		t.Errorf("ternary SlotBits = %d", got)
+	}
+}
+
+func TestSlotRoundTrip(t *testing.T) {
+	l := ipLayout()
+	row := make([]uint64, bitutil.RowWords(l.RowBits))
+	rec := Record{
+		Key:  bitutil.NewTernary(bitutil.FromUint64(0xdeadbeef00), bitutil.FromUint64(0xff)),
+		Data: bitutil.FromUint64(0x1234),
+	}
+	for i := 0; i < l.Slots(); i++ {
+		if _, ok := l.ReadSlot(row, i); ok {
+			t.Fatalf("empty slot %d reads valid", i)
+		}
+	}
+	if err := l.WriteSlot(row, 3, rec); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := l.ReadSlot(row, 3)
+	if !ok {
+		t.Fatal("written slot reads invalid")
+	}
+	if !got.Key.Equal(rec.Key) || got.Data != rec.Data {
+		t.Errorf("round trip: got %+v, want %+v", got, rec)
+	}
+	if _, ok := l.ReadSlot(row, 2); ok {
+		t.Error("neighbor slot became valid")
+	}
+	if !l.SlotValid(row, 3) || l.SlotValid(row, 4) {
+		t.Error("SlotValid wrong")
+	}
+	l.ClearSlot(row, 3)
+	if _, ok := l.ReadSlot(row, 3); ok {
+		t.Error("cleared slot still valid")
+	}
+}
+
+func TestBinaryLayoutRejectsTernaryKey(t *testing.T) {
+	l := Layout{RowBits: 256, KeyBits: 32, DataBits: 0}
+	row := make([]uint64, bitutil.RowWords(l.RowBits))
+	rec := Record{Key: bitutil.NewTernary(bitutil.FromUint64(1), bitutil.FromUint64(2))}
+	if err := l.WriteSlot(row, 0, rec); err == nil {
+		t.Error("binary layout accepted a masked key")
+	}
+	if err := l.WriteSlot(row, 0, Record{Key: bitutil.Exact(bitutil.FromUint64(1))}); err != nil {
+		t.Errorf("binary layout rejected exact key: %v", err)
+	}
+}
+
+func TestAuxField(t *testing.T) {
+	l := ipLayout()
+	row := make([]uint64, bitutil.RowWords(l.RowBits))
+	if l.ReadAux(row) != 0 {
+		t.Error("fresh aux not zero")
+	}
+	l.WriteAux(row, 0x7f)
+	if got := l.ReadAux(row); got != 0x7f {
+		t.Errorf("aux = %#x", got)
+	}
+	// Truncated to AuxBits.
+	l.WriteAux(row, 0x1ff)
+	if got := l.ReadAux(row); got != 0xff {
+		t.Errorf("aux overflow = %#x, want 0xff", got)
+	}
+	// Aux must not disturb the last slot.
+	rec := Record{Key: bitutil.Exact(bitutil.FromUint64(42))}
+	if err := l.WriteSlot(row, l.Slots()-1, rec); err != nil {
+		t.Fatal(err)
+	}
+	l.WriteAux(row, 0x55)
+	got, ok := l.ReadSlot(row, l.Slots()-1)
+	if !ok || !got.Key.Equal(rec.Key) {
+		t.Error("aux write corrupted last slot")
+	}
+	if l.ReadAux(row) != 0x55 {
+		t.Error("slot write corrupted aux")
+	}
+}
+
+func TestZeroAuxLayout(t *testing.T) {
+	l := Layout{RowBits: 256, KeyBits: 32}
+	row := make([]uint64, bitutil.RowWords(l.RowBits))
+	l.WriteAux(row, 99) // no-op
+	if l.ReadAux(row) != 0 {
+		t.Error("zero-aux layout stored something")
+	}
+}
+
+func TestOccupiedSlots(t *testing.T) {
+	l := Layout{RowBits: 256, KeyBits: 32}
+	row := make([]uint64, bitutil.RowWords(l.RowBits))
+	if l.OccupiedSlots(row) != 0 {
+		t.Error("fresh row occupied")
+	}
+	for i := 0; i < 3; i++ {
+		if err := l.WriteSlot(row, i, Record{Key: bitutil.Exact(bitutil.FromUint64(uint64(i)))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := l.OccupiedSlots(row); got != 3 {
+		t.Errorf("OccupiedSlots = %d", got)
+	}
+}
+
+// Property: write/read round-trips for random records across every slot
+// of a ternary layout.
+func TestSlotRoundTripQuick(t *testing.T) {
+	l := Layout{RowBits: 1600, KeyBits: 48, DataBits: 32, Ternary: true, AuxBits: 8}
+	if err := l.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	f := func(v, m, d uint64, slotRaw uint8) bool {
+		i := int(slotRaw) % l.Slots()
+		row := make([]uint64, bitutil.RowWords(l.RowBits))
+		rec := Record{
+			Key:  bitutil.NewTernary(bitutil.FromUint64(v).Trunc(48), bitutil.FromUint64(m).Trunc(48)),
+			Data: bitutil.FromUint64(d).Trunc(32),
+		}
+		if err := l.WriteSlot(row, i, rec); err != nil {
+			return false
+		}
+		got, ok := l.ReadSlot(row, i)
+		return ok && got.Key.Equal(rec.Key) && got.Data == rec.Data
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package match
+
+import (
+	"math/bits"
+
+	"caram/internal/bitutil"
+)
+
+// Processor models the bank of P match processors attached to a CA-RAM
+// slice. A search runs the four steps of §3.3 over one fetched row:
+//
+//  1. expand the search key across the row (overlapped with the memory
+//     access, so it contributes no latency),
+//  2. calculate the match vector — every slot compared in parallel with
+//     the Figure 4(b) comparator (both don't-care directions),
+//  3. decode the match vector with a priority encoder, detecting the
+//     no-match and multi-match conditions,
+//  4. extract the matched slot's data.
+//
+// When the row holds more slots than there are match processors
+// (S > P), matching is divided into ceil(S/P) pipelined passes, as the
+// paper describes for flexible key sizes.
+type Processor struct {
+	layout Layout
+	p      int // number of match processor instances
+	stats  ProcessorStats
+}
+
+// ProcessorStats counts the work a processor bank has performed.
+type ProcessorStats struct {
+	Searches    uint64 // rows searched
+	SlotsTested uint64 // slot comparisons performed
+	Passes      uint64 // pipelined match passes (ceil(S/P) per search)
+	Matches     uint64 // slots that matched
+}
+
+// NewProcessor builds a bank of p match processors over the given
+// layout. p <= 0 means "one per slot" (P = S, the desirable case of
+// §3.1).
+func NewProcessor(layout Layout, p int) *Processor {
+	if p <= 0 {
+		p = layout.Slots()
+	}
+	return &Processor{layout: layout, p: p}
+}
+
+// Layout returns the record layout the processor decodes.
+func (pr *Processor) Layout() Layout { return pr.layout }
+
+// P returns the number of match processor instances.
+func (pr *Processor) P() int { return pr.p }
+
+// Result is the outcome of searching one row.
+type Result struct {
+	// Vector has one bit per slot: 1 = that slot matched. Word 0 bit 0
+	// is slot 0.
+	Vector []uint64
+	// First is the priority-encoded match (lowest slot index), -1 if
+	// none. Insertion order therefore defines match priority, which is
+	// how the applications realize LPM inside a bucket.
+	First int
+	// Count is the number of matching slots; Count > 1 is the
+	// multi-match condition step 3 must flag.
+	Count int
+	// Record is the extracted record at First (zero when First < 0).
+	Record Record
+	// Passes is how many pipelined passes this search needed.
+	Passes int
+}
+
+// Multi reports the multiple-match condition.
+func (r Result) Multi() bool { return r.Count > 1 }
+
+// Matched reports whether any slot matched.
+func (r Result) Matched() bool { return r.First >= 0 }
+
+// Search runs the match pipeline for a (possibly masked) search key
+// over one row. The search key's mask implements search-key bit
+// masking; stored masks implement ternary search — both may be active
+// at once.
+func (pr *Processor) Search(row []uint64, search bitutil.Ternary) Result {
+	s := pr.layout.Slots()
+	res := Result{
+		Vector: make([]uint64, (s+63)/64),
+		First:  -1,
+		Passes: (s + pr.p - 1) / pr.p,
+	}
+	pr.stats.Searches++
+	pr.stats.Passes += uint64(res.Passes)
+	for i := 0; i < s; i++ {
+		rec, ok := pr.layout.ReadSlot(row, i)
+		if !ok {
+			continue
+		}
+		pr.stats.SlotsTested++
+		if !rec.Key.Matches(search) {
+			continue
+		}
+		res.Vector[i/64] |= 1 << uint(i%64)
+		res.Count++
+		if res.First < 0 {
+			res.First = i
+			res.Record = rec
+		}
+	}
+	pr.stats.Matches += uint64(res.Count)
+	return res
+}
+
+// SearchAll returns every matching record in slot order — the "massive
+// data evaluation" capability the decoupled match logic enables (§1).
+func (pr *Processor) SearchAll(row []uint64, search bitutil.Ternary) []Record {
+	res := pr.Search(row, search)
+	if res.Count == 0 {
+		return nil
+	}
+	out := make([]Record, 0, res.Count)
+	for i := 0; i < pr.layout.Slots(); i++ {
+		if res.Vector[i/64]>>uint(i%64)&1 == 1 {
+			rec, _ := pr.layout.ReadSlot(row, i)
+			out = append(out, rec)
+		}
+	}
+	return out
+}
+
+// Best returns the matching record that maximizes the supplied score
+// (ties broken toward the lower slot), or ok=false if nothing matched.
+// This generalizes the priority encoder for applications, like LPM,
+// where priority is a property of the record rather than its position.
+func (pr *Processor) Best(row []uint64, search bitutil.Ternary, score func(Record) int) (rec Record, ok bool) {
+	res := pr.Search(row, search)
+	if res.Count == 0 {
+		return Record{}, false
+	}
+	best, bestScore := Record{}, 0
+	for i := 0; i < pr.layout.Slots(); i++ {
+		if res.Vector[i/64]>>uint(i%64)&1 == 0 {
+			continue
+		}
+		r, _ := pr.layout.ReadSlot(row, i)
+		if sc := score(r); !ok || sc > bestScore {
+			best, bestScore, ok = r, sc, true
+		}
+	}
+	return best, ok
+}
+
+// PriorityEncode reduces a match vector to its lowest set bit index,
+// -1 when empty — step 3 in isolation, exposed for tests and for the
+// CAM baseline to share.
+func PriorityEncode(vector []uint64) int {
+	for w, v := range vector {
+		if v != 0 {
+			return w*64 + bits.TrailingZeros64(v)
+		}
+	}
+	return -1
+}
+
+// Stats returns a snapshot of the processor's activity counters.
+func (pr *Processor) Stats() ProcessorStats { return pr.stats }
+
+// ResetStats zeroes the activity counters.
+func (pr *Processor) ResetStats() { pr.stats = ProcessorStats{} }

@@ -1,0 +1,152 @@
+package match
+
+import "math"
+
+// Synthesis cost model for the match processor, calibrated to the
+// paper's Table 1: a 0.16 µm standard-cell synthesis of the prototype
+// with C = 1600 and configurable key sizes (1–16 bytes, so up to
+// 200 slots to decode). At the calibration point the model reproduces
+// Table 1 exactly; away from it, each stage scales with the quantity
+// that dominates its logic:
+//
+//   - expand search key:    wiring/muxing across the whole row  -> ~C
+//   - calculate match vector: one comparator bit per row bit    -> ~C
+//   - decode match vector:  priority encoder over S slots       -> cells ~S, delay ~log2 S
+//   - extract result:       data multiplexer across the row     -> cells ~C, delay ~log2 S
+//
+// The expand stage is overlapped with the memory access (its latency is
+// hidden), so it never contributes to the critical path: Table 1's
+// 4.85 ns total is match + decode + extract.
+
+// Calibration constants — Table 1 verbatim.
+const (
+	calRowBits = 1600
+	calSlots   = 200 // C=1600 with the smallest (1-byte) key
+	calVDD     = 1.8
+	calPowerMW = 60.8 // worst-case dynamic power @ 0.5 activity, 6 ns clock
+)
+
+// StageCost is one row of Table 1.
+type StageCost struct {
+	Name    string
+	Cells   int
+	AreaUm2 float64
+	DelayNs float64
+	Hidden  bool // latency overlapped with the memory access
+}
+
+// SynthesisResult aggregates the four stages.
+type SynthesisResult struct {
+	Stages  []StageCost
+	RowBits int
+	KeyBits int
+}
+
+// table1 holds the calibration rows (cells, µm², ns).
+var table1 = []StageCost{
+	{Name: "Expand search key", Cells: 3804, AreaUm2: 66228, DelayNs: 0.89, Hidden: true},
+	{Name: "Calculate match vector", Cells: 5252, AreaUm2: 10591, DelayNs: 0.95},
+	{Name: "Decode match vector", Cells: 899, AreaUm2: 1970, DelayNs: 1.91},
+	{Name: "Extract result", Cells: 6037, AreaUm2: 21775, DelayNs: 1.99},
+}
+
+// Synthesize estimates the match-processor cost for a row of rowBits
+// bits holding keyBits-bit keys. rowBits = 1600 reproduces Table 1
+// exactly (the prototype's slot count is keyed to its worst-case
+// 1-byte key, so keyBits only affects the decode/extract scaling).
+func Synthesize(rowBits, keyBits int) SynthesisResult {
+	if rowBits <= 0 {
+		rowBits = calRowBits
+	}
+	if keyBits <= 0 {
+		keyBits = 8
+	}
+	slots := rowBits / keyBits
+	if slots < 1 {
+		slots = 1
+	}
+	// The prototype decodes up to calSlots slots; a fixed-key design
+	// only pays for its own slot count. rowBits=calRowBits keeps the
+	// calibration rows untouched regardless of keyBits, matching how
+	// Table 1 reports a single synthesis covering all key sizes.
+	cRatio := float64(rowBits) / calRowBits
+	sRatio := cRatio
+	dRatio := 1.0
+	if rowBits != calRowBits {
+		sRatio = float64(slots) / calSlots
+		dRatio = math.Log2(float64(slots)+1) / math.Log2(calSlots+1)
+	}
+	out := SynthesisResult{RowBits: rowBits, KeyBits: keyBits}
+	for _, st := range table1 {
+		scaled := st
+		switch st.Name {
+		case "Decode match vector":
+			scaled.Cells = scaleInt(st.Cells, sRatio)
+			scaled.AreaUm2 = st.AreaUm2 * sRatio
+			scaled.DelayNs = st.DelayNs * dRatio
+		case "Extract result":
+			scaled.Cells = scaleInt(st.Cells, cRatio)
+			scaled.AreaUm2 = st.AreaUm2 * cRatio
+			scaled.DelayNs = st.DelayNs * dRatio
+		default: // expand, match: row-wide bit-parallel logic
+			scaled.Cells = scaleInt(st.Cells, cRatio)
+			scaled.AreaUm2 = st.AreaUm2 * cRatio
+		}
+		out.Stages = append(out.Stages, scaled)
+	}
+	return out
+}
+
+func scaleInt(v int, r float64) int { return int(math.Round(float64(v) * r)) }
+
+// TotalCells sums the stage cell counts.
+func (s SynthesisResult) TotalCells() int {
+	n := 0
+	for _, st := range s.Stages {
+		n += st.Cells
+	}
+	return n
+}
+
+// TotalAreaUm2 sums the stage areas.
+func (s SynthesisResult) TotalAreaUm2() float64 {
+	a := 0.0
+	for _, st := range s.Stages {
+		a += st.AreaUm2
+	}
+	return a
+}
+
+// CriticalPathNs sums the delays of the non-hidden stages — the
+// latency that must fit in one clock cycle.
+func (s SynthesisResult) CriticalPathNs() float64 {
+	d := 0.0
+	for _, st := range s.Stages {
+		if !st.Hidden {
+			d += st.DelayNs
+		}
+	}
+	return d
+}
+
+// FitsCycleMHz reports whether the match pipeline fits in a single
+// cycle at the given clock frequency (the paper: "a latency that will
+// fit in a single cycle at over 200 MHz").
+func (s SynthesisResult) FitsCycleMHz(freqMHz float64) bool {
+	if freqMHz <= 0 {
+		return false
+	}
+	return s.CriticalPathNs() <= 1e3/freqMHz
+}
+
+// DynamicPowerMW estimates worst-case dynamic power, scaling the
+// calibration point (60.8 mW at VDD = 1.8 V, activity 0.5, 6 ns clock)
+// with cell count, frequency, activity, and VDD squared.
+func (s SynthesisResult) DynamicPowerMW(freqMHz, activity, vdd float64) float64 {
+	if freqMHz <= 0 || activity < 0 || vdd <= 0 {
+		return 0
+	}
+	calFreq := 1e3 / 6.0 // 6 ns clock
+	cellRatio := float64(s.TotalCells()) / float64(Synthesize(calRowBits, 8).TotalCells())
+	return calPowerMW * cellRatio * (freqMHz / calFreq) * (activity / 0.5) * (vdd * vdd) / (calVDD * calVDD)
+}

@@ -1,0 +1,119 @@
+package match
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSynthesizeReproducesTable1(t *testing.T) {
+	s := Synthesize(1600, 8)
+	want := []struct {
+		name  string
+		cells int
+		area  float64
+		delay float64
+	}{
+		{"Expand search key", 3804, 66228, 0.89},
+		{"Calculate match vector", 5252, 10591, 0.95},
+		{"Decode match vector", 899, 1970, 1.91},
+		{"Extract result", 6037, 21775, 1.99},
+	}
+	if len(s.Stages) != len(want) {
+		t.Fatalf("got %d stages", len(s.Stages))
+	}
+	for i, w := range want {
+		st := s.Stages[i]
+		if st.Name != w.name || st.Cells != w.cells || st.AreaUm2 != w.area || st.DelayNs != w.delay {
+			t.Errorf("stage %d = %+v, want %+v", i, st, w)
+		}
+	}
+	if got := s.TotalCells(); got != 15992 {
+		t.Errorf("TotalCells = %d, want 15992", got)
+	}
+	if got := s.TotalAreaUm2(); got != 100564 {
+		t.Errorf("TotalArea = %f, want 100564", got)
+	}
+	if got := s.CriticalPathNs(); math.Abs(got-4.85) > 1e-9 {
+		t.Errorf("CriticalPath = %f, want 4.85", got)
+	}
+}
+
+func TestTable1IndependentOfKeySizeAtCalibration(t *testing.T) {
+	// The prototype's single synthesis covers all key sizes: at C=1600
+	// the reported numbers must not change with keyBits.
+	for _, kb := range []int{8, 16, 32, 64, 128} {
+		s := Synthesize(1600, kb)
+		if s.TotalCells() != 15992 {
+			t.Errorf("keyBits=%d: TotalCells = %d", kb, s.TotalCells())
+		}
+	}
+}
+
+func TestFitsCycle(t *testing.T) {
+	s := Synthesize(1600, 8)
+	// Paper: fits a single cycle at over 200 MHz (period 5 ns > 4.85 ns).
+	if !s.FitsCycleMHz(200) {
+		t.Error("should fit at 200 MHz")
+	}
+	if !s.FitsCycleMHz(206) {
+		t.Error("should fit just over 200 MHz")
+	}
+	if s.FitsCycleMHz(250) {
+		t.Error("must not fit at 250 MHz (4 ns period)")
+	}
+	if s.FitsCycleMHz(0) || s.FitsCycleMHz(-5) {
+		t.Error("nonpositive frequency must not fit")
+	}
+}
+
+func TestSynthesisScaling(t *testing.T) {
+	base := Synthesize(1600, 8)
+	half := Synthesize(800, 8)
+	double := Synthesize(3200, 8)
+	if half.TotalCells() >= base.TotalCells() {
+		t.Error("halving C should shrink the processor")
+	}
+	if double.TotalCells() <= base.TotalCells() {
+		t.Error("doubling C should grow the processor")
+	}
+	// Decode delay grows with slot count (log2): more slots, longer path.
+	if double.CriticalPathNs() <= base.CriticalPathNs() {
+		t.Error("doubling C should lengthen the critical path")
+	}
+	// Wider keys mean fewer slots to decode: shorter or equal path.
+	wide := Synthesize(3200, 128)
+	if wide.CriticalPathNs() > double.CriticalPathNs() {
+		t.Error("wider keys should not lengthen decode")
+	}
+}
+
+func TestSynthesizeDefaults(t *testing.T) {
+	s := Synthesize(0, 0)
+	if s.TotalCells() != 15992 {
+		t.Errorf("defaults should hit the calibration point, got %d cells", s.TotalCells())
+	}
+	tiny := Synthesize(4, 128) // fewer bits than a key: clamps to 1 slot
+	if tiny.TotalCells() <= 0 {
+		t.Error("degenerate geometry should still synthesize")
+	}
+}
+
+func TestDynamicPower(t *testing.T) {
+	s := Synthesize(1600, 8)
+	// Calibration point: 60.8 mW at 1/6ns, activity 0.5, 1.8 V.
+	got := s.DynamicPowerMW(1e3/6.0, 0.5, 1.8)
+	if math.Abs(got-60.8) > 1e-6 {
+		t.Errorf("calibration power = %f, want 60.8", got)
+	}
+	// Power scales linearly with frequency.
+	if p := s.DynamicPowerMW(2e3/6.0, 0.5, 1.8); math.Abs(p-2*60.8) > 1e-6 {
+		t.Errorf("double frequency power = %f", p)
+	}
+	// And quadratically with VDD.
+	if p := s.DynamicPowerMW(1e3/6.0, 0.5, 0.9); math.Abs(p-60.8/4) > 1e-6 {
+		t.Errorf("half VDD power = %f", p)
+	}
+	if s.DynamicPowerMW(-1, 0.5, 1.8) != 0 || s.DynamicPowerMW(100, 0.5, 0) != 0 {
+		t.Error("invalid inputs should give 0")
+	}
+}

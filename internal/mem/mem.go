@@ -1,0 +1,212 @@
+// Package mem models the dense memory array at the heart of a CA-RAM
+// slice (§3.1): 2^R rows of C bits each, implementable as SRAM or
+// embedded DRAM. The array knows nothing about records or hashing — it
+// stores raw bits, charges access counts/cycles, and exposes both the
+// row-oriented interface the match processors consume and the flat
+// word-oriented RAM-mode interface of §3.2 (scratch-pad / paged memory
+// reuse).
+package mem
+
+import (
+	"fmt"
+
+	"caram/internal/bitutil"
+)
+
+// Technology selects the storage cell the array is built from. It
+// drives timing defaults and, in the cost package, area and power.
+type Technology int
+
+// Supported storage technologies.
+const (
+	SRAM Technology = iota
+	DRAM            // embedded DRAM (Morishita et al. style macro)
+)
+
+// String names the technology.
+func (t Technology) String() string {
+	switch t {
+	case SRAM:
+		return "SRAM"
+	case DRAM:
+		return "DRAM"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// Timing captures the two quantities §3.4 uses: the latency of one row
+// access and nmem, the minimum number of cycles between back-to-back
+// accesses (which bounds slice bandwidth as fclk/nmem).
+type Timing struct {
+	AccessCycles int // latency of one row access, in clock cycles
+	MinInterval  int // nmem: min cycles between back-to-back accesses
+}
+
+// DefaultTiming returns the paper's working assumptions: single-cycle
+// SRAM and a DRAM macro that needs at least 6 cycles per access (§4.3).
+func DefaultTiming(t Technology) Timing {
+	if t == DRAM {
+		return Timing{AccessCycles: 6, MinInterval: 6}
+	}
+	return Timing{AccessCycles: 1, MinInterval: 1}
+}
+
+// Config describes an array.
+type Config struct {
+	Rows    int        // number of rows (buckets); need not be a power of two
+	RowBits int        // C: bits per row
+	Tech    Technology // storage technology
+	Timing  Timing     // zero value = DefaultTiming(Tech)
+}
+
+// Stats accumulates the activity of an array. Cycles is the serial
+// occupancy implied by MinInterval — the quantity that limits slice
+// bandwidth.
+type Stats struct {
+	RowReads   uint64
+	RowWrites  uint64
+	WordReads  uint64
+	WordWrites uint64
+	Cycles     uint64
+}
+
+// Accesses returns the total number of row-granularity accesses.
+func (s Stats) Accesses() uint64 { return s.RowReads + s.RowWrites }
+
+// Array is a behavioral memory array. It is not safe for concurrent
+// mutation; a CA-RAM slice owns exactly one array, matching the
+// hardware.
+type Array struct {
+	cfg      Config
+	rowWords int
+	data     []uint64 // all rows, contiguous
+	stats    Stats
+	stuck    map[int][]stuckBit // installed stuck-at faults
+}
+
+// New validates the configuration and allocates the array, zero-filled.
+func New(cfg Config) (*Array, error) {
+	if cfg.Rows <= 0 {
+		return nil, fmt.Errorf("mem: Rows must be positive, got %d", cfg.Rows)
+	}
+	if cfg.RowBits <= 0 {
+		return nil, fmt.Errorf("mem: RowBits must be positive, got %d", cfg.RowBits)
+	}
+	if cfg.Timing == (Timing{}) {
+		cfg.Timing = DefaultTiming(cfg.Tech)
+	}
+	if cfg.Timing.AccessCycles <= 0 || cfg.Timing.MinInterval <= 0 {
+		return nil, fmt.Errorf("mem: timing cycles must be positive: %+v", cfg.Timing)
+	}
+	rw := bitutil.RowWords(cfg.RowBits)
+	return &Array{
+		cfg:      cfg,
+		rowWords: rw,
+		data:     make([]uint64, rw*cfg.Rows),
+	}, nil
+}
+
+// MustNew is New that panics on configuration error, for tests and
+// examples with static configs.
+func MustNew(cfg Config) *Array {
+	a, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// Config returns the array's configuration (with timing resolved).
+func (a *Array) Config() Config { return a.cfg }
+
+// Rows returns the number of rows.
+func (a *Array) Rows() int { return a.cfg.Rows }
+
+// RowBits returns C, the row width in bits.
+func (a *Array) RowBits() int { return a.cfg.RowBits }
+
+// SizeBits returns the total storage capacity in bits.
+func (a *Array) SizeBits() int64 { return int64(a.cfg.Rows) * int64(a.cfg.RowBits) }
+
+// ReadRow fetches one row, charging a read access. The returned slice
+// aliases the array's storage and must be treated as read-only; use
+// RowForUpdate to mutate.
+func (a *Array) ReadRow(idx uint32) []uint64 {
+	a.stats.RowReads++
+	a.stats.Cycles += uint64(a.cfg.Timing.MinInterval)
+	return a.row(idx)
+}
+
+// PeekRow returns a row without charging an access — for assertions,
+// dumps and tests only.
+func (a *Array) PeekRow(idx uint32) []uint64 { return a.row(idx) }
+
+// RowForUpdate returns a mutable view of a row and charges a write
+// access. Hardware performs read-modify-write on a row granularity, so
+// a single charge is the right model for an insert or delete.
+func (a *Array) RowForUpdate(idx uint32) []uint64 {
+	a.stats.RowWrites++
+	a.stats.Cycles += uint64(a.cfg.Timing.MinInterval)
+	return a.row(idx)
+}
+
+// WriteRow replaces a row's contents, charging a write access. Data
+// longer than the row is truncated; shorter data zero-fills the rest.
+func (a *Array) WriteRow(idx uint32, data []uint64) {
+	row := a.RowForUpdate(idx)
+	n := copy(row, data)
+	for i := n; i < len(row); i++ {
+		row[i] = 0
+	}
+}
+
+func (a *Array) row(idx uint32) []uint64 {
+	if int(idx) >= a.cfg.Rows {
+		panic(fmt.Sprintf("mem: row %d out of range (rows=%d)", idx, a.cfg.Rows))
+	}
+	off := int(idx) * a.rowWords
+	return a.data[off : off+a.rowWords : off+a.rowWords]
+}
+
+// ReadWord implements RAM-mode word access: the array viewed as a flat
+// scratch-pad of 64-bit words.
+func (a *Array) ReadWord(addr int) uint64 {
+	if addr < 0 || addr >= len(a.data) {
+		panic(fmt.Sprintf("mem: word address %d out of range", addr))
+	}
+	a.stats.WordReads++
+	a.stats.Cycles += uint64(a.cfg.Timing.MinInterval)
+	return a.data[addr]
+}
+
+// WriteWord implements RAM-mode word write.
+func (a *Array) WriteWord(addr int, v uint64) {
+	if addr < 0 || addr >= len(a.data) {
+		panic(fmt.Sprintf("mem: word address %d out of range", addr))
+	}
+	a.stats.WordWrites++
+	a.stats.Cycles += uint64(a.cfg.Timing.MinInterval)
+	if faults, ok := a.stuck[addr]; ok {
+		v = applyStuck(v, faults)
+	}
+	a.data[addr] = v
+}
+
+// Words returns the flat word count of the array (RAM-mode address
+// space size).
+func (a *Array) Words() int { return len(a.data) }
+
+// Clear zeroes the entire array without charging accesses (models a
+// bulk initialization/DMA fill, §3.2).
+func (a *Array) Clear() {
+	for i := range a.data {
+		a.data[i] = 0
+	}
+}
+
+// Stats returns a snapshot of accumulated activity.
+func (a *Array) Stats() Stats { return a.stats }
+
+// ResetStats zeroes the activity counters.
+func (a *Array) ResetStats() { a.stats = Stats{} }

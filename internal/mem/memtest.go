@@ -1,0 +1,115 @@
+package mem
+
+import "fmt"
+
+// RAM-mode memory testing (§3.2: "various hardware- and software-based
+// memory tests will be performed on CA-RAM using this RAM mode"). The
+// classic March C- algorithm detects stuck-at, transition, and
+// coupling faults; FlipBit injects faults so the test itself can be
+// exercised.
+
+// FlipBit inverts one stored bit — a transient-fault injection hook
+// (a "soft error"). It charges no accesses: the fault happens, it is
+// not an operation.
+func (a *Array) FlipBit(wordAddr int, bit uint) {
+	if wordAddr < 0 || wordAddr >= len(a.data) || bit > 63 {
+		panic(fmt.Sprintf("mem: FlipBit(%d, %d) out of range", wordAddr, bit))
+	}
+	a.data[wordAddr] ^= 1 << bit
+}
+
+// SetStuckAt installs a permanent stuck-at fault: every subsequent
+// write to the word forces the bit to value. The current contents are
+// forced immediately too.
+func (a *Array) SetStuckAt(wordAddr int, bit, value uint) {
+	if wordAddr < 0 || wordAddr >= len(a.data) || bit > 63 {
+		panic(fmt.Sprintf("mem: SetStuckAt(%d, %d) out of range", wordAddr, bit))
+	}
+	if a.stuck == nil {
+		a.stuck = make(map[int][]stuckBit)
+	}
+	a.stuck[wordAddr] = append(a.stuck[wordAddr], stuckBit{bit: bit, val: value & 1})
+	a.data[wordAddr] = applyStuck(a.data[wordAddr], a.stuck[wordAddr])
+}
+
+// ClearFaults removes all installed stuck-at faults (stored values are
+// left as-is).
+func (a *Array) ClearFaults() { a.stuck = nil }
+
+type stuckBit struct {
+	bit uint
+	val uint
+}
+
+func applyStuck(v uint64, faults []stuckBit) uint64 {
+	for _, f := range faults {
+		v = v&^(1<<f.bit) | uint64(f.val)<<f.bit
+	}
+	return v
+}
+
+// MarchError describes the first fault a march test detects.
+type MarchError struct {
+	Phase    string
+	WordAddr int
+	Want     uint64
+	Got      uint64
+}
+
+// Error renders the fault.
+func (e *MarchError) Error() string {
+	return fmt.Sprintf("mem: march %s: word %d reads %#x, want %#x",
+		e.Phase, e.WordAddr, e.Got, e.Want)
+}
+
+// MarchCMinus runs the March C- test over the array's RAM-mode address
+// space with the given background pattern (classically 0, with the
+// complement pattern derived from it):
+//
+//	⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)
+//
+// It returns nil when the array is fault-free, or the first detected
+// fault. The array's contents are left as the background pattern.
+func (a *Array) MarchCMinus(background uint64) error {
+	n := len(a.data)
+	zero, one := background, ^background
+	// ⇕(w0)
+	for i := 0; i < n; i++ {
+		a.WriteWord(i, zero)
+	}
+	// ⇑(r0, w1)
+	for i := 0; i < n; i++ {
+		if got := a.ReadWord(i); got != zero {
+			return &MarchError{Phase: "up r0w1", WordAddr: i, Want: zero, Got: got}
+		}
+		a.WriteWord(i, one)
+	}
+	// ⇑(r1, w0)
+	for i := 0; i < n; i++ {
+		if got := a.ReadWord(i); got != one {
+			return &MarchError{Phase: "up r1w0", WordAddr: i, Want: one, Got: got}
+		}
+		a.WriteWord(i, zero)
+	}
+	// ⇓(r0, w1)
+	for i := n - 1; i >= 0; i-- {
+		if got := a.ReadWord(i); got != zero {
+			return &MarchError{Phase: "down r0w1", WordAddr: i, Want: zero, Got: got}
+		}
+		a.WriteWord(i, one)
+	}
+	// ⇓(r1, w0)
+	for i := n - 1; i >= 0; i-- {
+		if got := a.ReadWord(i); got != one {
+			return &MarchError{Phase: "down r1w0", WordAddr: i, Want: one, Got: got}
+		}
+		a.WriteWord(i, zero)
+	}
+	// ⇕(r0)
+	for i := 0; i < n; i++ {
+		if got := a.ReadWord(i); got != zero {
+			return &MarchError{Phase: "final r0", WordAddr: i, Want: zero, Got: got}
+		}
+	}
+	return nil
+}

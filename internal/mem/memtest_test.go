@@ -1,0 +1,115 @@
+package mem
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestMarchCMinusCleanArray(t *testing.T) {
+	a := MustNew(Config{Rows: 8, RowBits: 256})
+	if err := a.MarchCMinus(0); err != nil {
+		t.Fatalf("fault-free array failed: %v", err)
+	}
+	// Contents end as the background pattern.
+	for i := 0; i < a.Words(); i++ {
+		if a.data[i] != 0 {
+			t.Fatalf("word %d = %#x after march", i, a.data[i])
+		}
+	}
+	// Non-zero background too.
+	if err := a.MarchCMinus(0xa5a5a5a5a5a5a5a5); err != nil {
+		t.Fatalf("patterned march failed: %v", err)
+	}
+}
+
+func TestMarchDetectsStuckAtZero(t *testing.T) {
+	a := MustNew(Config{Rows: 4, RowBits: 128})
+	a.SetStuckAt(5, 17, 0)
+	err := a.MarchCMinus(0)
+	if err == nil {
+		t.Fatal("stuck-at-0 undetected")
+	}
+	var me *MarchError
+	if !errors.As(err, &me) {
+		t.Fatalf("error type %T", err)
+	}
+	if me.WordAddr != 5 {
+		t.Errorf("fault located at word %d, want 5", me.WordAddr)
+	}
+}
+
+func TestMarchDetectsStuckAtOne(t *testing.T) {
+	a := MustNew(Config{Rows: 4, RowBits: 128})
+	a.SetStuckAt(2, 0, 1)
+	err := a.MarchCMinus(0)
+	if err == nil {
+		t.Fatal("stuck-at-1 undetected")
+	}
+	var me *MarchError
+	if !errors.As(err, &me) || me.WordAddr != 2 {
+		t.Fatalf("fault report = %v", err)
+	}
+	if me.Error() == "" {
+		t.Error("empty error string")
+	}
+	// Cleared faults pass again.
+	a.ClearFaults()
+	if err := a.MarchCMinus(0); err != nil {
+		t.Fatalf("march after ClearFaults: %v", err)
+	}
+}
+
+func TestMarchDetectsEveryStuckPosition(t *testing.T) {
+	// Exhaustive-ish: a stuck-at fault anywhere must be caught.
+	for addr := 0; addr < 8; addr++ {
+		for _, bit := range []uint{0, 31, 63} {
+			for _, val := range []uint{0, 1} {
+				a := MustNew(Config{Rows: 2, RowBits: 256})
+				a.SetStuckAt(addr, bit, val)
+				if err := a.MarchCMinus(0); err == nil {
+					t.Errorf("stuck-at-%d at word %d bit %d undetected", val, addr, bit)
+				}
+			}
+		}
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	a := MustNew(Config{Rows: 2, RowBits: 64})
+	a.FlipBit(0, 3)
+	if a.PeekRow(0)[0] != 8 {
+		t.Errorf("word = %#x", a.PeekRow(0)[0])
+	}
+	a.FlipBit(0, 3)
+	if a.PeekRow(0)[0] != 0 {
+		t.Error("double flip did not restore")
+	}
+	for _, f := range []func(){
+		func() { a.FlipBit(-1, 0) },
+		func() { a.FlipBit(99, 0) },
+		func() { a.FlipBit(0, 64) },
+		func() { a.SetStuckAt(99, 0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range fault injection did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestStuckAtForcedImmediately(t *testing.T) {
+	a := MustNew(Config{Rows: 2, RowBits: 64})
+	a.WriteWord(1, ^uint64(0))
+	a.SetStuckAt(1, 7, 0)
+	if a.data[1]&(1<<7) != 0 {
+		t.Error("existing contents not forced")
+	}
+	a.WriteWord(1, ^uint64(0))
+	if a.data[1]&(1<<7) != 0 {
+		t.Error("write overrode the stuck bit")
+	}
+}

@@ -1,0 +1,115 @@
+package pktclass
+
+import (
+	"testing"
+)
+
+func TestTCAMClassifierAgainstOracle(t *testing.T) {
+	rules := GenerateRules(GenRulesConfig{Rules: 300, Seed: 4})
+	c, err := NewTCAMClassifier(rules, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Entries() == 0 {
+		t.Fatal("no entries stored")
+	}
+	trace := GenerateTrace(rules, 2000, 0.3, 5)
+	for i, p := range trace {
+		want := Oracle(rules, p)
+		got := c.Classify(p)
+		if got.Matched != want.Matched {
+			t.Fatalf("packet %d: matched %v, oracle %v", i, got.Matched, want.Matched)
+		}
+		if got.Matched && got.Priority != want.Priority {
+			t.Fatalf("packet %d: rule %d prio %d, oracle rule %d prio %d",
+				i, got.RuleID, got.Priority, want.RuleID, want.Priority)
+		}
+	}
+}
+
+func TestCARAMClassifierAgainstOracle(t *testing.T) {
+	rules := GenerateRules(GenRulesConfig{Rules: 300, Seed: 6})
+	c, err := NewCARAMClassifier(rules, CARAMConfig{IndexBits: 8, Slots: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main, ovfl := c.Entries()
+	if main == 0 {
+		t.Fatal("CA-RAM holds nothing")
+	}
+	if ovfl == 0 {
+		t.Fatal("overflow TCAM empty — wildcard rules must land there")
+	}
+	trace := GenerateTrace(rules, 2000, 0.3, 7)
+	rows := 0
+	for i, p := range trace {
+		want := Oracle(rules, p)
+		got := c.Classify(p)
+		if got.Matched != want.Matched {
+			t.Fatalf("packet %d (%+v): matched %v, oracle %v", i, p, got.Matched, want.Matched)
+		}
+		if got.Matched && got.Priority != want.Priority {
+			t.Fatalf("packet %d: prio %d (rule %d), oracle prio %d (rule %d)",
+				i, got.Priority, got.RuleID, want.Priority, want.RuleID)
+		}
+		rows += got.RowsRead
+	}
+	// NoProbing + parallel TCAM: exactly one row per classification.
+	if amal := float64(rows) / float64(len(trace)); amal != 1 {
+		t.Errorf("AMAL = %f, want 1", amal)
+	}
+}
+
+func TestCARAMClassifierDuplicationAccounting(t *testing.T) {
+	rules := GenerateRules(GenRulesConfig{Rules: 200, Seed: 8})
+	c, err := NewCARAMClassifier(rules, CARAMConfig{IndexBits: 10, Slots: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	main, ovfl := c.Entries()
+	total := 0
+	for _, r := range rules {
+		total += r.ExpansionFactor()
+	}
+	if main+ovfl < total {
+		t.Errorf("stored %d+%d entries for %d expanded (+%d dups)", main, ovfl, total, c.Duplicated)
+	}
+	if msg := c.Slice().Verify(); msg != "" {
+		t.Errorf("slice invariant: %s", msg)
+	}
+}
+
+func TestClassifiersAgree(t *testing.T) {
+	rules := GenerateRules(GenRulesConfig{Rules: 150, Seed: 9})
+	tc, err := NewTCAMClassifier(rules, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := NewCARAMClassifier(rules, CARAMConfig{IndexBits: 7, Slots: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := GenerateTrace(rules, 1500, 0.2, 10)
+	for i, p := range trace {
+		a, b := tc.Classify(p), cc.Classify(p)
+		if a.Matched != b.Matched || (a.Matched && a.Priority != b.Priority) {
+			t.Fatalf("packet %d: TCAM %+v, CA-RAM %+v", i, a, b)
+		}
+	}
+}
+
+func TestMissedPacket(t *testing.T) {
+	rules := []Rule{{
+		ID: 1, Priority: 1,
+		SrcPrefix: mustPrefix(t, "10.0.0.0/8"),
+		DstPrefix: mustPrefix(t, "10.0.0.0/8"),
+		SrcPorts:  AnyPort(), DstPorts: AnyPort(), Proto: 6,
+	}}
+	tc, err := NewTCAMClassifier(rules, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Classify(FiveTuple{SrcIP: 0x20000000, Proto: 6}).Matched {
+		t.Error("phantom classification")
+	}
+}

@@ -1,0 +1,42 @@
+package pktclass
+
+import "testing"
+
+// FuzzRangeToPrefixes checks the cover is always exact and minimal-ish
+// for arbitrary ranges.
+func FuzzRangeToPrefixes(f *testing.F) {
+	f.Add(uint16(0), uint16(0xffff))
+	f.Add(uint16(80), uint16(80))
+	f.Add(uint16(1024), uint16(65535))
+	f.Add(uint16(1), uint16(65534))
+	f.Fuzz(func(t *testing.T, a, b uint16) {
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cover := RangeToPrefixes(PortRange{lo, hi})
+		if len(cover) == 0 || len(cover) > 30 {
+			t.Fatalf("[%d,%d]: cover size %d", lo, hi, len(cover))
+		}
+		// Boundaries covered exactly once; outside not at all.
+		for _, p := range []uint32{uint32(lo), uint32(hi), uint32(lo) - 1, uint32(hi) + 1} {
+			if p > 0xffff {
+				continue
+			}
+			port := uint16(p)
+			n := 0
+			for _, pp := range cover {
+				if pp.Contains(port) {
+					n++
+				}
+			}
+			inside := port >= lo && port <= hi
+			if inside && n != 1 {
+				t.Fatalf("[%d,%d]: port %d covered %d times", lo, hi, port, n)
+			}
+			if !inside && n != 0 {
+				t.Fatalf("[%d,%d]: port %d outside but covered", lo, hi, port)
+			}
+		}
+	})
+}

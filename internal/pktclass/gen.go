@@ -1,0 +1,179 @@
+package pktclass
+
+import (
+	"math/rand"
+	"sort"
+
+	"caram/internal/iproute"
+	"caram/internal/workload"
+)
+
+// Synthetic ACL generation, shaped like the classifier benchmarks
+// (ClassBench-style firewall/ACL mixes): most rules carry a concrete
+// destination prefix and protocol, a large share pin the destination
+// port (exact well-known port or an ephemeral range), and a small tail
+// is broadly wildcarded (the default-deny scaffolding). Destination
+// prefixes cluster into allocation blocks exactly as routing prefixes
+// do, reusing the iproute generator's structure.
+
+// GenRulesConfig controls rule synthesis.
+type GenRulesConfig struct {
+	Rules int
+	Seed  int64
+}
+
+// wellKnownPorts weight the exact-port rules.
+var wellKnownPorts = []uint16{80, 443, 53, 25, 22, 23, 110, 143, 123, 161, 389, 445, 993, 3306, 5432, 8080}
+
+// GenerateRules synthesizes a deterministic ACL of exactly cfg.Rules
+// rules with descending priorities (rule order).
+func GenerateRules(cfg GenRulesConfig) []Rule {
+	if cfg.Rules <= 0 {
+		cfg.Rules = 1000
+	}
+	rng := workload.NewRand(cfg.Seed)
+	// Destination prefixes borrowed from the routing-table generator's
+	// clustered address structure.
+	prefixes := iproute.Generate(iproute.GenConfig{
+		Prefixes: cfg.Rules + cfg.Rules/2,
+		Seed:     cfg.Seed + 101,
+	})
+	workload.Shuffle(rng, prefixes)
+
+	out := make([]Rule, 0, cfg.Rules)
+	for i := 0; len(out) < cfg.Rules; i++ {
+		r := Rule{
+			ID:       len(out) + 1,
+			Priority: cfg.Rules - len(out), // rule order
+			Action:   uint8(rng.Intn(4)),
+			SrcPorts: AnyPort(),
+			DstPorts: AnyPort(),
+		}
+		kind := rng.Intn(100)
+		switch {
+		case kind < 55: // dst prefix + exact well-known dst port + proto
+			r.DstPrefix = prefixes[i%len(prefixes)]
+			r.DstPorts = ExactPort(wellKnownPorts[rng.Intn(len(wellKnownPorts))])
+			r.Proto = pickProto(rng)
+		case kind < 75: // dst prefix + port range + proto
+			r.DstPrefix = prefixes[i%len(prefixes)]
+			r.DstPorts = pickRange(rng)
+			r.Proto = pickProto(rng)
+		case kind < 90: // src+dst prefixes, any port
+			r.SrcPrefix = prefixes[(i+7)%len(prefixes)]
+			r.DstPrefix = prefixes[i%len(prefixes)]
+			r.Proto = pickProto(rng)
+		case kind < 97: // exact 5-tuple pin (e.g. a pinned flow)
+			r.SrcPrefix = hostPrefix(prefixes[(i+3)%len(prefixes)], rng)
+			r.DstPrefix = hostPrefix(prefixes[i%len(prefixes)], rng)
+			r.SrcPorts = ExactPort(uint16(1024 + rng.Intn(60000)))
+			r.DstPorts = ExactPort(wellKnownPorts[rng.Intn(len(wellKnownPorts))])
+			r.Proto = pickProto(rng)
+		default: // broad wildcard (monitoring / default rules)
+			r.ProtoAny = true
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+func pickProto(rng *rand.Rand) uint8 {
+	switch rng.Intn(10) {
+	case 0:
+		return 1 // ICMP
+	case 1, 2:
+		return 17 // UDP
+	default:
+		return 6 // TCP
+	}
+}
+
+// pickRange draws an aligned-ish ephemeral or service range.
+func pickRange(rng *rand.Rand) PortRange {
+	switch rng.Intn(4) {
+	case 0:
+		return PortRange{1024, 65535} // ephemeral
+	case 1:
+		return PortRange{0, 1023} // privileged
+	case 2:
+		lo := uint16(rng.Intn(60000))
+		return PortRange{lo, lo + uint16(rng.Intn(2000))}
+	default:
+		base := uint16(rng.Intn(1<<12) << 4)
+		return PortRange{base, base + 15}
+	}
+}
+
+// hostPrefix narrows a prefix to a single host inside it.
+func hostPrefix(p iproute.Prefix, rng *rand.Rand) iproute.Prefix {
+	addr := p.Addr
+	if p.Len < 32 {
+		addr |= rng.Uint32() & (1<<uint(32-p.Len) - 1)
+	}
+	return iproute.Prefix{Addr: addr, Len: 32}
+}
+
+// GenerateTrace draws packets that hit the rule set (headers sampled
+// from random rules) mixed with fraction missRatio of random packets.
+func GenerateTrace(rules []Rule, n int, missRatio float64, seed int64) []FiveTuple {
+	rng := workload.NewRand(seed)
+	out := make([]FiveTuple, n)
+	for i := range out {
+		if rng.Float64() < missRatio {
+			out[i] = FiveTuple{
+				SrcIP: rng.Uint32(), DstIP: rng.Uint32(),
+				SrcPort: uint16(rng.Intn(1 << 16)), DstPort: uint16(rng.Intn(1 << 16)),
+				Proto: uint8(rng.Intn(256)),
+			}
+			continue
+		}
+		r := rules[rng.Intn(len(rules))]
+		out[i] = packetIn(r, rng)
+	}
+	return out
+}
+
+// packetIn samples a packet matching the rule.
+func packetIn(r Rule, rng *rand.Rand) FiveTuple {
+	p := FiveTuple{
+		SrcIP:   fillPrefix(r.SrcPrefix, rng),
+		DstIP:   fillPrefix(r.DstPrefix, rng),
+		SrcPort: fillRange(r.SrcPorts, rng),
+		DstPort: fillRange(r.DstPorts, rng),
+		Proto:   r.Proto,
+	}
+	if r.ProtoAny {
+		p.Proto = pickProto(rng)
+	}
+	return p
+}
+
+func fillPrefix(p iproute.Prefix, rng *rand.Rand) uint32 {
+	addr := p.Canonical().Addr
+	if p.Len < 32 {
+		addr |= rng.Uint32() & (1<<uint(32-p.Len) - 1)
+	}
+	return addr
+}
+
+func fillRange(r PortRange, rng *rand.Rand) uint16 {
+	return r.Lo + uint16(rng.Intn(int(r.Hi-r.Lo)+1))
+}
+
+// Oracle classifies by linear scan — the verification reference.
+func Oracle(rules []Rule, p FiveTuple) Result {
+	best := Result{}
+	for _, r := range rules {
+		if r.Matches(p) && (!best.Matched || r.Priority > best.Priority) {
+			best = Result{Matched: true, RuleID: r.ID, Action: r.Action, Priority: r.Priority}
+		}
+	}
+	return best
+}
+
+// SortByPriority orders rules descending by priority (stable).
+func SortByPriority(rules []Rule) []Rule {
+	out := append([]Rule(nil), rules...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Priority > out[j].Priority })
+	return out
+}

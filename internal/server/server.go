@@ -1,0 +1,171 @@
+// Package server exposes a CA-RAM subsystem over a TCP line protocol —
+// the shape a CA-RAM accelerator takes behind a lookup service (the
+// paper's request/result ports, §3.2, stretched over a socket).
+//
+// Protocol (one request per line, space-separated, keys in hex):
+//
+//	ENGINES
+//	INSERT <engine> <key> <data>
+//	SEARCH <engine> <key> [mask]
+//	DELETE <engine> <key>
+//	STATS  <engine>
+//
+// Responses: "OK", "HIT <data>", "MISS", "STATS n=.. alpha=.. amal=..",
+// "ENGINES a b c", or "ERR <reason>".
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+
+	"caram/internal/bitutil"
+	"caram/internal/match"
+	"caram/internal/subsystem"
+)
+
+// Server serves a subsystem. Engines are not safe for concurrent use
+// (a slice has one row port), so a mutex serializes operations —
+// connections multiplex onto the single hardware resource exactly as
+// the input controller of Figure 5 would.
+type Server struct {
+	mu  sync.Mutex
+	sub *subsystem.Subsystem
+}
+
+// New wraps a subsystem.
+func New(sub *subsystem.Subsystem) *Server { return &Server{sub: sub} }
+
+// Serve accepts connections until the listener closes.
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			s.Handle(conn, conn)
+		}()
+	}
+}
+
+// Handle processes one connection's request stream. Split from Serve
+// so tests can drive it over arbitrary pipes.
+func (s *Server) Handle(r io.Reader, w io.Writer) {
+	sc := bufio.NewScanner(r)
+	out := bufio.NewWriter(w)
+	defer out.Flush()
+	for sc.Scan() {
+		resp := s.exec(sc.Text())
+		fmt.Fprintln(out, resp)
+		out.Flush()
+	}
+}
+
+// exec runs one request line.
+func (s *Server) exec(line string) string {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "ERR empty request"
+	}
+	cmd := strings.ToUpper(fields[0])
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch cmd {
+	case "ENGINES":
+		return "ENGINES " + strings.Join(s.sub.Engines(), " ")
+	case "INSERT":
+		if len(fields) != 4 {
+			return "ERR usage: INSERT <engine> <key> <data>"
+		}
+		key, err := parseVec(fields[2])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		data, err := parseVec(fields[3])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		rec := match.Record{Key: bitutil.Exact(key), Data: data}
+		if err := s.sub.Insert(fields[1], rec); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "SEARCH":
+		if len(fields) != 3 && len(fields) != 4 {
+			return "ERR usage: SEARCH <engine> <key> [mask]"
+		}
+		key, err := parseVec(fields[2])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		search := bitutil.Exact(key)
+		if len(fields) == 4 {
+			mask, err := parseVec(fields[3])
+			if err != nil {
+				return "ERR " + err.Error()
+			}
+			search = bitutil.NewTernary(key, mask)
+		}
+		eng, ok := s.sub.Engine(fields[1])
+		if !ok {
+			return "ERR no engine " + fields[1]
+		}
+		sr := eng.Search(search)
+		if !sr.Found {
+			return "MISS"
+		}
+		return fmt.Sprintf("HIT %x:%016x", sr.Record.Data.Hi, sr.Record.Data.Lo)
+	case "DELETE":
+		if len(fields) != 3 {
+			return "ERR usage: DELETE <engine> <key>"
+		}
+		key, err := parseVec(fields[2])
+		if err != nil {
+			return "ERR " + err.Error()
+		}
+		eng, ok := s.sub.Engine(fields[1])
+		if !ok {
+			return "ERR no engine " + fields[1]
+		}
+		if err := eng.Main.Delete(bitutil.Exact(key)); err != nil {
+			return "ERR " + err.Error()
+		}
+		return "OK"
+	case "STATS":
+		if len(fields) != 2 {
+			return "ERR usage: STATS <engine>"
+		}
+		eng, ok := s.sub.Engine(fields[1])
+		if !ok {
+			return "ERR no engine " + fields[1]
+		}
+		st := eng.Main.Stats()
+		return fmt.Sprintf("STATS n=%d alpha=%.3f amal=%.3f hits=%d misses=%d",
+			eng.Main.Count(), eng.Main.LoadFactor(), st.AMAL(), st.Hits, st.Misses)
+	default:
+		return "ERR unknown command " + cmd
+	}
+}
+
+// parseVec parses "hi:lo" or plain hex into a Vec128.
+func parseVec(s string) (bitutil.Vec128, error) {
+	var hi, lo uint64
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		if _, err := fmt.Sscanf(s[:i], "%x", &hi); err != nil {
+			return bitutil.Vec128{}, fmt.Errorf("bad hex %q", s)
+		}
+		if _, err := fmt.Sscanf(s[i+1:], "%x", &lo); err != nil {
+			return bitutil.Vec128{}, fmt.Errorf("bad hex %q", s)
+		}
+		return bitutil.FromParts(lo, hi), nil
+	}
+	if _, err := fmt.Sscanf(s, "%x", &lo); err != nil {
+		return bitutil.Vec128{}, fmt.Errorf("bad hex %q", s)
+	}
+	return bitutil.FromUint64(lo), nil
+}

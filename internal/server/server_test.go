@@ -1,0 +1,206 @@
+package server
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"caram/internal/caram"
+	"caram/internal/hash"
+	"caram/internal/subsystem"
+)
+
+func testServer(t *testing.T) *Server {
+	t.Helper()
+	sub := subsystem.New(0)
+	sl := caram.MustNew(caram.Config{
+		IndexBits: 6,
+		RowBits:   4*(1+64+32) + 8,
+		KeyBits:   64,
+		DataBits:  32,
+		Index:     hash.NewMultShift(6),
+	})
+	if err := sub.AddEngine(&subsystem.Engine{Name: "db", Main: sl}); err != nil {
+		t.Fatal(err)
+	}
+	return New(sub)
+}
+
+// drive sends request lines and returns the response lines.
+func drive(t *testing.T, s *Server, reqs ...string) []string {
+	t.Helper()
+	in := strings.NewReader(strings.Join(reqs, "\n") + "\n")
+	var out strings.Builder
+	s.Handle(in, &out)
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != len(reqs) {
+		t.Fatalf("%d responses for %d requests: %q", len(lines), len(reqs), out.String())
+	}
+	return lines
+}
+
+func TestProtocolBasics(t *testing.T) {
+	s := testServer(t)
+	resp := drive(t, s,
+		"ENGINES",
+		"INSERT db dead 42",
+		"SEARCH db dead",
+		"SEARCH db beef",
+		"DELETE db dead",
+		"SEARCH db dead",
+		"STATS db",
+	)
+	if resp[0] != "ENGINES db" {
+		t.Errorf("ENGINES = %q", resp[0])
+	}
+	if resp[1] != "OK" {
+		t.Errorf("INSERT = %q", resp[1])
+	}
+	if resp[2] != "HIT 0:0000000000000042" {
+		t.Errorf("SEARCH = %q", resp[2])
+	}
+	if resp[3] != "MISS" {
+		t.Errorf("SEARCH miss = %q", resp[3])
+	}
+	if resp[4] != "OK" {
+		t.Errorf("DELETE = %q", resp[4])
+	}
+	if resp[5] != "MISS" {
+		t.Errorf("post-delete SEARCH = %q", resp[5])
+	}
+	if !strings.HasPrefix(resp[6], "STATS n=0 ") {
+		t.Errorf("STATS = %q", resp[6])
+	}
+}
+
+func TestMaskedSearch(t *testing.T) {
+	// Masked search keys need an index generator that ignores the
+	// masked bits (the paper's §4 caveat), so this engine hashes on
+	// key bits 8..13 and the query masks only the low nibble.
+	sub := subsystem.New(0)
+	sl := caram.MustNew(caram.Config{
+		IndexBits: 6,
+		RowBits:   4*(1+64+32) + 8,
+		KeyBits:   64,
+		DataBits:  32,
+		Index:     hash.NewBitSelect([]int{8, 9, 10, 11, 12, 13}),
+	})
+	if err := sub.AddEngine(&subsystem.Engine{Name: "db", Main: sl}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sub)
+	resp := drive(t, s,
+		"INSERT db 1234 7",
+		"SEARCH db 1230 f", // low nibble masked, hash bits untouched
+	)
+	if resp[1] != "HIT 0:0000000000000007" {
+		t.Errorf("masked SEARCH = %q", resp[1])
+	}
+}
+
+func TestProtocolErrors(t *testing.T) {
+	s := testServer(t)
+	resp := drive(t, s,
+		"",
+		"BOGUS",
+		"INSERT db onearg",
+		"INSERT nope 1 2",
+		"SEARCH nope 1",
+		"SEARCH db zz",
+		"DELETE db 999",
+		"STATS nope",
+		"INSERT db 1 2 3 4",
+	)
+	for i, r := range resp {
+		if !strings.HasPrefix(r, "ERR") {
+			t.Errorf("request %d: expected ERR, got %q", i, r)
+		}
+	}
+}
+
+func TestWideKeys(t *testing.T) {
+	sub := subsystem.New(0)
+	sl := caram.MustNew(caram.Config{
+		IndexBits: 4,
+		RowBits:   2*(1+128+96) + 8,
+		KeyBits:   128,
+		DataBits:  96,
+		Index:     hash.NewMultShift(4),
+	})
+	if err := sub.AddEngine(&subsystem.Engine{Name: "wide", Main: sl}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sub)
+	resp := drive(t, s,
+		"INSERT wide deadbeef:cafef00d 1:2",
+		"SEARCH wide deadbeef:cafef00d",
+	)
+	if resp[1] != "HIT 1:0000000000000002" {
+		t.Errorf("wide SEARCH = %q", resp[1])
+	}
+}
+
+// Real sockets, concurrent clients.
+func TestServeOverTCP(t *testing.T) {
+	s := testServer(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go s.Serve(l) //nolint:errcheck // returns when l closes
+
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		c := c
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", l.Addr().String())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer conn.Close()
+			rd := bufio.NewReader(conn)
+			for i := 0; i < 50; i++ {
+				key := c*1000 + i
+				if _, err := conn.Write([]byte(
+					"INSERT db " + hex(key) + " " + hex(key*2) + "\n")); err != nil {
+					t.Error(err)
+					return
+				}
+				line, err := rd.ReadString('\n')
+				if err != nil || strings.TrimSpace(line) != "OK" {
+					t.Errorf("insert %d: %q %v", key, line, err)
+					return
+				}
+				if _, err := conn.Write([]byte("SEARCH db " + hex(key) + "\n")); err != nil {
+					t.Error(err)
+					return
+				}
+				line, _ = rd.ReadString('\n')
+				if !strings.HasPrefix(line, "HIT") {
+					t.Errorf("search %d: %q", key, line)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func hex(v int) string {
+	const digits = "0123456789abcdef"
+	if v == 0 {
+		return "0"
+	}
+	var b []byte
+	for v > 0 {
+		b = append([]byte{digits[v%16]}, b...)
+		v /= 16
+	}
+	return string(b)
+}

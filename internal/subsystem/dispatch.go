@@ -1,0 +1,89 @@
+package subsystem
+
+import (
+	"fmt"
+	"sync"
+
+	"caram/internal/bitutil"
+)
+
+// Dispatcher executes searches concurrently across engines — the §3.2
+// behavior of "multiple lookup actions simultaneously in progress in
+// different CA-RAM slices, leading to high search bandwidth". Each
+// engine is owned by exactly one goroutine (a slice has one row port,
+// so per-engine serialization is the hardware's own constraint);
+// requests fan out through per-engine queues and results merge into a
+// single stream.
+type Dispatcher struct {
+	queues  map[string]chan dispatchReq
+	results chan PortResult
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+type dispatchReq struct {
+	id  uint64
+	key bitutil.Ternary
+}
+
+// NewDispatcher starts one worker per engine with the given queue
+// depth (the request queue of Figure 5; 0 = 64). Callers must Close it
+// to release the workers.
+func NewDispatcher(engines []*Engine, queueDepth int) *Dispatcher {
+	if queueDepth <= 0 {
+		queueDepth = 64
+	}
+	d := &Dispatcher{
+		queues:  make(map[string]chan dispatchReq, len(engines)),
+		results: make(chan PortResult, queueDepth*len(engines)),
+	}
+	for _, e := range engines {
+		e := e
+		q := make(chan dispatchReq, queueDepth)
+		d.queues[e.Name] = q
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for req := range q {
+				sr := e.Search(req.key)
+				d.results <- PortResult{
+					ID:     req.id,
+					Port:   e.Name,
+					Found:  sr.Found,
+					Record: sr.Record,
+				}
+			}
+		}()
+	}
+	return d
+}
+
+// Submit enqueues a search on an engine's port. It blocks when the
+// port's request queue is full — the backpressure a full hardware
+// queue exerts.
+func (d *Dispatcher) Submit(port string, id uint64, key bitutil.Ternary) error {
+	q, ok := d.queues[port]
+	if !ok {
+		return fmt.Errorf("subsystem: no engine %q", port)
+	}
+	q <- dispatchReq{id: id, key: key}
+	return nil
+}
+
+// Results is the merged result stream. It is closed by Close after all
+// in-flight requests drain.
+func (d *Dispatcher) Results() <-chan PortResult { return d.results }
+
+// Close stops accepting requests, waits for in-flight work, and closes
+// the result stream.
+func (d *Dispatcher) Close() {
+	if d.closed {
+		return
+	}
+	d.closed = true
+	for _, q := range d.queues {
+		close(q)
+	}
+	d.wg.Wait()
+	close(d.results)
+}

@@ -1,0 +1,84 @@
+package subsystem
+
+import (
+	"sync"
+	"testing"
+
+	"caram/internal/bitutil"
+	"caram/internal/mem"
+)
+
+func TestDispatcherCorrectness(t *testing.T) {
+	// Two engines with disjoint contents; concurrent submitters; every
+	// result must carry the right payload for its port.
+	ip := &Engine{Name: "ip", Main: testSlice(t, 0, mem.SRAM)}
+	tri := &Engine{Name: "tri", Main: testSlice(t, 0, mem.SRAM)}
+	const n = 500
+	for i := 0; i < n; i++ {
+		if err := ip.Insert(rec(uint64(i), uint64(i)*2), nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := tri.Insert(rec(uint64(i), uint64(i)*3), nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := NewDispatcher([]*Engine{ip, tri}, 16)
+
+	// Collect results concurrently with submission.
+	got := make(map[uint64]PortResult, 2*n)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range d.Results() {
+			got[r.ID] = r
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := w; i < n; i += 4 {
+				key := bitutil.Exact(bitutil.FromUint64(uint64(i)))
+				if err := d.Submit("ip", uint64(i), key); err != nil {
+					t.Error(err)
+				}
+				if err := d.Submit("tri", uint64(n+i), key); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	d.Close()
+	<-done
+
+	if len(got) != 2*n {
+		t.Fatalf("collected %d results, want %d", len(got), 2*n)
+	}
+	for i := 0; i < n; i++ {
+		r := got[uint64(i)]
+		if r.Port != "ip" || !r.Found || r.Record.Data.Uint64() != uint64(i)*2 {
+			t.Fatalf("ip result %d = %+v", i, r)
+		}
+		r = got[uint64(n+i)]
+		if r.Port != "tri" || !r.Found || r.Record.Data.Uint64() != uint64(i)*3 {
+			t.Fatalf("tri result %d = %+v", i, r)
+		}
+	}
+}
+
+func TestDispatcherUnknownPortAndDoubleClose(t *testing.T) {
+	e := &Engine{Name: "only", Main: testSlice(t, 0, mem.SRAM)}
+	d := NewDispatcher([]*Engine{e}, 4)
+	if err := d.Submit("nope", 1, bitutil.Ternary{}); err == nil {
+		t.Error("unknown port accepted")
+	}
+	d.Close()
+	d.Close() // idempotent
+	if _, open := <-d.Results(); open {
+		t.Error("results channel not closed")
+	}
+}

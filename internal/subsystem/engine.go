@@ -1,0 +1,133 @@
+// Package subsystem assembles CA-RAM slices into the memory subsystem
+// of Figure 5: search engines (slice groups) serving separate
+// databases, an optional small CAM/TCAM overflow area searched in
+// parallel with the main array (§4.3), the request/result-queue port
+// interface of §3.2, and a cycle-level bandwidth simulation that
+// validates the §3.4 formula B = Nslice/nmem * fclk.
+package subsystem
+
+import (
+	"errors"
+	"fmt"
+
+	"caram/internal/bitutil"
+	"caram/internal/cam"
+	"caram/internal/caram"
+	"caram/internal/match"
+)
+
+// Engine is one database search engine: a (possibly banked) CA-RAM
+// plus an optional overflow CAM. The main slice should be configured
+// with caram.NoProbing when an overflow area is attached — spilled
+// records live in the CAM and every lookup costs exactly one row
+// access, the design point §4.3 analyzes.
+type Engine struct {
+	Name     string
+	Main     *caram.Slice
+	Overflow *cam.Device // optional; searched in parallel with Main
+	// Banks is the number of independently-accessible vertical banks
+	// the slice is split into for bandwidth (Figure 8 splits design D
+	// into eight). Purely a timing property; 0 means 1.
+	Banks int
+	// Score ranks multi-matches (e.g. prefix length for LPM); nil
+	// means first-match-wins exact search.
+	Score func(match.Record) int
+}
+
+// EngineStats tracks engine-level placement.
+type EngineStats struct {
+	Inserted     int
+	ToOverflow   int
+	FailedInsert int
+}
+
+// stats is updated by Insert.
+var errNoCapacity = errors.New("subsystem: record fits neither main array nor overflow")
+
+// SearchResult is the engine's answer to one search.
+type SearchResult struct {
+	Found    bool
+	Record   match.Record
+	RowsRead int  // main-array rows; the parallel overflow adds none
+	FromOvfl bool // the winning record came from the overflow area
+}
+
+// Insert places a record, diverting it to the overflow area when the
+// main array rejects it.
+func (e *Engine) Insert(rec match.Record, st *EngineStats) error {
+	err := e.Main.Insert(rec)
+	if err == nil {
+		if st != nil {
+			st.Inserted++
+		}
+		return nil
+	}
+	if !errors.Is(err, caram.ErrFull) || e.Overflow == nil {
+		if st != nil {
+			st.FailedInsert++
+		}
+		return err
+	}
+	prio := 0
+	if e.Score != nil {
+		prio = e.Score(rec)
+	}
+	if err := e.Overflow.Insert(rec, prio); err != nil {
+		if st != nil {
+			st.FailedInsert++
+		}
+		return fmt.Errorf("%w: %v", errNoCapacity, err)
+	}
+	if st != nil {
+		st.Inserted++
+		st.ToOverflow++
+	}
+	return nil
+}
+
+// Search looks the key up in the main array and, simultaneously, the
+// overflow area. With an overflow area attached the row cost is the
+// main lookup's only (AMAL = 1 under NoProbing), since the CAM search
+// proceeds in parallel.
+func (e *Engine) Search(key bitutil.Ternary) SearchResult {
+	var main caram.LookupResult
+	if e.Score != nil {
+		main = e.Main.LookupBest(key, e.Score)
+	} else {
+		main = e.Main.Lookup(key)
+	}
+	res := SearchResult{Found: main.Found, Record: main.Record, RowsRead: main.RowsRead}
+	if e.Overflow == nil {
+		return res
+	}
+	ovfl := e.Overflow.Search(key)
+	if !ovfl.Found {
+		return res
+	}
+	switch {
+	case !res.Found:
+		res.Found, res.Record, res.FromOvfl = true, ovfl.Record, true
+	case e.Score != nil && e.Score(ovfl.Record) > e.Score(res.Record):
+		res.Record, res.FromOvfl = ovfl.Record, true
+	}
+	return res
+}
+
+// banks resolves the timing bank count.
+func (e *Engine) banks() int {
+	if e.Banks <= 0 {
+		return 1
+	}
+	return e.Banks
+}
+
+// bankOf maps a home bucket to its bank: contiguous row partitions, so
+// short probe chains stay within one bank.
+func (e *Engine) bankOf(home uint32) int {
+	rows := e.Main.Config().Rows()
+	b := int(home) * e.banks() / rows
+	if b >= e.banks() {
+		b = e.banks() - 1
+	}
+	return b
+}

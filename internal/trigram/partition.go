@@ -1,0 +1,180 @@
+package trigram
+
+import (
+	"fmt"
+	"sort"
+
+	"caram/internal/bitutil"
+	"caram/internal/caram"
+	"caram/internal/match"
+	"caram/internal/subsystem"
+)
+
+// The partitioned-database approach of §4.2, completed: the paper maps
+// only the 13–16-character partition (40% of the 13,459,881-entry
+// Sphinx database) onto CA-RAM; here the *whole* database is split by
+// entry length into partitions, each served by its own CA-RAM engine
+// sized to its share, behind the subsystem's ports — the input
+// controller routes a query to the partition its length selects, so
+// the full database still answers in one row access.
+
+// Partition describes one length class.
+type Partition struct {
+	Name           string
+	MinLen, MaxLen int     // inclusive character bounds
+	Share          float64 // fraction of the database (Sphinx-like mix)
+}
+
+// SphinxPartitions approximates the full database's length mix; the
+// paper states the 13–16 class holds 40% of all entries.
+var SphinxPartitions = []Partition{
+	{Name: "short", MinLen: 5, MaxLen: 8, Share: 0.08},
+	{Name: "mid", MinLen: 9, MaxLen: 12, Share: 0.34},
+	{Name: "long", MinLen: 13, MaxLen: 16, Share: 0.40},
+	{Name: "xlong", MinLen: 17, MaxLen: 24, Share: 0.18},
+}
+
+// PartitionedDB is the full database behind one subsystem.
+type PartitionedDB struct {
+	sub        *subsystem.Subsystem
+	partitions []Partition
+	// engines keeps the per-partition engines for direct access.
+	engines map[string]*subsystem.Engine
+	// KeyCollisions counts xlong entries dropped because their
+	// head+digest key collided with a stored one (see Entry.Key).
+	KeyCollisions int
+}
+
+// partitionFor returns the partition index for an entry length, or -1.
+func partitionFor(parts []Partition, n int) int {
+	for i, p := range parts {
+		if n >= p.MinLen && n <= p.MaxLen {
+			return i
+		}
+	}
+	return -1
+}
+
+// GeneratePartitioned synthesizes a full-database image: total entries
+// distributed over the partitions by share, each entry's length within
+// its partition's bounds.
+func GeneratePartitioned(total int, seed int64, parts []Partition) map[string][]Entry {
+	if total <= 0 {
+		total = 200000
+	}
+	out := make(map[string][]Entry, len(parts))
+	for i, p := range parts {
+		n := int(float64(total) * p.Share)
+		if n == 0 {
+			n = 1
+		}
+		out[p.Name] = generateLenRange(n, seed+int64(i)*17, p.MinLen, p.MaxLen)
+	}
+	return out
+}
+
+// generateLenRange is the Generate core with custom length bounds.
+func generateLenRange(n int, seed int64, minLen, maxLen int) []Entry {
+	// Reuse Generate and post-filter would be wasteful for short
+	// bounds, so synthesize directly with the same vocabulary model.
+	db := generateWithBounds(n, seed, minLen, maxLen, 0)
+	sort.Slice(db, func(i, j int) bool { return db[i].Text < db[j].Text })
+	return db
+}
+
+// BuildPartitioned loads every partition into its own engine behind a
+// shared subsystem. perSliceR sizes each engine's bucket count; the
+// bucket count scales with the partition share so load factors are
+// comparable across partitions.
+func BuildPartitioned(dbs map[string][]Entry, parts []Partition, targetAlpha float64) (*PartitionedDB, error) {
+	if targetAlpha <= 0 || targetAlpha >= 1 {
+		targetAlpha = 0.7
+	}
+	p := &PartitionedDB{
+		sub:        subsystem.New(4096),
+		partitions: parts,
+		engines:    make(map[string]*subsystem.Engine, len(parts)),
+	}
+	for _, part := range parts {
+		db := dbs[part.Name]
+		if len(db) == 0 {
+			continue
+		}
+		// Buckets so that N/(M*S) ~ targetAlpha with S = 96.
+		m := int(float64(len(db))/(targetAlpha*KeysPerSliceRow)) + 1
+		if m < 4 {
+			m = 4
+		}
+		slot := 1 + 128 + ScoreBits
+		slice, err := caram.New(caram.Config{
+			IndexBits: 31,
+			TotalRows: m,
+			RowBits:   KeysPerSliceRow*slot + 16,
+			KeyBits:   128,
+			DataBits:  ScoreBits,
+			AuxBits:   16,
+			Index:     djbIndex(),
+		})
+		if err != nil {
+			return nil, err
+		}
+		eng := &subsystem.Engine{Name: part.Name, Main: slice}
+		if err := p.sub.AddEngine(eng); err != nil {
+			return nil, err
+		}
+		p.engines[part.Name] = eng
+		for _, e := range db {
+			rec := match.Record{Key: bitutil.Exact(e.Key()), Data: bitutil.FromUint64(uint64(e.Score))}
+			switch err := slice.Insert(rec); err {
+			case nil:
+			case caram.ErrExists:
+				p.KeyCollisions++ // digest collision on an xlong key
+			default:
+				return nil, fmt.Errorf("trigram: partition %s: %w", part.Name, err)
+			}
+		}
+	}
+	return p, nil
+}
+
+// Lookup routes the query to its length's partition — the virtual-port
+// dispatch of §3.2 — and performs one search there.
+func (p *PartitionedDB) Lookup(text string) (score uint16, rowsRead int, ok bool) {
+	i := partitionFor(p.partitions, len(text))
+	if i < 0 {
+		return 0, 0, false
+	}
+	eng, present := p.engines[p.partitions[i].Name]
+	if !present {
+		return 0, 0, false
+	}
+	sr := eng.Search(bitutil.Exact(Entry{Text: text}.Key()))
+	if !sr.Found {
+		return 0, sr.RowsRead, false
+	}
+	return uint16(sr.Record.Data.Uint64()), sr.RowsRead, true
+}
+
+// Stats returns per-partition (entries, load factor, AMAL-so-far).
+func (p *PartitionedDB) Stats() map[string][3]float64 {
+	out := make(map[string][3]float64, len(p.engines))
+	for name, eng := range p.engines {
+		st := eng.Main.Stats()
+		out[name] = [3]float64{float64(eng.Main.Count()), eng.Main.LoadFactor(), st.AMAL()}
+	}
+	return out
+}
+
+// Subsystem exposes the underlying assembly (for the dispatcher).
+func (p *PartitionedDB) Subsystem() *subsystem.Subsystem { return p.sub }
+
+// Engines lists partition engines in partition order.
+func (p *PartitionedDB) Engines() []*subsystem.Engine {
+	var out []*subsystem.Engine
+	for _, part := range p.partitions {
+		if e, ok := p.engines[part.Name]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}

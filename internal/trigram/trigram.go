@@ -1,0 +1,180 @@
+// Package trigram implements the paper's second application study
+// (§4.2): trigram lookup in a large-vocabulary speech recognition
+// system. The CMU-Sphinx III trigram database is not redistributable,
+// so a synthetic corpus stands in (see DESIGN.md, "Substitutions"): a
+// Zipf-distributed vocabulary of syllable-built words generates
+// trigram strings, filtered — as the paper does — to the 13–16
+// character partition. The metrics of Table 3 and the Figure 7
+// occupancy distribution are pure functions of the load factor and the
+// DJB hash's uniformity, so they carry over from the real database.
+package trigram
+
+import (
+	"sort"
+	"strings"
+
+	"caram/internal/bitutil"
+	"caram/internal/hash"
+	"caram/internal/workload"
+)
+
+// Paper-scale constants (§4.2).
+const (
+	// PaperEntries is the size of the 13–16-character partition the
+	// paper maps onto CA-RAM (40% of the full 13,459,881-entry DB).
+	PaperEntries = 5385231
+	// MinLen and MaxLen bound the partition's entry length in bytes.
+	MinLen = 13
+	MaxLen = 16
+	// KeyBytes is the stored key width: 16 characters (128 bits).
+	KeyBytes = 16
+)
+
+// Entry is one trigram record: the text and its language-model score
+// (standing in for the back-off weight / probability payload).
+type Entry struct {
+	Text  string
+	Score uint16
+}
+
+// Key returns the entry's 128-bit CA-RAM key. Texts up to 16 bytes are
+// zero-padded; longer texts (the xlong partition) are keyed by their
+// first 12 bytes plus a 32-bit DJB digest of the remainder — the
+// standard long-key compromise, collision-free unless both the head
+// and the digest coincide.
+func (e Entry) Key() bitutil.Vec128 {
+	var buf [KeyBytes]byte
+	if len(e.Text) <= KeyBytes {
+		copy(buf[:], e.Text)
+		return bitutil.FromBytes(buf[:])
+	}
+	copy(buf[:12], e.Text[:12])
+	d := uint32(hash.DJBString(e.Text[12:]))
+	buf[12] = byte(d >> 24)
+	buf[13] = byte(d >> 16)
+	buf[14] = byte(d >> 8)
+	buf[15] = byte(d)
+	return bitutil.FromBytes(buf[:])
+}
+
+// GenConfig controls corpus synthesis.
+type GenConfig struct {
+	Entries int   // target entry count; 0 = PaperEntries
+	Seed    int64 // RNG seed
+	// Vocabulary is the distinct word count; 0 derives ~60,000 (the
+	// paper's "~60,000-word vocabulary" system).
+	Vocabulary int
+}
+
+// syllables for word synthesis; chosen to give natural-ish lengths.
+var onsets = []string{"b", "c", "d", "f", "g", "h", "j", "k", "l", "m",
+	"n", "p", "r", "s", "t", "v", "w", "z", "ch", "sh", "th", "st", "tr", "pl"}
+var nuclei = []string{"a", "e", "i", "o", "u", "ai", "ea", "ou", "io"}
+var codas = []string{"", "", "n", "r", "s", "t", "l", "m", "nd", "st", "ck", "ng"}
+
+// Generate synthesizes a deduplicated trigram database of exactly
+// cfg.Entries entries, each 13–16 characters ("w1 w2 w3").
+func Generate(cfg GenConfig) []Entry {
+	if cfg.Entries <= 0 {
+		cfg.Entries = PaperEntries
+	}
+	if cfg.Vocabulary <= 0 {
+		cfg.Vocabulary = 60000
+	}
+	out := generateWithBounds(cfg.Entries, cfg.Seed, MinLen, MaxLen, cfg.Vocabulary)
+	sort.Slice(out, func(i, j int) bool { return out[i].Text < out[j].Text })
+	return out
+}
+
+// generateWithBounds is the synthesis core with custom length bounds,
+// shared with the partitioned-database generator. The paper's own
+// 13-16 partition uses Zipf word sampling with rejection (cheap there
+// because most trigrams land in range); other partitions use a
+// length-bucketed sampler, since rejection sampling of, say, an
+// 8-character trigram from a 60,000-word vocabulary almost never
+// succeeds.
+func generateWithBounds(entries int, seed int64, minLen, maxLen, vocabulary int) []Entry {
+	if vocabulary <= 0 {
+		vocabulary = 60000
+	}
+	cfg := GenConfig{Entries: entries, Seed: seed, Vocabulary: vocabulary}
+	rng := workload.NewRand(cfg.Seed)
+
+	vocab := make([]string, cfg.Vocabulary)
+	seenWord := make(map[string]bool, cfg.Vocabulary)
+	for i := 0; i < cfg.Vocabulary; {
+		var b strings.Builder
+		syls := 1 + rng.Intn(3)
+		for s := 0; s < syls; s++ {
+			b.WriteString(onsets[rng.Intn(len(onsets))])
+			b.WriteString(nuclei[rng.Intn(len(nuclei))])
+			b.WriteString(codas[rng.Intn(len(codas))])
+		}
+		w := b.String()
+		if len(w) < 2 || len(w) > 10 || seenWord[w] {
+			continue
+		}
+		seenWord[w] = true
+		vocab[i] = w
+		i++
+	}
+
+	seen := make(map[string]bool, cfg.Entries)
+	out := make([]Entry, 0, cfg.Entries)
+	if minLen == MinLen && maxLen == MaxLen {
+		pick := workload.NewZipf(rng, 1.1, len(vocab))
+		for len(out) < cfg.Entries {
+			t := vocab[pick.Rank()] + " " + vocab[pick.Rank()] + " " + vocab[pick.Rank()]
+			if len(t) < minLen || len(t) > maxLen || seen[t] {
+				continue
+			}
+			seen[t] = true
+			out = append(out, Entry{Text: t, Score: uint16(rng.Intn(1 << 16))})
+		}
+		return out
+	}
+
+	// Length-bucketed sampling: draw a feasible word-length triple,
+	// then a word from each length bucket.
+	byLen := make(map[int][]string)
+	for _, w := range vocab {
+		byLen[len(w)] = append(byLen[len(w)], w)
+	}
+	var triples [][3]int
+	for l1 := range byLen {
+		for l2 := range byLen {
+			for l3 := range byLen {
+				total := l1 + l2 + l3 + 2
+				if total >= minLen && total <= maxLen {
+					triples = append(triples, [3]int{l1, l2, l3})
+				}
+			}
+		}
+	}
+	if len(triples) == 0 {
+		return out // bounds unreachable with this vocabulary
+	}
+	sort.Slice(triples, func(i, j int) bool { // determinism over map order
+		a, b := triples[i], triples[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+	maxAttempts := 200*cfg.Entries + 10000
+	for attempts := 0; len(out) < cfg.Entries && attempts < maxAttempts; attempts++ {
+		tr := triples[rng.Intn(len(triples))]
+		t := byLen[tr[0]][rng.Intn(len(byLen[tr[0]]))] + " " +
+			byLen[tr[1]][rng.Intn(len(byLen[tr[1]]))] + " " +
+			byLen[tr[2]][rng.Intn(len(byLen[tr[2]]))]
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		out = append(out, Entry{Text: t, Score: uint16(rng.Intn(1 << 16))})
+	}
+	return out
+}

@@ -1,0 +1,68 @@
+package trigram
+
+import (
+	"testing"
+
+	"caram/internal/bitutil"
+)
+
+func TestGenerateCountLengthUnique(t *testing.T) {
+	db := Generate(GenConfig{Entries: 30000, Seed: 1, Vocabulary: 5000})
+	if len(db) != 30000 {
+		t.Fatalf("len = %d", len(db))
+	}
+	seen := map[string]bool{}
+	for _, e := range db {
+		if len(e.Text) < MinLen || len(e.Text) > MaxLen {
+			t.Fatalf("entry %q has length %d outside [%d,%d]", e.Text, len(e.Text), MinLen, MaxLen)
+		}
+		if seen[e.Text] {
+			t.Fatalf("duplicate entry %q", e.Text)
+		}
+		seen[e.Text] = true
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenConfig{Entries: 2000, Seed: 3, Vocabulary: 2000})
+	b := Generate(GenConfig{Entries: 2000, Seed: 3, Vocabulary: 2000})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestGenerateTrigramShape(t *testing.T) {
+	db := Generate(GenConfig{Entries: 5000, Seed: 2, Vocabulary: 3000})
+	for _, e := range db[:100] {
+		words := 1
+		for i := 0; i < len(e.Text); i++ {
+			if e.Text[i] == ' ' {
+				words++
+			}
+		}
+		if words != 3 {
+			t.Fatalf("entry %q has %d words", e.Text, words)
+		}
+	}
+}
+
+func TestEntryKey(t *testing.T) {
+	e := Entry{Text: "abc"}
+	k := e.Key()
+	// Big-endian padded: 'a' in the top byte of the 16-byte image.
+	want := bitutil.FromBytes(append([]byte("abc"), make([]byte, 13)...))
+	if k != want {
+		t.Errorf("Key = %v, want %v", k, want)
+	}
+	// Distinct texts give distinct keys.
+	if (Entry{Text: "abc"}).Key() == (Entry{Text: "abd"}).Key() {
+		t.Error("key collision on different texts")
+	}
+	// 16-char text uses the full width.
+	full := Entry{Text: "abcdefghijklmnop"}
+	if full.Key() != bitutil.FromString("abcdefghijklmnop") {
+		t.Error("full-width key wrong")
+	}
+}
