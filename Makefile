@@ -1,0 +1,37 @@
+# Build / verification targets.
+#
+#   make check    tier-1: vet + build + full test suite
+#   make race     race-detector pass over the concurrent packages
+#   make stress   tier-2: the concurrency stress tests under -race
+#   make fuzz     10s per wire-protocol fuzz target
+#   make bench    the parallel-throughput server benchmark
+#   make all      everything above, in that order
+
+GO       ?= go
+FUZZTIME ?= 10s
+
+.PHONY: all check vet race stress fuzz bench
+
+all: check race stress fuzz bench
+
+check: vet
+	$(GO) build ./...
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./internal/server ./internal/subsystem
+
+# Tier-2: the mixed-workload stress tests (>=32 goroutines, >=10k ops)
+# under the race detector, across every package that defines them.
+stress:
+	$(GO) test -run Stress -race ./...
+
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzExec -fuzztime $(FUZZTIME) ./internal/server
+	$(GO) test -run '^$$' -fuzz FuzzParseVec -fuzztime $(FUZZTIME) ./internal/server
+
+bench:
+	$(GO) test -run '^$$' -bench ServerParallelSearch -benchmem .

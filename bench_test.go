@@ -8,7 +8,10 @@ package caram
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"caram/internal/bitutil"
@@ -20,6 +23,7 @@ import (
 	"caram/internal/match"
 	"caram/internal/mem"
 	"caram/internal/pktclass"
+	"caram/internal/server"
 	"caram/internal/subsystem"
 	"caram/internal/swsearch"
 	"caram/internal/trigram"
@@ -329,6 +333,73 @@ func BenchmarkPacketClassification(b *testing.B) {
 	}
 	main, ovfl := c.Entries()
 	b.ReportMetric(float64(ovfl)/float64(main+ovfl)*100, "overflow-%")
+}
+
+// BenchmarkServerParallelSearch measures protocol-level search
+// throughput when every client targets its own engine — the traffic
+// pattern the per-engine locking model exists for. The per-engine case
+// runs on the server's real path (subsystem.Concurrent); the
+// global-mutex case reproduces the old design by funnelling the same
+// requests through one lock. On a multi-core host the per-engine case
+// scales with cores; "goroutines" forces contention even at
+// GOMAXPROCS=1 so the two cases stay comparable on throttled CI. The
+// analytic bandwidth model (§3.4: B scales with the number of
+// independent slices) is reported alongside the measured numbers.
+func BenchmarkServerParallelSearch(b *testing.B) {
+	const (
+		nEngines = 8
+		nKeys    = 4096
+	)
+	mk := func(b *testing.B) *server.Server {
+		sub := subsystem.New(0)
+		for e := 0; e < nEngines; e++ {
+			sl := caram.MustNew(caram.Config{
+				IndexBits: 10, RowBits: 8*(1+64+32) + 8, KeyBits: 64, DataBits: 32,
+				Index: hash.NewMultShift(10),
+			})
+			for k := 0; k < nKeys; k++ {
+				if err := sl.Insert(match.Record{
+					Key:  bitutil.Exact(bitutil.FromUint64(uint64(k))),
+					Data: bitutil.FromUint64(uint64(k)),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := sub.AddEngine(&subsystem.Engine{Name: fmt.Sprintf("e%d", e), Main: sl}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return server.New(sub)
+	}
+	run := func(b *testing.B, exec func(string) string) {
+		b.SetParallelism(nEngines) // nEngines goroutines per GOMAXPROCS
+		var ctr int64
+		b.RunParallel(func(pb *testing.PB) {
+			eng := "e" + strconv.FormatInt(atomic.AddInt64(&ctr, 1)%nEngines, 10)
+			i := 0
+			for pb.Next() {
+				line := "SEARCH " + eng + " " + strconv.FormatUint(uint64(i%nKeys), 16)
+				if resp := exec(line); !strings.HasPrefix(resp, "HIT") {
+					b.Fatal(resp)
+				}
+				i++
+			}
+		})
+		b.ReportMetric(cost.CARAMBandwidth(nEngines, 1, 1), "model-req-per-cycle")
+	}
+	b.Run("per-engine-locks", func(b *testing.B) {
+		s := mk(b)
+		run(b, s.Exec)
+	})
+	b.Run("global-mutex-baseline", func(b *testing.B) {
+		s := mk(b)
+		var mu sync.Mutex
+		run(b, func(line string) string {
+			mu.Lock()
+			defer mu.Unlock()
+			return s.Exec(line)
+		})
+	})
 }
 
 // BenchmarkDispatcherThroughput measures concurrent multi-engine search

@@ -1,16 +1,20 @@
 // Command caram-server exposes a CA-RAM subsystem over TCP with the
 // line protocol of internal/server — the accelerator as a lookup
-// service. It starts with one empty general-purpose engine named "db"
-// (64-bit keys, 32-bit data); clients populate and query it.
+// service. It starts one empty general-purpose engine per name in
+// -engines (64-bit keys, 32-bit data); clients populate and query
+// them. Requests to distinct engines execute in parallel (the
+// per-engine locking model of internal/subsystem's Concurrent layer),
+// so pointing hot traffic at several engines scales with cores.
 //
-//	caram-server -addr :7070 &
-//	printf 'INSERT db dead 42\nSEARCH db dead\n' | nc localhost 7070
+//	caram-server -addr :7070 -engines db,ip,tri &
+//	printf 'INSERT db dead 42\nMSEARCH db dead ip dead\n' | nc localhost 7070
 package main
 
 import (
 	"flag"
 	"log"
 	"net"
+	"strings"
 
 	"caram/internal/caram"
 	"caram/internal/hash"
@@ -20,33 +24,43 @@ import (
 
 func main() {
 	var (
-		addr  = flag.String("addr", "127.0.0.1:7070", "listen address")
-		rbits = flag.Int("indexbits", 12, "index bits (2^n buckets)")
-		slots = flag.Int("slots", 8, "keys per bucket")
+		addr    = flag.String("addr", "127.0.0.1:7070", "listen address")
+		rbits   = flag.Int("indexbits", 12, "index bits per engine (2^n buckets)")
+		slots   = flag.Int("slots", 8, "keys per bucket")
+		engines = flag.String("engines", "db", "comma-separated engine names; requests to distinct engines run in parallel")
 	)
 	flag.Parse()
 
+	names := strings.Split(*engines, ",")
 	sub := subsystem.New(0)
-	sl, err := caram.New(caram.Config{
-		IndexBits: *rbits,
-		RowBits:   *slots*(1+64+32) + 16,
-		KeyBits:   64,
-		DataBits:  32,
-		AuxBits:   16,
-		Index:     hash.NewMultShift(*rbits),
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := sub.AddEngine(&subsystem.Engine{Name: "db", Main: sl}); err != nil {
-		log.Fatal(err)
+	var rows, perRow int
+	for _, name := range names {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			log.Fatal("caram-server: empty engine name in -engines")
+		}
+		sl, err := caram.New(caram.Config{
+			IndexBits: *rbits,
+			RowBits:   *slots*(1+64+32) + 16,
+			KeyBits:   64,
+			DataBits:  32,
+			AuxBits:   16,
+			Index:     hash.NewMultShift(*rbits),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sub.AddEngine(&subsystem.Engine{Name: name, Main: sl}); err != nil {
+			log.Fatal(err)
+		}
+		rows, perRow = sl.Config().Rows(), sl.Config().Slots()
 	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("caram-server: engine 'db' (%d buckets x %d slots) on %s",
-		sl.Config().Rows(), sl.Config().Slots(), l.Addr())
+	log.Printf("caram-server: %d engine(s) %v (%d buckets x %d slots each) on %s",
+		len(names), names, rows, perRow, l.Addr())
 	log.Fatal(server.New(sub).Serve(l))
 }

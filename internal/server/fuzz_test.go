@@ -1,0 +1,101 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"caram/internal/bitutil"
+)
+
+// responsePrefixes classifies every legal single-line response.
+var responsePrefixes = []string{"OK", "HIT ", "MISS", "ERR ", "ENGINES", "STATS ", "MRESULTS"}
+
+// FuzzExec throws arbitrary request lines at the protocol engine: no
+// input may panic it, and every response must be one well-formed line
+// of a known shape. The seed corpus covers each command, the
+// malformed-hex cases parseVec must reject, and an oversized line.
+func FuzzExec(f *testing.F) {
+	seeds := []string{
+		"",
+		"ENGINES",
+		"INSERT db dead 42",
+		"SEARCH db dead",
+		"SEARCH db dead ff",
+		"SEARCH db 12zz", // hex prefix + garbage: the Sscanf bug class
+		"SEARCH db 1:2:3",
+		"SEARCH db 0xdead",
+		"SEARCH db -1",
+		"SEARCH db +1",
+		"SEARCH db " + strings.Repeat("f", 17), // overflows uint64
+		"MSEARCH db dead db beef",
+		"MSEARCH db",     // odd arg count
+		"MSEARCH nope 1", // unknown engine
+		"DELETE db dead",
+		"STATS db",
+		"STATS nope",
+		"BOGUS x y",
+		"insert db 1 2", // lowercase command
+		"INSERT db 1 2 3 4",
+		"  SEARCH \t db \t dead  ",
+		strings.Repeat("A", 70000), // oversized line (Handle rejects; Exec must survive)
+		"SEARCH db \x00\xff",
+		"INSERT db ÿ 1",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	srv := fuzzServer()
+	f.Fuzz(func(t *testing.T, line string) {
+		resp := srv.Exec(line)
+		if resp == "" {
+			t.Fatalf("empty response for %q", line)
+		}
+		if strings.ContainsAny(resp, "\n\r") {
+			t.Fatalf("multi-line response %q for %q", resp, line)
+		}
+		known := false
+		for _, p := range responsePrefixes {
+			if resp == strings.TrimSpace(p) || strings.HasPrefix(resp, p) {
+				known = true
+				break
+			}
+		}
+		if !known {
+			t.Fatalf("unclassifiable response %q for %q", resp, line)
+		}
+	})
+}
+
+// FuzzParseVec checks that parseVec never panics, returns the zero
+// vector on every error, and round-trips every value it accepts.
+func FuzzParseVec(f *testing.F) {
+	seeds := []string{
+		"", "0", "dead", "DEAD", "dEaD",
+		"12zz", "zz12", "0x12", "+12", "-1", "١٢", // non-ASCII digits
+		"deadbeef:cafef00d", ":", "1:", ":1", "1:2:3", "1::2",
+		strings.Repeat("f", 16), strings.Repeat("f", 17),
+		strings.Repeat("0", 100) + "1", "ffffffffffffffff:ffffffffffffffff",
+		"1 2", "1\t2", "1.5", "e", "E", "_1", "1_2",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := parseVec(s)
+		if err != nil {
+			if v != (bitutil.Vec128{}) {
+				t.Fatalf("parseVec(%q) error %v but non-zero value %v", s, err, v)
+			}
+			return
+		}
+		// Whatever parsed must survive a format/reparse round trip.
+		rt, err := parseVec(fmt.Sprintf("%x:%x", v.Hi, v.Lo))
+		if err != nil {
+			t.Fatalf("round-trip of %q failed: %v", s, err)
+		}
+		if rt != v {
+			t.Fatalf("parseVec(%q) = %v, round-trips to %v", s, v, rt)
+		}
+	})
+}

@@ -2,42 +2,62 @@
 // the shape a CA-RAM accelerator takes behind a lookup service (the
 // paper's request/result ports, §3.2, stretched over a socket).
 //
-// Protocol (one request per line, space-separated, keys in hex):
+// Protocol (one request per line, space-separated, keys in hex, either
+// plain "<lo>" or wide "<hi>:<lo>"):
 //
 //	ENGINES
-//	INSERT <engine> <key> <data>
-//	SEARCH <engine> <key> [mask]
-//	DELETE <engine> <key>
-//	STATS  <engine>
+//	INSERT  <engine> <key> <data>
+//	SEARCH  <engine> <key> [mask]
+//	MSEARCH <engine> <key> [<engine> <key> ...]
+//	DELETE  <engine> <key>
+//	STATS   <engine>
 //
 // Responses: "OK", "HIT <data>", "MISS", "STATS n=.. alpha=.. amal=..",
-// "ENGINES a b c", or "ERR <reason>".
+// "ENGINES a b c", "MRESULTS r1 r2 ..." or "ERR <reason>". Each
+// MRESULTS slot is "HIT:<hi>:<lo>", "MISS", or "ERR:no-engine", in
+// request order.
+//
+// Request lines are capped at MaxLineBytes; an oversized line draws
+// "ERR line too long" and ends the connection.
+//
+// Concurrency: the server runs on a per-engine locking model
+// (subsystem.Concurrent). Requests that target distinct engines
+// execute in parallel — N connections hammering N engines proceed
+// independently, the §3.2 picture of multiple lookups simultaneously
+// in progress in different slices. INSERT, SEARCH and DELETE on the
+// same engine serialize (a slice has one row port, and even lookups
+// update access statistics); STATS takes only a read lock and may
+// overlap with other STATS of the same engine. MSEARCH fans its batch
+// across the referenced engines and collects results in request order.
 package server
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"strings"
-	"sync"
 
 	"caram/internal/bitutil"
 	"caram/internal/match"
 	"caram/internal/subsystem"
 )
 
-// Server serves a subsystem. Engines are not safe for concurrent use
-// (a slice has one row port), so a mutex serializes operations —
-// connections multiplex onto the single hardware resource exactly as
-// the input controller of Figure 5 would.
+// MaxLineBytes bounds one request line. Longer lines are rejected with
+// "ERR line too long".
+const MaxLineBytes = 64 * 1024
+
+// Server serves a subsystem through its per-engine concurrency layer.
 type Server struct {
-	mu  sync.Mutex
-	sub *subsystem.Subsystem
+	con *subsystem.Concurrent
 }
 
-// New wraps a subsystem.
-func New(sub *subsystem.Subsystem) *Server { return &Server{sub: sub} }
+// New wraps a subsystem whose engine registration is complete.
+func New(sub *subsystem.Subsystem) *Server {
+	return &Server{con: subsystem.NewConcurrent(sub)}
+}
 
 // Serve accepts connections until the listener closes.
 func (s *Server) Serve(l net.Listener) error {
@@ -54,30 +74,38 @@ func (s *Server) Serve(l net.Listener) error {
 }
 
 // Handle processes one connection's request stream. Split from Serve
-// so tests can drive it over arbitrary pipes.
+// so tests can drive it over arbitrary pipes. Handle itself is safe
+// for concurrent use: any number of connections may execute at once.
 func (s *Server) Handle(r io.Reader, w io.Writer) {
 	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 4096), MaxLineBytes)
 	out := bufio.NewWriter(w)
 	defer out.Flush()
 	for sc.Scan() {
-		resp := s.exec(sc.Text())
-		fmt.Fprintln(out, resp)
+		fmt.Fprintln(out, s.Exec(sc.Text()))
 		out.Flush()
+	}
+	switch err := sc.Err(); {
+	case err == nil: // clean EOF
+	case errors.Is(err, bufio.ErrTooLong):
+		fmt.Fprintln(out, "ERR line too long")
+	default:
+		fmt.Fprintln(out, "ERR read: "+err.Error())
 	}
 }
 
-// exec runs one request line.
-func (s *Server) exec(line string) string {
+// Exec runs one request line and returns the single-line response. It
+// is the protocol engine behind Handle, exported so embedders and
+// benchmarks can drive the server without a socket. Exec is safe for
+// concurrent use; requests to distinct engines run in parallel.
+func (s *Server) Exec(line string) string {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return "ERR empty request"
 	}
-	cmd := strings.ToUpper(fields[0])
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	switch cmd {
+	switch cmd := strings.ToUpper(fields[0]); cmd {
 	case "ENGINES":
-		return "ENGINES " + strings.Join(s.sub.Engines(), " ")
+		return "ENGINES " + strings.Join(s.con.Engines(), " ")
 	case "INSERT":
 		if len(fields) != 4 {
 			return "ERR usage: INSERT <engine> <key> <data>"
@@ -91,7 +119,7 @@ func (s *Server) exec(line string) string {
 			return "ERR " + err.Error()
 		}
 		rec := match.Record{Key: bitutil.Exact(key), Data: data}
-		if err := s.sub.Insert(fields[1], rec); err != nil {
+		if err := s.con.Insert(fields[1], rec); err != nil {
 			return "ERR " + err.Error()
 		}
 		return "OK"
@@ -111,15 +139,41 @@ func (s *Server) exec(line string) string {
 			}
 			search = bitutil.NewTernary(key, mask)
 		}
-		eng, ok := s.sub.Engine(fields[1])
-		if !ok {
-			return "ERR no engine " + fields[1]
+		sr, err := s.con.Search(fields[1], search)
+		if err != nil {
+			return "ERR " + err.Error()
 		}
-		sr := eng.Search(search)
 		if !sr.Found {
 			return "MISS"
 		}
 		return fmt.Sprintf("HIT %x:%016x", sr.Record.Data.Hi, sr.Record.Data.Lo)
+	case "MSEARCH":
+		args := fields[1:]
+		if len(args) == 0 || len(args)%2 != 0 {
+			return "ERR usage: MSEARCH <engine> <key> [<engine> <key> ...]"
+		}
+		reqs := make([]subsystem.PortKey, len(args)/2)
+		for i := range reqs {
+			key, err := parseVec(args[2*i+1])
+			if err != nil {
+				return "ERR " + err.Error()
+			}
+			reqs[i] = subsystem.PortKey{Port: args[2*i], Key: bitutil.Exact(key)}
+		}
+		var sb strings.Builder
+		sb.WriteString("MRESULTS")
+		for _, r := range s.con.MSearch(reqs) {
+			sb.WriteByte(' ')
+			switch {
+			case r.Err != nil:
+				sb.WriteString("ERR:no-engine")
+			case !r.Result.Found:
+				sb.WriteString("MISS")
+			default:
+				fmt.Fprintf(&sb, "HIT:%x:%016x", r.Result.Record.Data.Hi, r.Result.Record.Data.Lo)
+			}
+		}
+		return sb.String()
 	case "DELETE":
 		if len(fields) != 3 {
 			return "ERR usage: DELETE <engine> <key>"
@@ -128,11 +182,7 @@ func (s *Server) exec(line string) string {
 		if err != nil {
 			return "ERR " + err.Error()
 		}
-		eng, ok := s.sub.Engine(fields[1])
-		if !ok {
-			return "ERR no engine " + fields[1]
-		}
-		if err := eng.Main.Delete(bitutil.Exact(key)); err != nil {
+		if err := s.con.Delete(fields[1], bitutil.Exact(key)); err != nil {
 			return "ERR " + err.Error()
 		}
 		return "OK"
@@ -140,32 +190,45 @@ func (s *Server) exec(line string) string {
 		if len(fields) != 2 {
 			return "ERR usage: STATS <engine>"
 		}
-		eng, ok := s.sub.Engine(fields[1])
-		if !ok {
-			return "ERR no engine " + fields[1]
+		info, err := s.con.Info(fields[1])
+		if err != nil {
+			return "ERR " + err.Error()
 		}
-		st := eng.Main.Stats()
 		return fmt.Sprintf("STATS n=%d alpha=%.3f amal=%.3f hits=%d misses=%d",
-			eng.Main.Count(), eng.Main.LoadFactor(), st.AMAL(), st.Hits, st.Misses)
+			info.Count, info.LoadFactor, info.Stats.AMAL(), info.Stats.Hits, info.Stats.Misses)
 	default:
 		return "ERR unknown command " + cmd
 	}
 }
 
-// parseVec parses "hi:lo" or plain hex into a Vec128.
+// parseVec parses "hi:lo" or plain hex into a Vec128. Each part must
+// be 1-16 hex digits with nothing else — trailing garbage ("12zz"),
+// signs, and "0x" prefixes are all rejected.
 func parseVec(s string) (bitutil.Vec128, error) {
-	var hi, lo uint64
+	bad := func() (bitutil.Vec128, error) {
+		return bitutil.Vec128{}, fmt.Errorf("bad hex %q", s)
+	}
 	if i := strings.IndexByte(s, ':'); i >= 0 {
-		if _, err := fmt.Sscanf(s[:i], "%x", &hi); err != nil {
-			return bitutil.Vec128{}, fmt.Errorf("bad hex %q", s)
+		hi, err := parseHex64(s[:i])
+		if err != nil {
+			return bad()
 		}
-		if _, err := fmt.Sscanf(s[i+1:], "%x", &lo); err != nil {
-			return bitutil.Vec128{}, fmt.Errorf("bad hex %q", s)
+		lo, err := parseHex64(s[i+1:])
+		if err != nil {
+			return bad()
 		}
 		return bitutil.FromParts(lo, hi), nil
 	}
-	if _, err := fmt.Sscanf(s, "%x", &lo); err != nil {
-		return bitutil.Vec128{}, fmt.Errorf("bad hex %q", s)
+	lo, err := parseHex64(s)
+	if err != nil {
+		return bad()
 	}
 	return bitutil.FromUint64(lo), nil
+}
+
+// parseHex64 parses a bare hex field. strconv.ParseUint rejects what
+// fmt.Sscanf "%x" silently tolerated: empty fields, signs, "0x"
+// prefixes, and valid-prefix-plus-garbage like "12zz".
+func parseHex64(s string) (uint64, error) {
+	return strconv.ParseUint(s, 16, 64)
 }

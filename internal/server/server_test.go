@@ -14,6 +14,12 @@ import (
 
 func testServer(t *testing.T) *Server {
 	t.Helper()
+	return fuzzServer()
+}
+
+// fuzzServer builds the one-engine fixture without a testing.T, so
+// fuzz targets can share it.
+func fuzzServer() *Server {
 	sub := subsystem.New(0)
 	sl := caram.MustNew(caram.Config{
 		IndexBits: 6,
@@ -23,7 +29,7 @@ func testServer(t *testing.T) *Server {
 		Index:     hash.NewMultShift(6),
 	})
 	if err := sub.AddEngine(&subsystem.Engine{Name: "db", Main: sl}); err != nil {
-		t.Fatal(err)
+		panic(err)
 	}
 	return New(sub)
 }
@@ -190,6 +196,108 @@ func TestServeOverTCP(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+func TestParseVec(t *testing.T) {
+	ok := []struct {
+		in     string
+		hi, lo uint64
+	}{
+		{"0", 0, 0},
+		{"dead", 0, 0xdead},
+		{"DEAD", 0, 0xdead},
+		{"ffffffffffffffff", 0, ^uint64(0)},
+		{"1:2", 1, 2},
+		{"deadbeef:cafef00d", 0xdeadbeef, 0xcafef00d},
+		{"ffffffffffffffff:ffffffffffffffff", ^uint64(0), ^uint64(0)},
+		{"0000000000000000001", 0, 1}, // leading zeros are value, not width
+	}
+	for _, tc := range ok {
+		v, err := parseVec(tc.in)
+		if err != nil || v.Hi != tc.hi || v.Lo != tc.lo {
+			t.Errorf("parseVec(%q) = %v, %v; want hi=%x lo=%x", tc.in, v, err, tc.hi, tc.lo)
+		}
+	}
+	bad := []string{
+		"",         // empty
+		"zz",       // no hex at all
+		"12zz",     // valid prefix + garbage (the Sscanf bug)
+		"zz12",     // garbage + valid suffix
+		"0x12",     // prefix syntax not part of the protocol
+		"+1", "-1", // signs
+		"1_2",           // underscores
+		"1.5",           // decimal point
+		":", "1:", ":1", // missing parts
+		"1:2:3", "1::2", // extra separators
+		"12zz:1", "1:12zz", // garbage in either part
+		strings.Repeat("f", 17), // overflows uint64
+		"1:" + strings.Repeat("f", 17),
+		"١٢", // non-ASCII digits
+	}
+	for _, in := range bad {
+		if v, err := parseVec(in); err == nil {
+			t.Errorf("parseVec(%q) = %v, want error", in, v)
+		}
+	}
+}
+
+func TestOversizedLine(t *testing.T) {
+	s := testServer(t)
+	// A 65 KiB request must draw an explicit error, not a silent
+	// connection drop; the following request is not reached (the
+	// stream is unrecoverable once the scanner overflows).
+	long := "SEARCH db " + strings.Repeat("f", 65*1024)
+	in := strings.NewReader("INSERT db 1 2\n" + long + "\nSEARCH db 1\n")
+	var out strings.Builder
+	s.Handle(in, &out)
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d responses: %q", len(lines), out.String())
+	}
+	if lines[0] != "OK" {
+		t.Errorf("first response = %q", lines[0])
+	}
+	if lines[1] != "ERR line too long" {
+		t.Errorf("oversized-line response = %q", lines[1])
+	}
+}
+
+func TestMSearch(t *testing.T) {
+	sub := subsystem.New(0)
+	for _, name := range []string{"a", "b"} {
+		sl := caram.MustNew(caram.Config{
+			IndexBits: 6,
+			RowBits:   4*(1+64+32) + 8,
+			KeyBits:   64,
+			DataBits:  32,
+			Index:     hash.NewMultShift(6),
+		})
+		if err := sub.AddEngine(&subsystem.Engine{Name: name, Main: sl}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := New(sub)
+	resp := drive(t, s,
+		"INSERT a 1 10",
+		"INSERT b 2 20",
+		"MSEARCH a 1 b 2 a 2 nope 1 b 1",
+		"MSEARCH a 1",
+		"MSEARCH",
+		"MSEARCH a",
+		"MSEARCH a 12zz",
+	)
+	want := "MRESULTS HIT:0:0000000000000010 HIT:0:0000000000000020 MISS ERR:no-engine MISS"
+	if resp[2] != want {
+		t.Errorf("MSEARCH = %q\n want %q", resp[2], want)
+	}
+	if resp[3] != "MRESULTS HIT:0:0000000000000010" {
+		t.Errorf("single MSEARCH = %q", resp[3])
+	}
+	for i := 4; i <= 6; i++ {
+		if !strings.HasPrefix(resp[i], "ERR") {
+			t.Errorf("request %d: expected ERR, got %q", i, resp[i])
+		}
+	}
 }
 
 func hex(v int) string {

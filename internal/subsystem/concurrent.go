@@ -1,0 +1,184 @@
+package subsystem
+
+import (
+	"fmt"
+	"sync"
+
+	"caram/internal/bitutil"
+	"caram/internal/caram"
+	"caram/internal/match"
+)
+
+// Concurrent is the thread-safe dispatch layer over a fully-registered
+// Subsystem — the software counterpart of §3.2's observation that
+// "multiple lookup actions [can be] simultaneously in progress in
+// different CA-RAM slices". Each engine gets its own RWMutex:
+//
+//   - INSERT / SEARCH / DELETE on one engine serialize (a slice has a
+//     single row port, and even lookups update access statistics), but
+//     the same operations on distinct engines run fully in parallel;
+//   - read-only inspection (Contains, Info) takes the read lock and
+//     may overlap with other readers of the same engine, since those
+//     paths peek at rows without charging accesses.
+//
+// Once a Subsystem is wrapped, all access must go through the
+// Concurrent layer; using the bare Subsystem or its engines directly
+// alongside it would bypass the locks.
+type Concurrent struct {
+	order   []string
+	engines map[string]*guardedEngine
+}
+
+// guardedEngine pairs an engine with its port lock and the placement
+// stats the subsystem tracks for it.
+type guardedEngine struct {
+	mu sync.RWMutex
+	e  *Engine
+	st *EngineStats
+}
+
+// NewConcurrent wraps a subsystem whose engine registration is
+// complete. Engines added to the subsystem afterwards are not visible
+// through the wrapper.
+func NewConcurrent(sub *Subsystem) *Concurrent {
+	c := &Concurrent{
+		order:   sub.Engines(),
+		engines: make(map[string]*guardedEngine, len(sub.engines)),
+	}
+	for _, name := range c.order {
+		c.engines[name] = &guardedEngine{e: sub.engines[name], st: sub.stats[name]}
+	}
+	return c
+}
+
+// errNoEngine formats the canonical unknown-port error.
+func errNoEngine(port string) error {
+	return fmt.Errorf("subsystem: no engine %q", port)
+}
+
+// Engines lists engine names in registration order.
+func (c *Concurrent) Engines() []string { return append([]string(nil), c.order...) }
+
+// Insert routes a record to the named engine under its write lock.
+func (c *Concurrent) Insert(port string, rec match.Record) error {
+	g, ok := c.engines[port]
+	if !ok {
+		return errNoEngine(port)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.e.Insert(rec, g.st)
+}
+
+// Search runs one lookup on the named engine. It takes the write lock:
+// a search occupies the slice's only row port and updates its access
+// statistics, so two searches of one engine cannot overlap — exactly
+// the hardware's constraint.
+func (c *Concurrent) Search(port string, key bitutil.Ternary) (SearchResult, error) {
+	g, ok := c.engines[port]
+	if !ok {
+		return SearchResult{}, errNoEngine(port)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.e.Search(key), nil
+}
+
+// Delete removes the exact key from the named engine under its write
+// lock.
+func (c *Concurrent) Delete(port string, key bitutil.Ternary) error {
+	g, ok := c.engines[port]
+	if !ok {
+		return errNoEngine(port)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.e.Main.Delete(key)
+}
+
+// Contains reports whether the exact key is stored. It takes only the
+// read lock — the underlying scan peeks at rows and charges no
+// accesses, so concurrent readers are safe.
+func (c *Concurrent) Contains(port string, key bitutil.Ternary) (bool, error) {
+	g, ok := c.engines[port]
+	if !ok {
+		return false, errNoEngine(port)
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.e.Main.Contains(key), nil
+}
+
+// EngineInfo is a consistent snapshot of one engine's occupancy and
+// activity counters.
+type EngineInfo struct {
+	Count      int
+	LoadFactor float64
+	Stats      caram.Stats
+	Placement  EngineStats
+}
+
+// Info snapshots an engine's counters under the read lock.
+func (c *Concurrent) Info(port string) (EngineInfo, error) {
+	g, ok := c.engines[port]
+	if !ok {
+		return EngineInfo{}, errNoEngine(port)
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return EngineInfo{
+		Count:      g.e.Main.Count(),
+		LoadFactor: g.e.Main.LoadFactor(),
+		Stats:      g.e.Main.Stats(),
+		Placement:  *g.st,
+	}, nil
+}
+
+// PortKey names one element of a batched search: a key aimed at an
+// engine port.
+type PortKey struct {
+	Port string
+	Key  bitutil.Ternary
+}
+
+// MSearchResult is one slot of a batched search's answer.
+type MSearchResult struct {
+	Err    error
+	Result SearchResult
+}
+
+// MSearch fans a batch of searches across engines: requests for
+// distinct engines run in parallel (one goroutine per referenced
+// port), requests sharing an engine serialize on its lock. Results
+// come back in request order; an unknown port yields a per-slot error
+// rather than failing the batch.
+func (c *Concurrent) MSearch(reqs []PortKey) []MSearchResult {
+	out := make([]MSearchResult, len(reqs))
+	byPort := make(map[string][]int, len(c.engines))
+	for i, r := range reqs {
+		byPort[r.Port] = append(byPort[r.Port], i)
+	}
+	var wg sync.WaitGroup
+	for port, idxs := range byPort {
+		wg.Add(1)
+		go func(port string, idxs []int) {
+			defer wg.Done()
+			g, ok := c.engines[port]
+			if !ok {
+				err := errNoEngine(port)
+				for _, i := range idxs {
+					out[i].Err = err
+				}
+				return
+			}
+			for _, i := range idxs {
+				g.mu.Lock()
+				sr := g.e.Search(reqs[i].Key)
+				g.mu.Unlock()
+				out[i].Result = sr
+			}
+		}(port, idxs)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,11 +1,14 @@
 package subsystem
 
 import (
-	"fmt"
+	"errors"
 	"sync"
 
 	"caram/internal/bitutil"
 )
+
+// ErrDispatcherClosed is returned by Submit after Close has begun.
+var ErrDispatcherClosed = errors.New("subsystem: dispatcher closed")
 
 // Dispatcher executes searches concurrently across engines — the §3.2
 // behavior of "multiple lookup actions simultaneously in progress in
@@ -18,7 +21,13 @@ type Dispatcher struct {
 	queues  map[string]chan dispatchReq
 	results chan PortResult
 	wg      sync.WaitGroup
-	closed  bool
+
+	// mu guards closed and holds every in-flight Submit's queue send
+	// under its read side, so Close can only tear the queues down once
+	// no sender is mid-flight (and Submit can never send on a closed
+	// channel).
+	mu     sync.RWMutex
+	closed bool
 }
 
 type dispatchReq struct {
@@ -60,11 +69,17 @@ func NewDispatcher(engines []*Engine, queueDepth int) *Dispatcher {
 
 // Submit enqueues a search on an engine's port. It blocks when the
 // port's request queue is full — the backpressure a full hardware
-// queue exerts.
+// queue exerts. After Close it returns ErrDispatcherClosed. Callers
+// must be draining Results, or a full queue can block Submit forever.
 func (d *Dispatcher) Submit(port string, id uint64, key bitutil.Ternary) error {
 	q, ok := d.queues[port]
 	if !ok {
-		return fmt.Errorf("subsystem: no engine %q", port)
+		return errNoEngine(port)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return ErrDispatcherClosed
 	}
 	q <- dispatchReq{id: id, key: key}
 	return nil
@@ -75,15 +90,19 @@ func (d *Dispatcher) Submit(port string, id uint64, key bitutil.Ternary) error {
 func (d *Dispatcher) Results() <-chan PortResult { return d.results }
 
 // Close stops accepting requests, waits for in-flight work, and closes
-// the result stream.
+// the result stream. It is idempotent and safe to race with Submit:
+// late Submits fail with ErrDispatcherClosed instead of panicking.
 func (d *Dispatcher) Close() {
+	d.mu.Lock()
 	if d.closed {
+		d.mu.Unlock()
 		return
 	}
 	d.closed = true
 	for _, q := range d.queues {
 		close(q)
 	}
+	d.mu.Unlock()
 	d.wg.Wait()
 	close(d.results)
 }

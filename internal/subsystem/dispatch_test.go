@@ -2,6 +2,7 @@ package subsystem
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"caram/internal/bitutil"
@@ -80,5 +81,67 @@ func TestDispatcherUnknownPortAndDoubleClose(t *testing.T) {
 	d.Close() // idempotent
 	if _, open := <-d.Results(); open {
 		t.Error("results channel not closed")
+	}
+}
+
+func TestDispatcherSubmitAfterClose(t *testing.T) {
+	e := &Engine{Name: "only", Main: testSlice(t, 0, mem.SRAM)}
+	d := NewDispatcher([]*Engine{e}, 4)
+	d.Close()
+	// A late Submit must fail cleanly, not panic on a closed queue.
+	if err := d.Submit("only", 1, bitutil.Ternary{}); err != ErrDispatcherClosed {
+		t.Errorf("Submit after Close = %v, want ErrDispatcherClosed", err)
+	}
+	// Unknown port still reports the port error, closed or not.
+	if err := d.Submit("nope", 1, bitutil.Ternary{}); err == nil || err == ErrDispatcherClosed {
+		t.Errorf("unknown port after Close = %v", err)
+	}
+}
+
+// TestStressDispatcherCloseRace races many submitters against Close:
+// every Submit must either enqueue (and produce a result) or return
+// ErrDispatcherClosed — never panic, never lose a result.
+func TestStressDispatcherCloseRace(t *testing.T) {
+	e := &Engine{Name: "only", Main: testSlice(t, 0, mem.SRAM)}
+	if err := e.Insert(rec(1, 2), nil); err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 20; round++ {
+		d := NewDispatcher([]*Engine{e}, 8)
+		var accepted int64
+		results := make(chan int, 1)
+		go func() {
+			n := 0
+			for range d.Results() {
+				n++
+			}
+			results <- n
+		}()
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			w := w
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					err := d.Submit("only", uint64(w*50+i), bitutil.Exact(bitutil.FromUint64(1)))
+					switch err {
+					case nil:
+						atomic.AddInt64(&accepted, 1)
+					case ErrDispatcherClosed:
+						return
+					default:
+						t.Errorf("Submit: %v", err)
+						return
+					}
+				}
+			}()
+		}
+		// Close midway through the submission storm.
+		d.Close()
+		wg.Wait()
+		if got := <-results; int64(got) != atomic.LoadInt64(&accepted) {
+			t.Fatalf("round %d: %d results for %d accepted submits", round, got, accepted)
+		}
 	}
 }
