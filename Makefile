@@ -1,18 +1,23 @@
 # Build / verification targets.
 #
-#   make check    tier-1: vet + build + full test suite
-#   make race     race-detector pass over the concurrent packages
-#   make stress   tier-2: the concurrency stress tests under -race
-#   make fuzz     10s per wire-protocol fuzz target
-#   make bench    the parallel-throughput server benchmark
-#   make all      everything above, in that order
+#   make check          tier-1: vet + build + full test suite
+#   make race           race-detector pass over the concurrent packages
+#   make stress         tier-2: the concurrency stress tests under -race
+#   make fuzz           10s per wire-protocol fuzz target
+#   make bench          the parallel-throughput server benchmark
+#   make metrics-smoke  end-to-end observability check: live server,
+#                       /metrics scrape, graceful shutdown
+#   make ci             the CI gate: check + race + metrics-smoke
+#   make all            everything above, in that order
 
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check vet race stress fuzz bench
+.PHONY: all check vet race stress fuzz bench metrics-smoke ci
 
-all: check race stress fuzz bench
+all: check race stress fuzz bench metrics-smoke
+
+ci: check race metrics-smoke
 
 check: vet
 	$(GO) build ./...
@@ -22,7 +27,10 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/server ./internal/subsystem
+	$(GO) test -race ./internal/server ./internal/subsystem ./internal/metrics
+
+metrics-smoke:
+	$(GO) run ./cmd/metrics-smoke
 
 # Tier-2: the mixed-workload stress tests (>=32 goroutines, >=10k ops)
 # under the race detector, across every package that defines them.

@@ -402,6 +402,47 @@ func BenchmarkServerParallelSearch(b *testing.B) {
 	})
 }
 
+// BenchmarkServerSearchInstrumented prices the observability layer: the
+// identical single-goroutine SEARCH workload through a server with
+// metrics (the default — every op pays two atomic adds plus a histogram
+// bucket add and a clock read) and one built with
+// server.WithoutMetrics() (the bare pre-metrics path). The delta
+// between the two sub-benchmarks is the per-op instrumentation
+// overhead; CHANGES.md records the measured numbers.
+func BenchmarkServerSearchInstrumented(b *testing.B) {
+	const nKeys = 4096
+	mk := func(b *testing.B, opts ...server.Option) *server.Server {
+		sub := subsystem.New(0)
+		sl := caram.MustNew(caram.Config{
+			IndexBits: 10, RowBits: 8*(1+64+32) + 8, KeyBits: 64, DataBits: 32,
+			Index: hash.NewMultShift(10),
+		})
+		for k := 0; k < nKeys; k++ {
+			if err := sl.Insert(match.Record{
+				Key:  bitutil.Exact(bitutil.FromUint64(uint64(k))),
+				Data: bitutil.FromUint64(uint64(k)),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sub.AddEngine(&subsystem.Engine{Name: "db", Main: sl}); err != nil {
+			b.Fatal(err)
+		}
+		return server.New(sub, opts...)
+	}
+	run := func(b *testing.B, s *server.Server) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			line := "SEARCH db " + strconv.FormatUint(uint64(i%nKeys), 16)
+			if resp := s.Exec(line); !strings.HasPrefix(resp, "HIT") {
+				b.Fatal(resp)
+			}
+		}
+	}
+	b.Run("instrumented", func(b *testing.B) { run(b, mk(b)) })
+	b.Run("uninstrumented", func(b *testing.B) { run(b, mk(b, server.WithoutMetrics())) })
+}
+
 // BenchmarkDispatcherThroughput measures concurrent multi-engine search
 // dispatch.
 func BenchmarkDispatcherThroughput(b *testing.B) {

@@ -6,28 +6,43 @@
 // per-engine locking model of internal/subsystem's Concurrent layer),
 // so pointing hot traffic at several engines scales with cores.
 //
-//	caram-server -addr :7070 -engines db,ip,tri &
+// With -http the server also exposes its observability surface:
+// Prometheus-style metrics on /metrics, expvar on /debug/vars, and
+// pprof under /debug/pprof/.
+//
+//	caram-server -addr :7070 -http :9090 -engines db,ip,tri &
 //	printf 'INSERT db dead 42\nMSEARCH db dead ip dead\n' | nc localhost 7070
+//	curl -s localhost:9090/metrics | grep caram_
+//
+// SIGINT/SIGTERM shut down gracefully: the listener closes, in-flight
+// handlers drain, and the process exits 0.
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
 	"net"
+	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"caram/internal/caram"
 	"caram/internal/hash"
+	"caram/internal/metrics"
 	"caram/internal/server"
 	"caram/internal/subsystem"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:7070", "listen address")
-		rbits   = flag.Int("indexbits", 12, "index bits per engine (2^n buckets)")
-		slots   = flag.Int("slots", 8, "keys per bucket")
-		engines = flag.String("engines", "db", "comma-separated engine names; requests to distinct engines run in parallel")
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		httpAddr = flag.String("http", "", "optional HTTP listen address for /metrics, /debug/vars, /debug/pprof")
+		rbits    = flag.Int("indexbits", 12, "index bits per engine (2^n buckets)")
+		slots    = flag.Int("slots", 8, "keys per bucket")
+		engines  = flag.String("engines", "db", "comma-separated engine names; requests to distinct engines run in parallel")
 	)
 	flag.Parse()
 
@@ -56,11 +71,40 @@ func main() {
 		rows, perRow = sl.Config().Rows(), sl.Config().Slots()
 	}
 
+	srv := server.New(sub)
+
+	if *httpAddr != "" {
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("caram-server: metrics on http://%s/metrics", hl.Addr())
+		go func() {
+			if err := http.Serve(hl, metrics.Handler(srv.Metrics())); err != nil {
+				log.Printf("caram-server: http: %v", err)
+			}
+		}()
+	}
+
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("caram-server: %d engine(s) %v (%d buckets x %d slots each) on %s",
 		len(names), names, rows, perRow, l.Addr())
-	log.Fatal(server.New(sub).Serve(l))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("caram-server: %v: shutting down", s)
+		if err := srv.Close(); err != nil {
+			log.Printf("caram-server: close: %v", err)
+		}
+	}()
+
+	if err := srv.Serve(l); err != nil && !errors.Is(err, server.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	log.Print("caram-server: bye")
 }

@@ -1,0 +1,216 @@
+// Command metrics-smoke is the observability end-to-end check behind
+// `make metrics-smoke`: it builds cmd/caram-server, starts it with
+// both the wire port and the -http port on ephemeral addresses, drives
+// a small mixed workload over TCP, then asserts that
+//
+//   - /metrics serves every caram_* metric family with the op counts
+//     the workload implies,
+//   - /debug/vars exposes the expvar "caram" map,
+//   - METRICS over the wire agrees with the scrape, and
+//   - SIGINT shuts the server down cleanly (exit code 0).
+//
+// It exits non-zero with a diagnostic on the first failed assertion,
+// so it works as a CI gate without a test framework.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"caram/internal/metrics"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("metrics-smoke: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+	log.Print("PASS")
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "metrics-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	bin := filepath.Join(dir, "caram-server")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/caram-server")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("build caram-server: %w", err)
+	}
+
+	wireAddr, httpAddr, err := freeAddrs()
+	if err != nil {
+		return err
+	}
+	srv := exec.Command(bin, "-addr", wireAddr, "-http", httpAddr, "-engines", "db,aux", "-indexbits", "8")
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		return fmt.Errorf("start caram-server: %w", err)
+	}
+	defer srv.Process.Kill() //nolint:errcheck // belt and braces; the happy path interrupts
+
+	conn, err := dialRetry(wireAddr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+	ask := func(req string) (string, error) {
+		if _, err := fmt.Fprintln(conn, req); err != nil {
+			return "", fmt.Errorf("%s: %w", req, err)
+		}
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", req, err)
+		}
+		return strings.TrimSpace(line), nil
+	}
+
+	// A small workload with known counts: 2 inserts, 2 searches (one
+	// miss), 1 delete, 2 msearch slots, 1 unknown-engine request.
+	for _, step := range []struct{ req, want string }{
+		{"INSERT db dead 42", "OK"},
+		{"INSERT aux beef 7", "OK"},
+		{"SEARCH db dead", "HIT 0:0000000000000042"},
+		{"SEARCH db beef", "MISS"},
+		{"MSEARCH db dead aux beef", "MRESULTS HIT:0:0000000000000042 HIT:0:0000000000000007"},
+		{"DELETE db dead", "OK"},
+		{"SEARCH ghost 1", `ERR subsystem: no engine "ghost"`},
+		{"METRICS", "METRICS engines=2 ops=7 errors=0 unknown=1"},
+	} {
+		got, err := ask(step.req)
+		if err != nil {
+			return err
+		}
+		if got != step.want {
+			return fmt.Errorf("%s: got %q, want %q", step.req, got, step.want)
+		}
+	}
+
+	body, err := get("http://" + httpAddr + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"# TYPE " + metrics.FamOps + " counter",
+		"# TYPE " + metrics.FamOpLatency + " histogram",
+		metrics.FamOps + `{engine="db",op="insert"} 1`,
+		metrics.FamOps + `{engine="db",op="search"} 2`,
+		metrics.FamOps + `{engine="db",op="delete"} 1`,
+		metrics.FamOps + `{engine="db",op="msearch"} 1`,
+		metrics.FamOps + `{engine="aux",op="msearch"} 1`,
+		metrics.FamOpLatency + `_count{engine="db",op="search"} 2`,
+		metrics.FamRecords + `{engine="db"} 0`,
+		metrics.FamRecords + `{engine="aux"} 1`,
+		metrics.FamLoadFactor + `{engine="db"} 0`,
+		metrics.FamAMAL + `{engine="db"}`,
+		metrics.FamLookups + `{engine="db"} 3`,
+		metrics.FamHits + `{engine="db"} 2`,
+		metrics.FamMisses + `{engine="db"} 1`,
+		metrics.FamRowsAccessed + `{engine="db"}`,
+		metrics.FamOverflow + `{engine="db"} 0`,
+		metrics.FamSpilled + `{engine="db"} 0`,
+		metrics.FamUnknown + " 1",
+	} {
+		if !strings.Contains(body, want) {
+			return fmt.Errorf("/metrics missing %q\n%s", want, body)
+		}
+	}
+
+	vars, err := get("http://" + httpAddr + "/debug/vars")
+	if err != nil {
+		return err
+	}
+	var parsed struct {
+		Caram struct {
+			Engines map[string]json.RawMessage `json:"engines"`
+		} `json:"caram"`
+	}
+	if err := json.Unmarshal([]byte(vars), &parsed); err != nil {
+		return fmt.Errorf("/debug/vars not JSON: %w", err)
+	}
+	for _, eng := range []string{"db", "aux"} {
+		if _, ok := parsed.Caram.Engines[eng]; !ok {
+			return fmt.Errorf("/debug/vars caram map missing engine %q", eng)
+		}
+	}
+
+	// Graceful shutdown: SIGINT, then the process must exit 0.
+	if err := srv.Process.Signal(os.Interrupt); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("server exited non-zero after SIGINT: %w", err)
+		}
+	case <-time.After(10 * time.Second):
+		srv.Process.Kill() //nolint:errcheck
+		return fmt.Errorf("server did not exit within 10s of SIGINT")
+	}
+	return nil
+}
+
+// freeAddrs reserves two distinct loopback ports by listening and
+// closing; the tiny reuse race is acceptable for a smoke check.
+func freeAddrs() (wire, http string, err error) {
+	addrs := make([]string, 2)
+	for i := range addrs {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return "", "", err
+		}
+		addrs[i] = l.Addr().String()
+		l.Close()
+	}
+	return addrs[0], addrs[1], nil
+}
+
+// dialRetry polls the wire port until the freshly-exec'd server
+// accepts.
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dial %s: %w", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func get(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("%s: status %d", url, resp.StatusCode)
+	}
+	return string(body), nil
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math/bits"
+	"sync/atomic"
+
+	"caram/internal/stats"
+)
+
+// Latency histogram geometry: bucket i spans [2^(minShift+i-1),
+// 2^(minShift+i)) nanoseconds (bucket 0 starts at zero), so 26 buckets
+// cover 128 ns .. ~4.3 s with power-of-two resolution; anything slower
+// lands in the last bucket. Bounded and fixed up front so Observe is a
+// shift, a bits.Len and one atomic add — no locks, no allocation.
+const (
+	histMinShift = 7  // first bucket: < 128 ns
+	histBuckets  = 26 // last edge: 128ns << 25 ≈ 4.29 s
+)
+
+// Histogram is a bounded, race-safe latency histogram: fixed
+// exponential bucket edges, one atomic counter per bucket, plus a
+// running sum so mean latency and Prometheus's `_sum` come for free.
+// The zero value is NOT ready; it is initialised by NewRegistry.
+type Histogram struct {
+	counts [histBuckets]atomic.Uint64
+	sumNs  atomic.Int64
+}
+
+// init exists for symmetry with future variable-geometry histograms;
+// the fixed-array layout needs no allocation.
+func (h *Histogram) init() {}
+
+// bucketOf maps a duration in nanoseconds to its bucket index.
+func bucketOf(ns int64) int {
+	if ns < 0 {
+		ns = 0
+	}
+	b := bits.Len64(uint64(ns) >> histMinShift)
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+// BucketEdgeNs returns bucket i's inclusive upper edge in nanoseconds
+// (the value the bucket reports for quantile purposes). The last
+// bucket is unbounded and reports its lower edge ×2 like the others —
+// callers treating it as "at least this slow" is the bounded-histogram
+// trade-off.
+func BucketEdgeNs(i int) int64 {
+	return int64(1)<<(histMinShift+uint(i)) - 1
+}
+
+// Observe records one duration in nanoseconds.
+func (h *Histogram) Observe(ns int64) {
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketOf(ns)].Add(1)
+	h.sumNs.Add(ns)
+}
+
+// N returns the number of observations.
+func (h *Histogram) N() uint64 {
+	var n uint64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// HistSnapshot is an atomic-load copy of a histogram: per-bucket counts
+// against fixed upper edges, plus the running sum.
+type HistSnapshot struct {
+	Counts [histBuckets]uint64
+	SumNs  int64
+	N      uint64
+}
+
+// Snapshot copies the counters. Loads are per-bucket atomic, so the
+// copy is monotone (never ahead of the live histogram's future state)
+// though not a single instant.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	s.SumNs = h.sumNs.Load()
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		s.Counts[i] = c
+		s.N += c
+	}
+	return s
+}
+
+// Stats re-expresses the bucketed counts as a stats.Histogram (each
+// bucket contributes its upper edge as the value), reusing the
+// experiment toolkit's quantile machinery for export.
+func (s HistSnapshot) Stats() *stats.Histogram {
+	h := stats.NewHistogram()
+	for i, c := range s.Counts {
+		if c > 0 {
+			h.AddN(int(BucketEdgeNs(i)), int64(c))
+		}
+	}
+	return h
+}
+
+// Quantiles returns the upper-edge latency in nanoseconds at each
+// quantile p (0..1). The answer overestimates the true quantile by at
+// most one power of two — the histogram's resolution contract.
+func (s HistSnapshot) Quantiles(ps ...float64) []int64 {
+	qs := s.Stats().Quantiles(ps...)
+	out := make([]int64, len(qs))
+	for i, q := range qs {
+		out[i] = int64(q)
+	}
+	return out
+}
+
+// MeanNs returns the mean observed latency in nanoseconds.
+func (s HistSnapshot) MeanNs() float64 {
+	if s.N == 0 {
+		return 0
+	}
+	return float64(s.SumNs) / float64(s.N)
+}

@@ -1,0 +1,134 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestBucketGeometry(t *testing.T) {
+	cases := []struct {
+		ns     int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {127, 0},
+		{128, 1}, {255, 1}, {256, 2},
+		{1 << 20, 14}, {1 << 31, 25}, {1 << 40, 25}, // clamps to last bucket
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.ns); got != c.bucket {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.ns, got, c.bucket)
+		}
+	}
+	// Every value must be ≤ its bucket's reported edge (except past the
+	// bounded range, where the last bucket saturates).
+	for ns := int64(0); ns < 1<<22; ns = ns*3 + 1 {
+		b := bucketOf(ns)
+		if ns > BucketEdgeNs(b) {
+			t.Errorf("ns %d exceeds its bucket %d edge %d", ns, b, BucketEdgeNs(b))
+		}
+		if b > 0 && ns <= BucketEdgeNs(b-1) {
+			t.Errorf("ns %d fits the previous bucket %d", ns, b-1)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.N != 0 || s.SumNs != 0 || s.MeanNs() != 0 {
+		t.Errorf("empty snapshot = %+v", s)
+	}
+	qs := s.Quantiles(0.5, 0.99)
+	if qs[0] != 0 || qs[1] != 0 {
+		t.Errorf("empty quantiles = %v", qs)
+	}
+}
+
+// TestHistogramQuantileQuick is the property test behind the quantile
+// export: for arbitrary observation sets, (1) no observation is lost,
+// (2) the sum is exact, (3) quantiles are monotone in p, and (4) each
+// reported quantile brackets the true order statistic to within the
+// histogram's power-of-two resolution — q_true ≤ q_reported < 2·q_true
+// (with the first bucket's 128 ns floor and the last bucket's ~4.3 s
+// ceiling as the bounded ends).
+func TestHistogramQuantileQuick(t *testing.T) {
+	prop := func(raw []uint32, seed int64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		rng := rand.New(rand.NewSource(seed))
+		var h Histogram
+		vals := make([]int64, len(raw))
+		var sum int64
+		for i, r := range raw {
+			// Spread observations across the interesting range: sub-bucket
+			// noise up to tens of milliseconds.
+			ns := int64(r) << uint(rng.Intn(8))
+			vals[i] = ns
+			sum += ns
+			h.Observe(ns)
+		}
+		s := h.Snapshot()
+		if s.N != uint64(len(vals)) || s.SumNs != sum {
+			t.Logf("N=%d want %d, sum=%d want %d", s.N, len(vals), s.SumNs, sum)
+			return false
+		}
+		ps := []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 1}
+		qs := s.Quantiles(ps...)
+		for i := 1; i < len(qs); i++ {
+			if qs[i] < qs[i-1] {
+				t.Logf("quantiles not monotone: %v", qs)
+				return false
+			}
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		for i, p := range ps {
+			// The target-th smallest value, matching stats.Histogram's
+			// Percentile contract (target = ceil(p·n), at least 1).
+			k := int(math.Ceil(p*float64(len(vals)))) - 1
+			if k < 0 {
+				k = 0
+			}
+			truth := vals[k]
+			lo, hi := truth, 2*truth
+			if hi < int64(1)<<histMinShift-1 {
+				hi = int64(1)<<histMinShift - 1 // first-bucket floor
+			}
+			if maxEdge := BucketEdgeNs(histBuckets - 1); hi > maxEdge {
+				hi = maxEdge // bounded-range ceiling
+			}
+			if lo > hi {
+				lo = hi
+			}
+			if qs[i] < lo || qs[i] > hi {
+				t.Logf("p=%.2f: reported %d outside [%d,%d] (truth %d, all=%v)", p, qs[i], lo, hi, truth, qs)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramStatsExport(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1000; i++ {
+		h.Observe(1000) // bucket [512,1023] -> edge 1023
+	}
+	h.Observe(1 << 20) // one slow outlier
+	sh := h.Snapshot().Stats()
+	if sh.N() != 1001 {
+		t.Fatalf("stats N = %d", sh.N())
+	}
+	if p50 := sh.Percentile(0.5); p50 != 1023 {
+		t.Errorf("p50 = %d, want 1023", p50)
+	}
+	if p100 := sh.Percentile(1); p100 != int(BucketEdgeNs(bucketOf(1<<20))) {
+		t.Errorf("p100 = %d", p100)
+	}
+}

@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the process-global expvar name: expvar.Publish
+// panics on duplicates, and tests may build several handlers.
+var publishOnce sync.Once
+
+// Handler serves the registry over HTTP:
+//
+//	/metrics       Prometheus text exposition (see WritePrometheus)
+//	/debug/vars    expvar JSON — runtime memstats plus a "caram" map of
+//	               op counts per engine
+//	/debug/pprof/  the standard pprof index, profile, trace, ...
+//
+// Wire it with `caram-server -http :9090`.
+func Handler(r *Registry) http.Handler {
+	publishOnce.Do(func() {
+		expvar.Publish("caram", expvar.Func(func() any { return expvarView(r) }))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, r.Snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// expvarView flattens a snapshot into the JSON-friendly shape expvar
+// expects (plain maps; the snapshot structs carry arrays and histograms
+// that would serialize poorly).
+func expvarView(r *Registry) map[string]any {
+	s := r.Snapshot()
+	engines := make(map[string]any, len(s.Engines))
+	for _, e := range s.Engines {
+		ops := make(map[string]any, NumOps)
+		for op := Op(0); op < NumOps; op++ {
+			ops[op.String()] = map[string]any{
+				"count":   e.Ops[op].Count,
+				"errors":  e.Ops[op].Errors,
+				"mean_ns": e.Ops[op].Latency.MeanNs(),
+			}
+		}
+		ev := map[string]any{"ops": ops}
+		if e.HasGauges {
+			ev["records"] = e.Gauges.Records
+			ev["load_factor"] = e.Gauges.LoadFactor
+			ev["amal"] = e.Gauges.AMAL
+			ev["overflow"] = e.Gauges.Overflow
+			ev["spilled"] = e.Gauges.Spilled
+		}
+		engines[e.Name] = ev
+	}
+	return map[string]any{"engines": engines, "unknown_engine": s.Unknown}
+}

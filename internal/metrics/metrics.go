@@ -1,0 +1,282 @@
+// Package metrics is the serving path's observability layer: per-engine,
+// per-operation counters and bounded latency histograms, plus engine-level
+// gauges sampled live from the CA-RAM core (load factor, probe count /
+// AMAL, overflow occupancy). The paper's headline quantity — AMAL, the
+// average number of memory accesses per lookup (§3.4) — is computed
+// offline by internal/exp; this package puts the same quantity on the
+// wire for a running server, measured over the live traffic instead of a
+// synthetic trace.
+//
+// The hot path is lock-free: every engine and operation gets a fixed
+// slot of atomic counters at registration time, so recording one
+// observation is two or three atomic adds and never allocates. Reads
+// (Snapshot, the Prometheus exposition) use atomic loads; a snapshot
+// taken mid-traffic is not a single instant but is monotone — every
+// counter in it is ≤ the same counter in any later snapshot.
+package metrics
+
+import (
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Op enumerates the instrumented operations, matching the wire commands
+// of internal/server.
+type Op uint8
+
+const (
+	OpInsert Op = iota
+	OpSearch
+	OpDelete
+	OpMSearch
+	// NumOps sizes per-op arrays.
+	NumOps
+)
+
+// String returns the lower-case metric label for the op.
+func (op Op) String() string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpSearch:
+		return "search"
+	case OpDelete:
+		return "delete"
+	case OpMSearch:
+		return "msearch"
+	}
+	return "unknown"
+}
+
+// ParseOp maps a wire-command word (any case) to its Op.
+func ParseOp(s string) (Op, error) {
+	switch {
+	case equalFold(s, "INSERT"):
+		return OpInsert, nil
+	case equalFold(s, "SEARCH"):
+		return OpSearch, nil
+	case equalFold(s, "DELETE"):
+		return OpDelete, nil
+	case equalFold(s, "MSEARCH"):
+		return OpMSearch, nil
+	}
+	return 0, errors.New("metrics: unknown op " + s)
+}
+
+// equalFold avoids importing strings for one ASCII comparison.
+func equalFold(s, t string) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c, d := s[i], t[i]
+		if c >= 'a' && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		if d >= 'a' && d <= 'z' {
+			d -= 'a' - 'A'
+		}
+		if c != d {
+			return false
+		}
+	}
+	return true
+}
+
+// Gauges is one sample of an engine's live state, read from the CA-RAM
+// core under the engine's read lock. LoadFactor is the paper's α;
+// AMAL is RowsAccessed/Lookups over the engine's lifetime traffic —
+// the measured counterpart of the §3.4 analytic access cost; Overflow
+// counts records diverted to the parallel overflow CAM (§4.3), Spilled
+// counts main-array records stored outside their home bucket.
+type Gauges struct {
+	Records      int
+	LoadFactor   float64
+	AMAL         float64
+	Lookups      uint64
+	RowsAccessed uint64
+	Hits         uint64
+	Misses       uint64
+	Overflow     int
+	Spilled      int
+}
+
+// Registry holds the metrics of a fixed set of engines. The engine set
+// is frozen at construction (mirroring subsystem.Concurrent, whose
+// engine registration is complete before wrapping), so lookups by name
+// never take a lock.
+type Registry struct {
+	order   []string
+	engines map[string]*EngineMetrics
+	unknown atomic.Uint64 // requests addressed to no registered engine
+}
+
+// NewRegistry builds a registry with one metrics slot per engine name.
+func NewRegistry(names []string) *Registry {
+	r := &Registry{
+		order:   append([]string(nil), names...),
+		engines: make(map[string]*EngineMetrics, len(names)),
+	}
+	for _, n := range r.order {
+		em := &EngineMetrics{name: n}
+		for op := Op(0); op < NumOps; op++ {
+			em.ops[op].lat.init()
+		}
+		r.engines[n] = em
+	}
+	return r
+}
+
+// Engine returns the named engine's metrics, or nil when unknown (or
+// when the registry itself is nil — callers may be uninstrumented).
+func (r *Registry) Engine(name string) *EngineMetrics {
+	if r == nil {
+		return nil
+	}
+	return r.engines[name]
+}
+
+// Engines lists engine names in registration order.
+func (r *Registry) Engines() []string {
+	if r == nil {
+		return nil
+	}
+	return append([]string(nil), r.order...)
+}
+
+// AddUnknown counts n requests that named no registered engine. Safe on
+// a nil registry.
+func (r *Registry) AddUnknown(n uint64) {
+	if r == nil {
+		return
+	}
+	r.unknown.Add(n)
+}
+
+// Unknown returns the unknown-engine request count.
+func (r *Registry) Unknown() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.unknown.Load()
+}
+
+// Totals sums op and error counts across all engines and ops.
+func (r *Registry) Totals() (ops, errs uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	for _, name := range r.order {
+		em := r.engines[name]
+		for op := Op(0); op < NumOps; op++ {
+			ops += em.ops[op].count.Load()
+			errs += em.ops[op].errs.Load()
+		}
+	}
+	return ops, errs
+}
+
+// EngineMetrics is one engine's slot: per-op counters and latency
+// histograms, plus an optional gauge sampler wired by the concurrency
+// layer. SetGaugeFunc must be called before the registry is shared
+// across goroutines (it is part of instrumentation, not of serving).
+type EngineMetrics struct {
+	name   string
+	ops    [NumOps]opMetrics
+	gauges func() Gauges
+}
+
+type opMetrics struct {
+	count atomic.Uint64
+	errs  atomic.Uint64
+	lat   Histogram
+}
+
+// Name returns the engine name the slot was registered under.
+func (m *EngineMetrics) Name() string { return m.name }
+
+// Observe records one completed operation: its kind, wall-clock
+// duration, and outcome. The duration lands in the op's bounded
+// latency histogram; err only increments the error counter (errors are
+// legitimate responses — full engine, unknown key — and their latency
+// is as real as a hit's).
+func (m *EngineMetrics) Observe(op Op, d time.Duration, err error) {
+	o := &m.ops[op]
+	o.count.Add(1)
+	if err != nil {
+		o.errs.Add(1)
+	}
+	o.lat.Observe(int64(d))
+}
+
+// Count returns the op's completed-operation count.
+func (m *EngineMetrics) Count(op Op) uint64 { return m.ops[op].count.Load() }
+
+// Errors returns the op's error count.
+func (m *EngineMetrics) Errors(op Op) uint64 { return m.ops[op].errs.Load() }
+
+// Latency returns the op's latency histogram.
+func (m *EngineMetrics) Latency(op Op) *Histogram { return &m.ops[op].lat }
+
+// SetGaugeFunc installs the live-state sampler. It is called during
+// instrumentation, before the registry serves concurrent traffic.
+func (m *EngineMetrics) SetGaugeFunc(f func() Gauges) { m.gauges = f }
+
+// SampleGauges runs the installed sampler, or returns ok=false when
+// none is wired.
+func (m *EngineMetrics) SampleGauges() (Gauges, bool) {
+	if m.gauges == nil {
+		return Gauges{}, false
+	}
+	return m.gauges(), true
+}
+
+// OpSnapshot is one op's counters at a point in time.
+type OpSnapshot struct {
+	Op      Op
+	Count   uint64
+	Errors  uint64
+	Latency HistSnapshot
+}
+
+// EngineSnapshot is one engine's counters and gauges at a point in time.
+type EngineSnapshot struct {
+	Name      string
+	Ops       [NumOps]OpSnapshot
+	Gauges    Gauges
+	HasGauges bool
+}
+
+// Snapshot is a monotone view of the whole registry: counters are read
+// atomically, so a snapshot taken mid-traffic never exceeds a later one.
+type Snapshot struct {
+	Engines []EngineSnapshot
+	Unknown uint64
+}
+
+// Snapshot captures every engine's counters, histograms and gauges.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	s := Snapshot{
+		Engines: make([]EngineSnapshot, 0, len(r.order)),
+		Unknown: r.unknown.Load(),
+	}
+	for _, name := range r.order {
+		em := r.engines[name]
+		es := EngineSnapshot{Name: name}
+		for op := Op(0); op < NumOps; op++ {
+			es.Ops[op] = OpSnapshot{
+				Op:      op,
+				Count:   em.ops[op].count.Load(),
+				Errors:  em.ops[op].errs.Load(),
+				Latency: em.ops[op].lat.Snapshot(),
+			}
+		}
+		es.Gauges, es.HasGauges = em.SampleGauges()
+		s.Engines = append(s.Engines, es)
+	}
+	return s
+}

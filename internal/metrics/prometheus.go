@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+)
+
+// Metric family names of the Prometheus exposition. README documents
+// them; cmd/metrics-smoke asserts their presence on a live server.
+const (
+	FamOps          = "caram_ops_total"
+	FamOpErrors     = "caram_op_errors_total"
+	FamOpLatency    = "caram_op_latency_seconds"
+	FamRecords      = "caram_engine_records"
+	FamLoadFactor   = "caram_engine_load_factor"
+	FamAMAL         = "caram_engine_amal"
+	FamLookups      = "caram_engine_lookups_total"
+	FamRowsAccessed = "caram_engine_rows_accessed_total"
+	FamHits         = "caram_engine_hits_total"
+	FamMisses       = "caram_engine_misses_total"
+	FamOverflow     = "caram_engine_overflow_records"
+	FamSpilled      = "caram_engine_spilled_records"
+	FamUnknown      = "caram_unknown_engine_total"
+)
+
+// WritePrometheus renders a snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters for ops and errors, a cumulative
+// `le`-bucketed histogram per (engine, op) latency, and the live engine
+// gauges. Zero-count ops keep their `_count`/`_sum` series (so rates
+// are well-defined from scrape one) but emit only the +Inf bucket.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	bw := &errWriter{w: w}
+
+	bw.printf("# HELP %s Operations processed, by engine and op.\n# TYPE %s counter\n", FamOps, FamOps)
+	for _, e := range s.Engines {
+		for op := Op(0); op < NumOps; op++ {
+			bw.printf("%s{engine=%q,op=%q} %d\n", FamOps, e.Name, op.String(), e.Ops[op].Count)
+		}
+	}
+
+	bw.printf("# HELP %s Operations that returned an error, by engine and op.\n# TYPE %s counter\n", FamOpErrors, FamOpErrors)
+	for _, e := range s.Engines {
+		for op := Op(0); op < NumOps; op++ {
+			bw.printf("%s{engine=%q,op=%q} %d\n", FamOpErrors, e.Name, op.String(), e.Ops[op].Errors)
+		}
+	}
+
+	bw.printf("# HELP %s Wall-clock operation latency measured at the engine lock boundary.\n# TYPE %s histogram\n", FamOpLatency, FamOpLatency)
+	for _, e := range s.Engines {
+		for op := Op(0); op < NumOps; op++ {
+			writeLatency(bw, e.Name, op, e.Ops[op].Latency)
+		}
+	}
+
+	gauge := func(fam, help string, val func(EngineSnapshot) string, typ string) {
+		bw.printf("# HELP %s %s\n# TYPE %s %s\n", fam, help, fam, typ)
+		for _, e := range s.Engines {
+			if !e.HasGauges {
+				continue
+			}
+			bw.printf("%s{engine=%q} %s\n", fam, e.Name, val(e))
+		}
+	}
+	gauge(FamRecords, "Records stored in the engine's main array.",
+		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.Records) }, "gauge")
+	gauge(FamLoadFactor, "Load factor alpha of the engine's main array.",
+		func(e EngineSnapshot) string { return fmt.Sprintf("%g", e.Gauges.LoadFactor) }, "gauge")
+	gauge(FamAMAL, "Average memory accesses per lookup over live traffic (the paper's AMAL, section 3.4).",
+		func(e EngineSnapshot) string { return fmt.Sprintf("%g", e.Gauges.AMAL) }, "gauge")
+	gauge(FamLookups, "Lookups charged against the engine's main array.",
+		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.Lookups) }, "counter")
+	gauge(FamRowsAccessed, "Rows read by lookups (AMAL numerator).",
+		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.RowsAccessed) }, "counter")
+	gauge(FamHits, "Lookups that found a record.",
+		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.Hits) }, "counter")
+	gauge(FamMisses, "Lookups that found nothing.",
+		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.Misses) }, "counter")
+	gauge(FamOverflow, "Records diverted to the parallel overflow CAM.",
+		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.Overflow) }, "gauge")
+	gauge(FamSpilled, "Main-array records stored outside their home bucket.",
+		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.Spilled) }, "gauge")
+
+	bw.printf("# HELP %s Requests addressed to no registered engine.\n# TYPE %s counter\n", FamUnknown, FamUnknown)
+	bw.printf("%s %d\n", FamUnknown, s.Unknown)
+	return bw.err
+}
+
+// writeLatency emits one (engine, op) latency histogram with
+// cumulative buckets in seconds.
+func writeLatency(bw *errWriter, engine string, op Op, h HistSnapshot) {
+	var cum uint64
+	if h.N > 0 {
+		for i, c := range h.Counts {
+			cum += c
+			if c == 0 && cum == 0 {
+				continue // skip leading empty buckets
+			}
+			if cum == h.N && c == 0 {
+				continue // skip trailing empty buckets (the +Inf line closes the series)
+			}
+			bw.printf("%s_bucket{engine=%q,op=%q,le=%q} %d\n",
+				FamOpLatency, engine, op.String(), formatSeconds(BucketEdgeNs(i)), cum)
+		}
+	}
+	bw.printf("%s_bucket{engine=%q,op=%q,le=\"+Inf\"} %d\n", FamOpLatency, engine, op.String(), h.N)
+	bw.printf("%s_sum{engine=%q,op=%q} %g\n", FamOpLatency, engine, op.String(), float64(h.SumNs)/1e9)
+	bw.printf("%s_count{engine=%q,op=%q} %d\n", FamOpLatency, engine, op.String(), h.N)
+}
+
+// formatSeconds renders a nanosecond edge as seconds for an `le` label.
+func formatSeconds(ns int64) string {
+	return fmt.Sprintf("%g", float64(ns)/1e9)
+}
+
+// errWriter folds the repeated error checks of sequential printfs.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}

@@ -9,7 +9,7 @@ import (
 )
 
 // responsePrefixes classifies every legal single-line response.
-var responsePrefixes = []string{"OK", "HIT ", "MISS", "ERR ", "ENGINES", "STATS ", "MRESULTS"}
+var responsePrefixes = []string{"OK", "HIT ", "MISS", "ERR ", "ENGINES", "STATS ", "MRESULTS", "METRICS"}
 
 // FuzzExec throws arbitrary request lines at the protocol engine: no
 // input may panic it, and every response must be one well-formed line
@@ -34,6 +34,14 @@ func FuzzExec(f *testing.F) {
 		"DELETE db dead",
 		"STATS db",
 		"STATS nope",
+		"METRICS",
+		"METRICS db",
+		"METRICS nope",
+		"METRICS db LATENCY",
+		"METRICS db LATENCY SEARCH",
+		"METRICS db latency msearch",
+		"METRICS db LATENCY BOGUS",
+		"METRICS db extra junk",
 		"BOGUS x y",
 		"insert db 1 2", // lowercase command
 		"INSERT db 1 2 3 4",

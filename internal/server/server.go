@@ -11,11 +11,18 @@
 //	MSEARCH <engine> <key> [<engine> <key> ...]
 //	DELETE  <engine> <key>
 //	STATS   <engine>
+//	METRICS [engine [LATENCY <op>]]
 //
 // Responses: "OK", "HIT <data>", "MISS", "STATS n=.. alpha=.. amal=..",
-// "ENGINES a b c", "MRESULTS r1 r2 ..." or "ERR <reason>". Each
-// MRESULTS slot is "HIT:<hi>:<lo>", "MISS", or "ERR:no-engine", in
-// request order.
+// "ENGINES a b c", "MRESULTS r1 r2 ...", "METRICS ..." or
+// "ERR <reason>". Each MRESULTS slot is "HIT:<hi>:<lo>", "MISS", or
+// "ERR:no-engine", in request order.
+//
+// METRICS reads the observability layer (internal/metrics): with no
+// argument it reports registry totals; with an engine it reports that
+// engine's per-op counters and live gauges (all deterministic for a
+// scripted session); with LATENCY <op> it adds the op's latency
+// quantiles in microseconds (wall-clock, inherently nondeterministic).
 //
 // Request lines are capped at MaxLineBytes; an oversized line draws
 // "ERR line too long" and ends the connection.
@@ -39,9 +46,11 @@ import (
 	"net"
 	"strconv"
 	"strings"
+	"sync"
 
 	"caram/internal/bitutil"
 	"caram/internal/match"
+	"caram/internal/metrics"
 	"caram/internal/subsystem"
 )
 
@@ -49,33 +58,143 @@ import (
 // "ERR line too long".
 const MaxLineBytes = 64 * 1024
 
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("server: closed")
+
 // Server serves a subsystem through its per-engine concurrency layer.
 type Server struct {
 	con *subsystem.Concurrent
+	met *metrics.Registry // nil when built WithoutMetrics
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+	handlers  sync.WaitGroup // accept loops + connection handlers
 }
 
-// New wraps a subsystem whose engine registration is complete.
-func New(sub *subsystem.Subsystem) *Server {
-	return &Server{con: subsystem.NewConcurrent(sub)}
+// Option configures New.
+type Option func(*options)
+
+type options struct {
+	metrics bool
 }
 
-// Serve accepts connections until the listener closes.
+// WithoutMetrics builds the server without the observability layer:
+// no counters, no latency measurement, METRICS answers "ERR metrics
+// disabled". The instrumented path is the default; this exists for the
+// overhead benchmark and for embedders that bring their own telemetry.
+func WithoutMetrics() Option {
+	return func(o *options) { o.metrics = false }
+}
+
+// New wraps a subsystem whose engine registration is complete. By
+// default the per-engine metrics layer is attached (see
+// internal/metrics); the registry is reachable via Metrics for HTTP
+// export.
+func New(sub *subsystem.Subsystem, opts ...Option) *Server {
+	o := options{metrics: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	con := subsystem.NewConcurrent(sub)
+	var reg *metrics.Registry
+	if o.metrics {
+		reg = metrics.NewRegistry(con.Engines())
+		con.Instrument(reg)
+	}
+	return &Server{
+		con:       con,
+		met:       reg,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Metrics returns the server's registry, or nil when built
+// WithoutMetrics. Callers use it to mount the HTTP exposition
+// (metrics.Handler).
+func (s *Server) Metrics() *metrics.Registry { return s.met }
+
+// Serve accepts connections until the listener closes or the server is
+// shut down with Close (which returns ErrServerClosed).
 func (s *Server) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		l.Close()
+		return ErrServerClosed
+	}
+	s.listeners[l] = struct{}{}
+	s.handlers.Add(1)
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+		s.handlers.Done()
+	}()
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if s.isClosed() {
+				return ErrServerClosed
+			}
 			return err
 		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.conns[conn] = struct{}{}
+		s.handlers.Add(1)
+		s.mu.Unlock()
 		go func() {
-			defer conn.Close()
+			defer func() {
+				conn.Close()
+				s.mu.Lock()
+				delete(s.conns, conn)
+				s.mu.Unlock()
+				s.handlers.Done()
+			}()
 			s.Handle(conn, conn)
 		}()
 	}
 }
 
+// Close shuts the server down: it closes every listener and active
+// connection, then blocks until all accept loops and in-flight handlers
+// have drained. Close is idempotent; Serve calls racing it return
+// ErrServerClosed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		for l := range s.listeners {
+			l.Close()
+		}
+		for c := range s.conns {
+			c.Close()
+		}
+	}
+	s.mu.Unlock()
+	s.handlers.Wait()
+	return nil
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
 // Handle processes one connection's request stream. Split from Serve
 // so tests can drive it over arbitrary pipes. Handle itself is safe
 // for concurrent use: any number of connections may execute at once.
+// It returns as soon as the writer fails, so a dead client cannot keep
+// its read loop spinning through the rest of the stream.
 func (s *Server) Handle(r io.Reader, w io.Writer) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 4096), MaxLineBytes)
@@ -83,7 +202,9 @@ func (s *Server) Handle(r io.Reader, w io.Writer) {
 	defer out.Flush()
 	for sc.Scan() {
 		fmt.Fprintln(out, s.Exec(sc.Text()))
-		out.Flush()
+		if out.Flush() != nil {
+			return // write side is gone; stop consuming requests
+		}
 	}
 	switch err := sc.Err(); {
 	case err == nil: // clean EOF
@@ -186,6 +307,8 @@ func (s *Server) Exec(line string) string {
 			return "ERR " + err.Error()
 		}
 		return "OK"
+	case "METRICS":
+		return s.execMetrics(fields[1:])
 	case "STATS":
 		if len(fields) != 2 {
 			return "ERR usage: STATS <engine>"
@@ -198,6 +321,59 @@ func (s *Server) Exec(line string) string {
 			info.Count, info.LoadFactor, info.Stats.AMAL(), info.Stats.Hits, info.Stats.Misses)
 	default:
 		return "ERR unknown command " + cmd
+	}
+}
+
+// execMetrics answers the METRICS command against the registry. The
+// no-argument and per-engine forms print only counters and core-state
+// gauges — deterministic for a scripted session, which is what lets the
+// golden-session test cover them byte-exactly. The LATENCY form adds
+// wall-clock quantiles and is therefore excluded from golden coverage.
+func (s *Server) execMetrics(args []string) string {
+	if s.met == nil {
+		return "ERR metrics disabled"
+	}
+	switch len(args) {
+	case 0:
+		ops, errs := s.met.Totals()
+		return fmt.Sprintf("METRICS engines=%d ops=%d errors=%d unknown=%d",
+			len(s.met.Engines()), ops, errs, s.met.Unknown())
+	case 1:
+		em := s.met.Engine(args[0])
+		if em == nil {
+			return fmt.Sprintf("ERR metrics: no engine %q", args[0])
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "METRICS engine=%s", em.Name())
+		for op := metrics.Op(0); op < metrics.NumOps; op++ {
+			fmt.Fprintf(&sb, " %s=%d %s_err=%d", op, em.Count(op), op, em.Errors(op))
+		}
+		if g, ok := em.SampleGauges(); ok {
+			fmt.Fprintf(&sb, " n=%d load=%.3f amal=%.3f hits=%d misses=%d overflow=%d spilled=%d",
+				g.Records, g.LoadFactor, g.AMAL, g.Hits, g.Misses, g.Overflow, g.Spilled)
+		}
+		return sb.String()
+	case 3:
+		if !strings.EqualFold(args[1], "LATENCY") {
+			return "ERR usage: METRICS [engine [LATENCY <op>]]"
+		}
+		em := s.met.Engine(args[0])
+		if em == nil {
+			return fmt.Sprintf("ERR metrics: no engine %q", args[0])
+		}
+		op, err := metrics.ParseOp(args[2])
+		if err != nil {
+			return "ERR metrics: unknown op " + args[2]
+		}
+		h := em.Latency(op).Snapshot()
+		qs := h.Quantiles(0.5, 0.9, 0.99, 1)
+		us := func(ns int64) float64 { return float64(ns) / 1e3 }
+		return fmt.Sprintf(
+			"METRICS engine=%s op=%s n=%d err=%d mean_us=%.2f p50_us=%.2f p90_us=%.2f p99_us=%.2f max_us=%.2f",
+			em.Name(), op, h.N, em.Errors(op), h.MeanNs()/1e3,
+			us(qs[0]), us(qs[1]), us(qs[2]), us(qs[3]))
+	default:
+		return "ERR usage: METRICS [engine [LATENCY <op>]]"
 	}
 }
 

@@ -2,10 +2,12 @@ package server
 
 import (
 	"bufio"
+	"errors"
 	"net"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"caram/internal/caram"
 	"caram/internal/hash"
@@ -311,4 +313,207 @@ func hex(v int) string {
 		v /= 16
 	}
 	return string(b)
+}
+
+func TestMetricsCommand(t *testing.T) {
+	s := testServer(t)
+	resp := drive(t, s,
+		"METRICS",
+		"INSERT db dead 42",
+		"SEARCH db dead",
+		"SEARCH db beef",
+		"MSEARCH db dead db beef",
+		"DELETE db dead",
+		"DELETE db dead", // second delete errors: record not found
+		"SEARCH nope 1",  // unknown engine
+		"METRICS",
+		"METRICS db",
+		"METRICS db LATENCY SEARCH",
+		"METRICS nope",
+		"METRICS db LATENCY",
+		"METRICS db LATENCY BOGUS",
+		"METRICS db extra junk",
+	)
+	if resp[0] != "METRICS engines=1 ops=0 errors=0 unknown=0" {
+		t.Errorf("initial METRICS = %q", resp[0])
+	}
+	// 1 insert + 2 search + 2 msearch slots + 2 delete = 7 ops, 1 error
+	// (failed delete); the unknown-engine search counts separately.
+	if resp[8] != "METRICS engines=1 ops=7 errors=1 unknown=1" {
+		t.Errorf("summary METRICS = %q", resp[8])
+	}
+	want := "METRICS engine=db insert=1 insert_err=0 search=2 search_err=0" +
+		" delete=2 delete_err=1 msearch=2 msearch_err=0" +
+		" n=0 load=0.000 amal=1.000 hits=2 misses=2 overflow=0 spilled=0"
+	if resp[9] != want {
+		t.Errorf("engine METRICS = %q\n                 want %q", resp[9], want)
+	}
+	lat := resp[10]
+	if !strings.HasPrefix(lat, "METRICS engine=db op=search n=2 err=0 mean_us=") {
+		t.Errorf("latency METRICS = %q", lat)
+	}
+	for _, field := range []string{"p50_us=", "p90_us=", "p99_us=", "max_us="} {
+		if !strings.Contains(lat, field) {
+			t.Errorf("latency METRICS missing %s: %q", field, lat)
+		}
+	}
+	if !strings.HasPrefix(resp[11], "ERR metrics: no engine") {
+		t.Errorf("unknown engine METRICS = %q", resp[11])
+	}
+	if resp[12] != "ERR usage: METRICS [engine [LATENCY <op>]]" {
+		t.Errorf("short LATENCY = %q", resp[12])
+	}
+	if resp[13] != "ERR metrics: unknown op BOGUS" {
+		t.Errorf("bad op = %q", resp[13])
+	}
+	if resp[14] != "ERR usage: METRICS [engine [LATENCY <op>]]" {
+		t.Errorf("extra args = %q", resp[14])
+	}
+}
+
+func TestMetricsDisabled(t *testing.T) {
+	sub := subsystem.New(0)
+	sl := caram.MustNew(caram.Config{
+		IndexBits: 6,
+		RowBits:   4*(1+64+32) + 8,
+		KeyBits:   64,
+		DataBits:  32,
+		Index:     hash.NewMultShift(6),
+	})
+	if err := sub.AddEngine(&subsystem.Engine{Name: "db", Main: sl}); err != nil {
+		t.Fatal(err)
+	}
+	s := New(sub, WithoutMetrics())
+	if s.Metrics() != nil {
+		t.Fatal("WithoutMetrics still built a registry")
+	}
+	resp := drive(t, s, "INSERT db 1 2", "METRICS", "METRICS db")
+	if resp[0] != "OK" {
+		t.Errorf("INSERT = %q", resp[0])
+	}
+	for i := 1; i <= 2; i++ {
+		if resp[i] != "ERR metrics disabled" {
+			t.Errorf("METRICS on disabled server = %q", resp[i])
+		}
+	}
+}
+
+// infiniteRequests feeds "ENGINES\n" forever — the stream a spinning
+// read loop would consume without bound.
+type infiniteRequests struct{}
+
+func (infiniteRequests) Read(p []byte) (int, error) {
+	const line = "ENGINES\n"
+	n := 0
+	for n+len(line) <= len(p) {
+		n += copy(p[n:], line)
+	}
+	if n == 0 {
+		n = copy(p, line)
+	}
+	return n, nil
+}
+
+// failWriter fails every write, like a peer that vanished.
+type failWriter struct{ writes int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.writes++
+	return 0, errors.New("broken pipe")
+}
+
+// TestHandleStopsOnDeadWriter is the dead-connection guard: when the
+// client's write side fails, Handle must stop consuming requests
+// instead of spinning through an endless stream.
+func TestHandleStopsOnDeadWriter(t *testing.T) {
+	s := testServer(t)
+	w := &failWriter{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Handle(infiniteRequests{}, w)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Handle still reading from an infinite stream after its writer died")
+	}
+	if w.writes != 1 {
+		t.Errorf("dead writer got %d writes, want exactly 1", w.writes)
+	}
+}
+
+// TestServerClose covers the shutdown path: Close stops the accept
+// loop (Serve returns ErrServerClosed), tears down live connections,
+// drains handlers, and is idempotent; Serve after Close refuses.
+func TestServerClose(t *testing.T) {
+	s := testServer(t)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(l) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+	if _, err := conn.Write([]byte("INSERT db 1 2\n")); err != nil {
+		t.Fatal(err)
+	}
+	if line, err := rd.ReadString('\n'); err != nil || strings.TrimSpace(line) != "OK" {
+		t.Fatalf("pre-close request: %q, %v", line, err)
+	}
+
+	// A second, idle connection: Close must not hang waiting for its
+	// handler (it force-closes the conn to unblock the read loop).
+	idle, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+
+	closed := make(chan struct{})
+	go func() {
+		defer close(closed)
+		if err := s.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	}()
+	select {
+	case <-closed:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not drain handlers")
+	}
+	select {
+	case err := <-serveErr:
+		if !errors.Is(err, ErrServerClosed) {
+			t.Errorf("Serve returned %v, want ErrServerClosed", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+	// The live connection was torn down: further requests fail.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	conn.Write([]byte("SEARCH db 1\n")) //nolint:errcheck // may already be reset
+	if _, err := rd.ReadString('\n'); err == nil {
+		t.Error("connection still answering after Close")
+	}
+	// Close is idempotent; Serve after Close refuses.
+	if err := s.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Serve(l2); !errors.Is(err, ErrServerClosed) {
+		t.Errorf("Serve after Close = %v, want ErrServerClosed", err)
+	}
+	if _, err := net.Dial("tcp", l2.Addr().String()); err == nil {
+		t.Error("listener left open by refused Serve")
+	}
 }

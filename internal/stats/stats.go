@@ -126,6 +126,39 @@ func (h *Histogram) Percentile(p float64) int {
 	return h.max
 }
 
+// Quantiles returns Percentile(p) for each p in ps, sharing one sorted
+// pass over the values — the export path the metrics layer uses to
+// report latency quantiles from one consistent view of the histogram.
+func (h *Histogram) Quantiles(ps ...float64) []int {
+	out := make([]int, len(ps))
+	if h.n == 0 || len(ps) == 0 {
+		return out
+	}
+	vals := h.sortedValues()
+	for i, p := range ps {
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		target := int64(math.Ceil(p * float64(h.n)))
+		if target < 1 {
+			target = 1
+		}
+		var cum int64
+		out[i] = h.max
+		for _, v := range vals {
+			cum += h.counts[v]
+			if cum >= target {
+				out[i] = v
+				break
+			}
+		}
+	}
+	return out
+}
+
 func (h *Histogram) sortedValues() []int {
 	vals := make([]int, 0, len(h.counts))
 	for v := range h.counts {

@@ -158,3 +158,41 @@ func TestHistogramAgainstDirectQuick(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Property: Quantiles agrees with Percentile at every requested p, on
+// arbitrary data.
+func TestQuantilesMatchPercentileQuick(t *testing.T) {
+	f := func(raw []uint8, ps []float64) bool {
+		h := NewHistogram()
+		for _, b := range raw {
+			h.Add(int(b))
+		}
+		got := h.Quantiles(ps...)
+		for i, p := range ps {
+			if got[i] != h.Percentile(p) {
+				return false
+			}
+		}
+		return len(got) == len(ps)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantilesEdges(t *testing.T) {
+	h := NewHistogram()
+	if qs := h.Quantiles(0.5); qs[0] != 0 {
+		t.Errorf("empty Quantiles = %v", qs)
+	}
+	for v := 1; v <= 100; v++ {
+		h.Add(v)
+	}
+	qs := h.Quantiles(-1, 0, 0.5, 0.99, 1, 2)
+	want := []int{1, 1, 50, 99, 100, 100}
+	for i := range want {
+		if qs[i] != want[i] {
+			t.Errorf("Quantiles[%d] = %d, want %d", i, qs[i], want[i])
+		}
+	}
+}

@@ -3,10 +3,12 @@ package subsystem
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"caram/internal/bitutil"
 	"caram/internal/caram"
 	"caram/internal/match"
+	"caram/internal/metrics"
 )
 
 // Concurrent is the thread-safe dispatch layer over a fully-registered
@@ -24,9 +26,14 @@ import (
 // Once a Subsystem is wrapped, all access must go through the
 // Concurrent layer; using the bare Subsystem or its engines directly
 // alongside it would bypass the locks.
+//
+// An optional metrics registry (Instrument) observes every op at the
+// lock boundary; without one the layer runs the original uncounted
+// paths.
 type Concurrent struct {
 	order   []string
 	engines map[string]*guardedEngine
+	met     *metrics.Registry // nil when uninstrumented
 }
 
 // guardedEngine pairs an engine with its port lock and the placement
@@ -35,6 +42,7 @@ type guardedEngine struct {
 	mu sync.RWMutex
 	e  *Engine
 	st *EngineStats
+	em *metrics.EngineMetrics // nil when uninstrumented
 }
 
 // NewConcurrent wraps a subsystem whose engine registration is
@@ -51,6 +59,58 @@ func NewConcurrent(sub *Subsystem) *Concurrent {
 	return c
 }
 
+// Instrument attaches a metrics registry: every subsequent
+// INSERT/SEARCH/DELETE/MSEARCH is observed — count, error, and
+// wall-clock latency measured at the lock boundary (so the recorded
+// time includes lock wait, the true service latency under contention) —
+// and each engine gets a gauge sampler that reads its live core state
+// (load factor, probe count / AMAL, overflow occupancy) under the read
+// lock. Engines missing from the registry stay uninstrumented; requests
+// naming no engine at all count against the registry's unknown counter.
+//
+// Instrument is part of construction: call it before the Concurrent is
+// shared across goroutines.
+func (c *Concurrent) Instrument(reg *metrics.Registry) *Concurrent {
+	c.met = reg
+	for name, g := range c.engines {
+		em := reg.Engine(name)
+		if em == nil {
+			continue
+		}
+		g.em = em
+		g := g
+		em.SetGaugeFunc(func() metrics.Gauges { return c.sampleGauges(g) })
+	}
+	return c
+}
+
+// Metrics returns the attached registry (nil when uninstrumented).
+func (c *Concurrent) Metrics() *metrics.Registry { return c.met }
+
+// sampleGauges reads one engine's live state under its read lock.
+// Placement (the spilled-record scan) is O(rows); gauges are sampled on
+// scrape/METRICS, never on the op path.
+func (c *Concurrent) sampleGauges(g *guardedEngine) metrics.Gauges {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	st := g.e.Main.Stats()
+	ovfl := 0
+	if g.e.Overflow != nil {
+		ovfl = g.e.Overflow.Len()
+	}
+	return metrics.Gauges{
+		Records:      g.e.Main.Count(),
+		LoadFactor:   g.e.Main.LoadFactor(),
+		AMAL:         st.AMAL(),
+		Lookups:      st.Lookups,
+		RowsAccessed: st.RowsAccessed,
+		Hits:         st.Hits,
+		Misses:       st.Misses,
+		Overflow:     ovfl,
+		Spilled:      g.e.Main.Placement().SpilledRecords,
+	}
+}
+
 // errNoEngine formats the canonical unknown-port error.
 func errNoEngine(port string) error {
 	return fmt.Errorf("subsystem: no engine %q", port)
@@ -63,11 +123,20 @@ func (c *Concurrent) Engines() []string { return append([]string(nil), c.order..
 func (c *Concurrent) Insert(port string, rec match.Record) error {
 	g, ok := c.engines[port]
 	if !ok {
+		c.met.AddUnknown(1)
 		return errNoEngine(port)
 	}
+	if g.em == nil {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return g.e.Insert(rec, g.st)
+	}
+	start := time.Now()
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.e.Insert(rec, g.st)
+	err := g.e.Insert(rec, g.st)
+	g.mu.Unlock()
+	g.em.Observe(metrics.OpInsert, time.Since(start), err)
+	return err
 }
 
 // Search runs one lookup on the named engine. It takes the write lock:
@@ -77,11 +146,20 @@ func (c *Concurrent) Insert(port string, rec match.Record) error {
 func (c *Concurrent) Search(port string, key bitutil.Ternary) (SearchResult, error) {
 	g, ok := c.engines[port]
 	if !ok {
+		c.met.AddUnknown(1)
 		return SearchResult{}, errNoEngine(port)
 	}
+	if g.em == nil {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return g.e.Search(key), nil
+	}
+	start := time.Now()
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.e.Search(key), nil
+	sr := g.e.Search(key)
+	g.mu.Unlock()
+	g.em.Observe(metrics.OpSearch, time.Since(start), nil)
+	return sr, nil
 }
 
 // Delete removes the exact key from the named engine under its write
@@ -89,11 +167,20 @@ func (c *Concurrent) Search(port string, key bitutil.Ternary) (SearchResult, err
 func (c *Concurrent) Delete(port string, key bitutil.Ternary) error {
 	g, ok := c.engines[port]
 	if !ok {
+		c.met.AddUnknown(1)
 		return errNoEngine(port)
 	}
+	if g.em == nil {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		return g.e.Main.Delete(key)
+	}
+	start := time.Now()
 	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.e.Main.Delete(key)
+	err := g.e.Main.Delete(key)
+	g.mu.Unlock()
+	g.em.Observe(metrics.OpDelete, time.Since(start), err)
+	return err
 }
 
 // Contains reports whether the exact key is stored. It takes only the
@@ -165,6 +252,7 @@ func (c *Concurrent) MSearch(reqs []PortKey) []MSearchResult {
 			defer wg.Done()
 			g, ok := c.engines[port]
 			if !ok {
+				c.met.AddUnknown(uint64(len(idxs)))
 				err := errNoEngine(port)
 				for _, i := range idxs {
 					out[i].Err = err
@@ -172,9 +260,18 @@ func (c *Concurrent) MSearch(reqs []PortKey) []MSearchResult {
 				return
 			}
 			for _, i := range idxs {
+				if g.em == nil {
+					g.mu.Lock()
+					sr := g.e.Search(reqs[i].Key)
+					g.mu.Unlock()
+					out[i].Result = sr
+					continue
+				}
+				start := time.Now()
 				g.mu.Lock()
 				sr := g.e.Search(reqs[i].Key)
 				g.mu.Unlock()
+				g.em.Observe(metrics.OpMSearch, time.Since(start), nil)
 				out[i].Result = sr
 			}
 		}(port, idxs)

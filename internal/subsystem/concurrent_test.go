@@ -8,6 +8,7 @@ import (
 
 	"caram/internal/bitutil"
 	"caram/internal/mem"
+	"caram/internal/metrics"
 )
 
 // concurrentFixture builds a Concurrent layer over n engines named
@@ -209,5 +210,108 @@ func TestStressConcurrentMixedOps(t *testing.T) {
 		if info.Placement.FailedInsert != 0 {
 			t.Errorf("engine %s: %d failed inserts", n, info.Placement.FailedInsert)
 		}
+	}
+}
+
+// TestInstrumentedConcurrent pins the metrics contract at the lock
+// boundary: every op is observed exactly once with its outcome, unknown
+// ports hit the registry-level counter, and the gauge sampler reports
+// the engine's live core state.
+func TestInstrumentedConcurrent(t *testing.T) {
+	c, names := concurrentFixture(t, 2)
+	reg := metrics.NewRegistry(c.Engines())
+	if c.Instrument(reg) != c || c.Metrics() != reg {
+		t.Fatal("Instrument must return the receiver and retain the registry")
+	}
+	for k := uint64(1); k <= 3; k++ {
+		if err := c.Insert("e0", rec(k, k*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sr, err := c.Search("e0", exact(1)); err != nil || !sr.Found {
+		t.Fatalf("Search = %+v, %v", sr, err)
+	}
+	if sr, err := c.Search("e0", exact(999)); err != nil || sr.Found {
+		t.Fatalf("miss Search = %+v, %v", sr, err)
+	}
+	if err := c.Delete("e0", exact(3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete("e0", exact(999)); err == nil {
+		t.Fatal("Delete of missing key succeeded")
+	}
+	c.MSearch([]PortKey{
+		{Port: "e0", Key: exact(1)},
+		{Port: "e1", Key: exact(1)},
+		{Port: "nope", Key: exact(1)},
+		{Port: "nope", Key: exact(2)},
+	})
+	if _, err := c.Search("ghost", exact(1)); err == nil {
+		t.Fatal("unknown engine Search succeeded")
+	}
+
+	em := reg.Engine("e0")
+	checks := []struct {
+		op          metrics.Op
+		count, errs uint64
+	}{
+		{metrics.OpInsert, 3, 0},
+		{metrics.OpSearch, 2, 0},
+		{metrics.OpDelete, 2, 1},
+		{metrics.OpMSearch, 1, 0},
+	}
+	for _, ck := range checks {
+		if em.Count(ck.op) != ck.count || em.Errors(ck.op) != ck.errs {
+			t.Errorf("e0 %s = %d/%d, want %d/%d",
+				ck.op, em.Count(ck.op), em.Errors(ck.op), ck.count, ck.errs)
+		}
+		if em.Latency(ck.op).N() != ck.count {
+			t.Errorf("e0 %s latency N = %d, want %d", ck.op, em.Latency(ck.op).N(), ck.count)
+		}
+	}
+	if got := reg.Engine("e1").Count(metrics.OpMSearch); got != 1 {
+		t.Errorf("e1 msearch = %d, want 1", got)
+	}
+	if reg.Unknown() != 3 { // two msearch slots + one search
+		t.Errorf("unknown = %d, want 3", reg.Unknown())
+	}
+
+	g, ok := em.SampleGauges()
+	if !ok {
+		t.Fatal("no gauges wired")
+	}
+	// 3 inserted - 1 deleted = 2 records; 2 searches + 1 msearch slot = 3
+	// lookups (Delete probes rows but charges no lookup).
+	if g.Records != 2 {
+		t.Errorf("gauge records = %d, want 2", g.Records)
+	}
+	if g.Lookups != 3 || g.Hits != 2 || g.Misses != 1 {
+		t.Errorf("gauge lookups/hits/misses = %d/%d/%d, want 3/2/1", g.Lookups, g.Hits, g.Misses)
+	}
+	if g.AMAL < 1 {
+		t.Errorf("gauge AMAL = %v, want >= 1", g.AMAL)
+	}
+	if g.LoadFactor <= 0 {
+		t.Errorf("gauge load factor = %v", g.LoadFactor)
+	}
+	_ = names
+}
+
+// TestUninstrumentedConcurrentUnchanged guards the nil-metrics fast
+// path: without Instrument, ops run exactly as before and no registry
+// is reachable.
+func TestUninstrumentedConcurrentUnchanged(t *testing.T) {
+	c, _ := concurrentFixture(t, 1)
+	if c.Metrics() != nil {
+		t.Fatal("fresh Concurrent has a registry")
+	}
+	if err := c.Insert("e0", rec(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if sr, err := c.Search("e0", exact(1)); err != nil || !sr.Found {
+		t.Fatalf("Search = %+v, %v", sr, err)
+	}
+	if _, err := c.Search("nope", exact(1)); err == nil {
+		t.Fatal("unknown engine accepted")
 	}
 }
