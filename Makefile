@@ -5,19 +5,23 @@
 #   make stress         tier-2: the concurrency stress tests under -race
 #   make fuzz           10s per wire-protocol fuzz target
 #   make bench          the parallel-throughput server benchmark
+#   make bench-json     hot-path benchmarks frozen into BENCH_PR3.json
+#   make alloc-guard    zero-allocation regression tests for the
+#                       search hot path (match, caram, server)
 #   make metrics-smoke  end-to-end observability check: live server,
 #                       /metrics scrape, graceful shutdown
-#   make ci             the CI gate: check + race + metrics-smoke
+#   make ci             the CI gate: check + race + alloc-guard +
+#                       metrics-smoke
 #   make all            everything above, in that order
 
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check vet race stress fuzz bench metrics-smoke ci
+.PHONY: all check vet race stress fuzz bench bench-json alloc-guard metrics-smoke ci
 
 all: check race stress fuzz bench metrics-smoke
 
-ci: check race metrics-smoke
+ci: check race alloc-guard metrics-smoke
 
 check: vet
 	$(GO) build ./...
@@ -43,3 +47,13 @@ fuzz:
 
 bench:
 	$(GO) test -run '^$$' -bench ServerParallelSearch -benchmem .
+
+# Zero-allocation regression guard: testing.AllocsPerRun == 0 on the
+# core search paths (row match kernel, slice lookup, server SEARCH).
+alloc-guard:
+	$(GO) test -run ZeroAlloc -count=1 ./internal/match ./internal/caram ./internal/server
+
+# Freeze the hot-path benchmarks into a versioned JSON artifact.
+bench-json:
+	$(GO) test -run '^$$' -bench 'RowMatch|ServerSearchZeroAlloc|ServerSearchInstrumented|MSearchBatched|SliceLookup$$' \
+		-benchmem . | $(GO) run ./cmd/bench2json > BENCH_PR3.json

@@ -22,6 +22,7 @@ import (
 	"caram/internal/iproute"
 	"caram/internal/match"
 	"caram/internal/mem"
+	"caram/internal/metrics"
 	"caram/internal/pktclass"
 	"caram/internal/server"
 	"caram/internal/subsystem"
@@ -476,4 +477,153 @@ func BenchmarkDispatcherThroughput(b *testing.B) {
 	b.StopTimer()
 	d.Close()
 	<-done
+}
+
+// BenchmarkRowMatch prices the word-parallel row-match kernel against
+// the slot-serial path it replaced: one full-row search (expand, match
+// vector, priority encode, extract) on an 8-slot 64-bit-key row,
+// binary and ternary. "kernel" is the production Search; "serial" is
+// the retained SearchSerial oracle. The kernel must report zero
+// allocations.
+func BenchmarkRowMatch(b *testing.B) {
+	for _, tern := range []struct {
+		name   string
+		layout match.Layout
+	}{
+		{"binary", match.Layout{RowBits: 8*(1+64+32) + 8, KeyBits: 64, DataBits: 32}},
+		{"ternary", match.Layout{RowBits: 8*(1+2*64+32) + 8, KeyBits: 64, DataBits: 32, Ternary: true}},
+	} {
+		proc := match.NewProcessor(tern.layout, 0)
+		row := make([]uint64, bitutil.RowWords(tern.layout.RowBits))
+		for i := 0; i < tern.layout.Slots(); i++ {
+			if err := tern.layout.WriteSlot(row, i, match.Record{
+				Key:  bitutil.Exact(bitutil.FromUint64(uint64(0x1000 + i*977))),
+				Data: bitutil.FromUint64(uint64(i)),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		hit := bitutil.Exact(bitutil.FromUint64(uint64(0x1000 + 5*977)))
+		b.Run(tern.name+"/kernel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if res := proc.Search(row, hit); !res.Matched() {
+					b.Fatal("match lost")
+				}
+			}
+		})
+		b.Run(tern.name+"/serial", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if res := proc.SearchSerial(row, hit); !res.Matched() {
+					b.Fatal("match lost")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServerSearchZeroAlloc measures the end-to-end protocol hot
+// path on its production API: ExecAppend into a reused reply buffer,
+// request lines pre-built (a real connection reads them off the wire;
+// building them is the client's cost). Both server variants must
+// report 0 allocs/op — the PR 3 headline (BENCH_PR3.json records the
+// numbers; before the rewrite this path cost 5 allocs and ~811 ns).
+func BenchmarkServerSearchZeroAlloc(b *testing.B) {
+	const nKeys = 4096
+	mk := func(b *testing.B, opts ...server.Option) *server.Server {
+		sub := subsystem.New(0)
+		sl := caram.MustNew(caram.Config{
+			IndexBits: 10, RowBits: 8*(1+64+32) + 8, KeyBits: 64, DataBits: 32,
+			Index: hash.NewMultShift(10),
+		})
+		for k := 0; k < nKeys; k++ {
+			if err := sl.Insert(match.Record{
+				Key:  bitutil.Exact(bitutil.FromUint64(uint64(k))),
+				Data: bitutil.FromUint64(uint64(k)),
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := sub.AddEngine(&subsystem.Engine{Name: "db", Main: sl}); err != nil {
+			b.Fatal(err)
+		}
+		return server.New(sub, opts...)
+	}
+	lines := make([]string, nKeys)
+	for k := range lines {
+		lines[k] = "SEARCH db " + strconv.FormatUint(uint64(k), 16)
+	}
+	run := func(b *testing.B, s *server.Server) {
+		buf := make([]byte, 0, 64)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			buf = s.ExecAppend(buf[:0], lines[i%nKeys])
+			if len(buf) < 3 || buf[0] != 'H' {
+				b.Fatal(string(buf))
+			}
+		}
+	}
+	b.Run("uninstrumented", func(b *testing.B) { run(b, mk(b, server.WithoutMetrics())) })
+	b.Run("instrumented", func(b *testing.B) { run(b, mk(b)) })
+}
+
+// BenchmarkMSearchBatched measures the batched fan-out layer: 64-key
+// MSEARCH batches spread over 4 engines, through persistent per-engine
+// workers that take each engine's lock once per batch (instrumented
+// variants additionally pay a single clock pair per engine-batch
+// rather than per key). Reported per batch; divide by 64 for per-key
+// cost.
+func BenchmarkMSearchBatched(b *testing.B) {
+	const (
+		nEngines  = 4
+		nKeys     = 4096
+		batchSize = 64
+	)
+	mk := func(b *testing.B, instrument bool) *subsystem.Concurrent {
+		sub := subsystem.New(0)
+		for e := 0; e < nEngines; e++ {
+			sl := caram.MustNew(caram.Config{
+				IndexBits: 10, RowBits: 8*(1+64+32) + 8, KeyBits: 64, DataBits: 32,
+				Index: hash.NewMultShift(10),
+			})
+			for k := 0; k < nKeys; k++ {
+				if err := sl.Insert(match.Record{
+					Key:  bitutil.Exact(bitutil.FromUint64(uint64(k))),
+					Data: bitutil.FromUint64(uint64(k)),
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := sub.AddEngine(&subsystem.Engine{Name: fmt.Sprintf("e%d", e), Main: sl}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		con := subsystem.NewConcurrent(sub)
+		if instrument {
+			con.Instrument(metrics.NewRegistry(con.Engines()))
+		}
+		return con
+	}
+	reqs := make([]subsystem.PortKey, batchSize)
+	for i := range reqs {
+		reqs[i] = subsystem.PortKey{
+			Port: fmt.Sprintf("e%d", i%nEngines),
+			Key:  bitutil.Exact(bitutil.FromUint64(uint64(i * 37 % nKeys))),
+		}
+	}
+	run := func(b *testing.B, con *subsystem.Concurrent) {
+		defer con.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out := con.MSearch(reqs)
+			if !out[0].Result.Found {
+				b.Fatal("lost record")
+			}
+		}
+	}
+	b.Run("uninstrumented", func(b *testing.B) { run(b, mk(b, false)) })
+	b.Run("instrumented", func(b *testing.B) { run(b, mk(b, true)) })
 }

@@ -1,0 +1,119 @@
+// Command bench2json converts `go test -bench` text output (stdin)
+// into a JSON array (stdout), one object per benchmark result line:
+//
+//	go test -run '^$' -bench . -benchmem . | go run ./cmd/bench2json > BENCH.json
+//
+// Each object carries the benchmark name, iteration count, ns/op, and —
+// when -benchmem or b.ReportAllocs added them — B/op and allocs/op.
+// Custom b.ReportMetric units land in an "extra" map keyed by unit.
+// Context lines (goos/goarch/pkg/cpu) are captured once at the top
+// level. The tool has no flags and no dependencies; it exists so `make
+// bench-json` can freeze benchmark runs into versioned artifacts like
+// BENCH_PR3.json.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line.
+type Result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BPerOp     *float64           `json:"b_per_op,omitempty"`
+	AllocsOp   *float64           `json:"allocs_per_op,omitempty"`
+	MBPerSec   *float64           `json:"mb_per_s,omitempty"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+// Output is the whole run.
+type Output struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	out := Output{Results: []Result{}}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			out.Goos = strings.TrimSpace(line[len("goos:"):])
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			out.Goarch = strings.TrimSpace(line[len("goarch:"):])
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			out.Pkg = strings.TrimSpace(line[len("pkg:"):])
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			out.CPU = strings.TrimSpace(line[len("cpu:"):])
+			continue
+		}
+		if r, ok := parseLine(line); ok {
+			out.Results = append(out.Results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json: read:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "bench2json: write:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine decodes one "BenchmarkName-8  1234  56.7 ns/op  0 B/op ..."
+// line. Values come in "<number> <unit>" pairs after the iteration
+// count.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: fields[0], Iterations: iters}
+	seenNs := false
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			r.BPerOp = ptr(v)
+		case "allocs/op":
+			r.AllocsOp = ptr(v)
+		case "MB/s":
+			r.MBPerSec = ptr(v)
+		default:
+			if r.Extra == nil {
+				r.Extra = make(map[string]float64)
+			}
+			r.Extra[unit] = v
+		}
+	}
+	return r, seenNs
+}
+
+func ptr(v float64) *float64 { return &v }

@@ -1,0 +1,79 @@
+package bitutil
+
+// Word-parallel row operations — the software image of the Figure 4(b)
+// comparator bank. A CA-RAM row is matched in one step by P comparators
+// working on the fetched row in parallel; these primitives realize that
+// step as whole-uint64 XOR/AND sweeps over the row's backing words, so
+// the match kernel in internal/match never decodes slots one field at a
+// time on the hot path.
+//
+// All destinations are caller-provided scratch: nothing here allocates.
+// The row operand may be shorter than the destination (a row narrower
+// than the compiled image); missing words read as zero, mirroring
+// GetBits' "bits beyond the end of the row read as zero" contract.
+
+// CompareInto writes the cared-about mismatch bits of row against an
+// expanded search image: dst[w] = (row[w] ^ value[w]) & care[w].
+// A slot whose field region ends up all-zero in dst matches the search
+// key. len(dst), len(value) and len(care) must be equal.
+func CompareInto(dst, row, value, care []uint64) {
+	for w := range dst {
+		var rw uint64
+		if w < len(row) {
+			rw = row[w]
+		}
+		dst[w] = (rw ^ value[w]) & care[w]
+	}
+}
+
+// CompareTernaryInto is CompareInto with the row's own stored
+// don't-care masks applied: dst[w] = (row[w]^value[w]) & care[w] &^
+// stored[w]. The stored operand is the row's mask fields pre-shifted
+// into key-field alignment (see ShrInto) and restricted to key-bit
+// positions, so a stored X bit silences its comparator exactly as the
+// second don't-care input of Figure 4(b) does.
+func CompareTernaryInto(dst, row, value, care, stored []uint64) {
+	for w := range dst {
+		var rw uint64
+		if w < len(row) {
+			rw = row[w]
+		}
+		dst[w] = (rw ^ value[w]) & care[w] &^ stored[w]
+	}
+}
+
+// ShrInto writes the row-level logical right shift src >> n into dst
+// (bit i of dst reads bit i+n of src; bits beyond the end read as
+// zero). Because a ternary slot stores its mask exactly KeyBits above
+// its value field, shifting the whole row right by KeyBits aligns every
+// slot's stored mask with its own key field in one sweep. dst must not
+// alias src.
+func ShrInto(dst, src []uint64, n int) {
+	if n < 0 {
+		n = 0
+	}
+	ws, bs := n/64, uint(n%64)
+	word := func(i int) uint64 {
+		if i >= 0 && i < len(src) {
+			return src[i]
+		}
+		return 0
+	}
+	if bs == 0 {
+		for i := range dst {
+			dst[i] = word(i + ws)
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] = word(i+ws)>>bs | word(i+ws+1)<<(64-bs)
+	}
+}
+
+// AndInto writes a & b into dst (all three the same length; dst may
+// alias either operand).
+func AndInto(dst, a, b []uint64) {
+	for w := range dst {
+		dst[w] = a[w] & b[w]
+	}
+}

@@ -1,0 +1,108 @@
+package bitutil
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// shrRef is the bit-at-a-time oracle for ShrInto.
+func shrRef(dst, src []uint64, n int) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for i := 0; i < len(dst)*64; i++ {
+		j := i + n
+		if j < 0 || j >= len(src)*64 {
+			continue
+		}
+		bit := src[j/64] >> uint(j%64) & 1
+		dst[i/64] |= bit << uint(i%64)
+	}
+}
+
+func TestShrIntoAgainstBitOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		words := 1 + rng.Intn(6)
+		src := make([]uint64, words)
+		for i := range src {
+			src[i] = rng.Uint64()
+		}
+		// Destination may be longer or shorter than the source.
+		dst := make([]uint64, 1+rng.Intn(7))
+		want := make([]uint64, len(dst))
+		n := rng.Intn(words*64 + 70)
+		ShrInto(dst, src, n)
+		shrRef(want, src, n)
+		for i := range dst {
+			if dst[i] != want[i] {
+				t.Fatalf("ShrInto(words=%d, n=%d) word %d = %#x, want %#x",
+					words, n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestShrIntoWordAlignedAndZero(t *testing.T) {
+	src := []uint64{0x1111, 0x2222, 0x3333}
+	dst := make([]uint64, 3)
+	ShrInto(dst, src, 0)
+	if dst[0] != 0x1111 || dst[1] != 0x2222 || dst[2] != 0x3333 {
+		t.Fatalf("shift 0 = %#x", dst)
+	}
+	ShrInto(dst, src, 64)
+	if dst[0] != 0x2222 || dst[1] != 0x3333 || dst[2] != 0 {
+		t.Fatalf("shift 64 = %#x", dst)
+	}
+	ShrInto(dst, src, -5) // clamped to 0
+	if dst[0] != 0x1111 {
+		t.Fatalf("negative shift = %#x", dst)
+	}
+}
+
+func TestCompareInto(t *testing.T) {
+	row := []uint64{0b1010, 0b1111}
+	value := []uint64{0b1001, 0b1111}
+	care := []uint64{0b1111, 0b0000}
+	dst := make([]uint64, 2)
+	CompareInto(dst, row, value, care)
+	if dst[0] != 0b0011 || dst[1] != 0 {
+		t.Fatalf("CompareInto = %b %b", dst[0], dst[1])
+	}
+	// Row shorter than the image: missing words read as zero.
+	CompareInto(dst, row[:1], value, care)
+	if dst[0] != 0b0011 || dst[1] != 0 {
+		t.Fatalf("short row CompareInto = %b %b", dst[0], dst[1])
+	}
+	one := make([]uint64, 1)
+	CompareInto(one, []uint64{}, []uint64{0b1}, []uint64{0b1})
+	if one[0] != 0b1 {
+		t.Fatalf("empty row CompareInto = %b", one[0])
+	}
+}
+
+func TestCompareTernaryInto(t *testing.T) {
+	row := []uint64{0b1010}
+	value := []uint64{0b0101}
+	care := []uint64{0b1111}
+	stored := []uint64{0b0110} // middle two mismatches silenced
+	dst := make([]uint64, 1)
+	CompareTernaryInto(dst, row, value, care, stored)
+	if dst[0] != 0b1001 {
+		t.Fatalf("CompareTernaryInto = %b", dst[0])
+	}
+}
+
+func TestAndInto(t *testing.T) {
+	a := []uint64{0b1100, ^uint64(0)}
+	b := []uint64{0b1010, 0}
+	dst := make([]uint64, 2)
+	AndInto(dst, a, b)
+	if dst[0] != 0b1000 || dst[1] != 0 {
+		t.Fatalf("AndInto = %b %b", dst[0], dst[1])
+	}
+	AndInto(a, a, b) // aliasing allowed
+	if a[0] != 0b1000 {
+		t.Fatalf("aliased AndInto = %b", a[0])
+	}
+}

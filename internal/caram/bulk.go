@@ -15,6 +15,12 @@ import (
 // CAM, whose per-row logic does comparison only. Each row costs one
 // read (plus one write when modified), so a whole-database pass is
 // Rows() accesses regardless of the predicate.
+//
+// Scratch discipline: proc.Search returns a Result whose Vector
+// aliases the processor's scratch (valid only until the next Search).
+// Every loop below finishes consuming one row's Vector before
+// searching the next row, so no Clone is needed; code that retains a
+// Result across searches must call Result.Clone.
 
 // CountWhere returns how many stored records match the (possibly
 // masked) search key, streaming the whole array through the match

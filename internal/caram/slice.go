@@ -209,6 +209,8 @@ func (s *Slice) Lookup(search bitutil.Ternary) LookupResult {
 		if d == 0 {
 			reach = int(s.layout.ReadAux(row))
 		}
+		// m.Vector aliases the processor's scratch; only the by-value
+		// fields are kept, so the next probe may reuse it freely.
 		m := s.proc.Search(row, search)
 		if m.Matched() {
 			res.Found = true

@@ -1,0 +1,43 @@
+package match
+
+import (
+	"testing"
+
+	"caram/internal/bitutil"
+)
+
+// TestSearchZeroAlloc is the alloc-regression guard for the core match
+// path: one row search through the word-parallel kernel must not
+// allocate, hit or miss, binary or ternary. `make alloc-guard` (part of
+// `make ci`) runs every *ZeroAlloc test.
+func TestSearchZeroAlloc(t *testing.T) {
+	for _, tern := range []bool{false, true} {
+		l := Layout{RowBits: 8*(1+64+32) + 8, KeyBits: 64, DataBits: 32}
+		if tern {
+			l = Layout{RowBits: 4*(1+2*64+32) + 8, KeyBits: 64, DataBits: 32, Ternary: true}
+		}
+		pr := NewProcessor(l, 0)
+		row := make([]uint64, bitutil.RowWords(l.RowBits))
+		for i := 0; i < l.Slots(); i++ {
+			if err := l.WriteSlot(row, i, Record{
+				Key:  bitutil.Ternary{Value: bitutil.FromUint64(uint64(0x1000 + i))},
+				Data: bitutil.FromUint64(uint64(i)),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		hit := bitutil.Ternary{Value: bitutil.FromUint64(0x1001)}
+		miss := bitutil.Ternary{Value: bitutil.FromUint64(0xffff)}
+		if n := testing.AllocsPerRun(200, func() {
+			pr.Search(row, hit)
+			pr.Search(row, miss)
+		}); n != 0 {
+			t.Fatalf("ternary=%v: Search allocated %.1f times per run, want 0", tern, n)
+		}
+		if n := testing.AllocsPerRun(200, func() {
+			pr.Best(row, hit, func(r Record) int { return int(r.Data.Uint64()) })
+		}); n != 0 {
+			t.Fatalf("ternary=%v: Best allocated %.1f times per run, want 0", tern, n)
+		}
+	}
+}

@@ -1,0 +1,324 @@
+package match
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"caram/internal/bitutil"
+)
+
+// These tests pin the word-parallel kernel (Search) to the slot-serial
+// oracle (SearchSerial): for any layout, any row image — including raw
+// random words never produced by WriteSlot — and any ternary search
+// key, the two paths must agree on the match vector, the priority
+// encoder's output, the multi-match flag, the extracted record, the
+// pass count, and every statistics counter.
+
+func randomLayout(rng *rand.Rand) Layout {
+	for {
+		var kb int
+		switch rng.Intn(3) {
+		case 0:
+			kb = 1 + rng.Intn(8) // small keys → many slots, S > 64
+		case 1:
+			kb = 1 + rng.Intn(32)
+		default:
+			kb = 1 + rng.Intn(128)
+		}
+		l := Layout{
+			KeyBits:  kb,
+			DataBits: rng.Intn(129),
+			Ternary:  rng.Intn(2) == 1,
+			AuxBits:  rng.Intn(65),
+		}
+		slots := 1 + rng.Intn(80)
+		// Leave random slack below the aux field so slot regions do not
+		// tile the row exactly.
+		l.RowBits = l.AuxBits + slots*l.SlotBits() + rng.Intn(l.SlotBits())
+		if l.Validate() == nil {
+			return l
+		}
+	}
+}
+
+func randomVec(rng *rand.Rand) bitutil.Vec128 {
+	return bitutil.FromParts(rng.Uint64(), rng.Uint64())
+}
+
+// randomTernary draws a search or stored key; width<=128 truncates, and
+// sparse masks keep exact matches reachable.
+func randomTernary(rng *rand.Rand, width int, ternary bool) bitutil.Ternary {
+	k := bitutil.Ternary{Value: randomVec(rng).Trunc(width)}
+	if ternary && rng.Intn(2) == 0 {
+		k.Mask = randomVec(rng).And(randomVec(rng)).Trunc(width)
+	}
+	return k
+}
+
+// randomRow builds either a structured row via WriteSlot (duplicate keys
+// planted to force multi-match) or raw random words (the kernel must
+// agree with the oracle even on images WriteSlot cannot produce).
+func randomRow(rng *rand.Rand, l Layout) (row []uint64, stored []bitutil.Ternary) {
+	row = make([]uint64, bitutil.RowWords(l.RowBits))
+	if rng.Intn(3) == 0 {
+		for i := range row {
+			row[i] = rng.Uint64()
+		}
+		for i := 0; i < l.Slots(); i++ {
+			if rec, ok := l.ReadSlot(row, i); ok {
+				stored = append(stored, rec.Key)
+			}
+		}
+		return row, stored
+	}
+	for i := 0; i < l.Slots(); i++ {
+		if rng.Intn(3) == 0 {
+			continue // leave invalid
+		}
+		var k bitutil.Ternary
+		if len(stored) > 0 && rng.Intn(3) == 0 {
+			k = stored[rng.Intn(len(stored))] // duplicate → multi-match
+		} else {
+			k = randomTernary(rng, l.KeyBits, l.Ternary)
+		}
+		rec := Record{Key: k, Data: randomVec(rng).Trunc(l.DataBits)}
+		if err := l.WriteSlot(row, i, rec); err != nil {
+			continue
+		}
+		stored = append(stored, k)
+	}
+	if l.AuxBits > 0 {
+		l.WriteAux(row, rng.Uint64())
+	}
+	return row, stored
+}
+
+// randomSearch draws search keys that cover hits, misses, masked
+// searches, and cared-for bits above KeyBits (which must miss the whole
+// row on both paths).
+func randomSearch(rng *rand.Rand, l Layout, stored []bitutil.Ternary) bitutil.Ternary {
+	switch rng.Intn(4) {
+	case 0:
+		if len(stored) > 0 {
+			k := stored[rng.Intn(len(stored))]
+			return bitutil.Ternary{Value: k.Value} // exact probe of a stored key
+		}
+		fallthrough
+	case 1:
+		return randomTernary(rng, l.KeyBits, true)
+	case 2: // masked search key, any layout
+		return bitutil.Ternary{
+			Value: randomVec(rng).Trunc(l.KeyBits),
+			Mask:  randomVec(rng).And(randomVec(rng)).Trunc(l.KeyBits),
+		}
+	default: // full-width 128-bit search, bits above KeyBits in play
+		return bitutil.Ternary{
+			Value: randomVec(rng),
+			Mask:  randomVec(rng).And(randomVec(rng)),
+		}
+	}
+}
+
+// checkEquivalence runs one search through both paths on fresh-stat
+// processors and reports the first divergence.
+func checkEquivalence(t testing.TB, l Layout, p int, row []uint64, search bitutil.Ternary) {
+	t.Helper()
+	kern := NewProcessor(l, p)
+	oracle := NewProcessor(l, p)
+	got := kern.Search(row, search)
+	want := oracle.SearchSerial(row, search)
+
+	ctx := func() string {
+		return fmt.Sprintf("layout=%+v p=%d search=%s", l, p, search.String(128))
+	}
+	if got.First != want.First || got.Count != want.Count ||
+		got.Multi() != want.Multi() || got.Matched() != want.Matched() {
+		t.Fatalf("%s: kernel First=%d Count=%d, oracle First=%d Count=%d",
+			ctx(), got.First, got.Count, want.First, want.Count)
+	}
+	if got.Passes != want.Passes {
+		t.Fatalf("%s: kernel Passes=%d, oracle Passes=%d", ctx(), got.Passes, want.Passes)
+	}
+	if got.Record != want.Record {
+		t.Fatalf("%s: kernel Record=%+v, oracle Record=%+v", ctx(), got.Record, want.Record)
+	}
+	if len(got.Vector) != len(want.Vector) {
+		t.Fatalf("%s: vector length %d vs %d", ctx(), len(got.Vector), len(want.Vector))
+	}
+	for w := range got.Vector {
+		if got.Vector[w] != want.Vector[w] {
+			t.Fatalf("%s: vector word %d = %#x, oracle %#x",
+				ctx(), w, got.Vector[w], want.Vector[w])
+		}
+	}
+	if ks, os := kern.Stats(), oracle.Stats(); ks != os {
+		t.Fatalf("%s: kernel stats %+v, oracle stats %+v", ctx(), ks, os)
+	}
+	// SearchAllAppend must surface exactly the matched slots, in order.
+	recs := kern.SearchAllAppend(nil, row, search)
+	if len(recs) != want.Count {
+		t.Fatalf("%s: SearchAllAppend returned %d records, want %d", ctx(), len(recs), want.Count)
+	}
+	if want.Count > 0 && recs[0] != want.Record {
+		t.Fatalf("%s: SearchAllAppend[0]=%+v, want %+v", ctx(), recs[0], want.Record)
+	}
+}
+
+func randomP(rng *rand.Rand, l Layout) int {
+	switch rng.Intn(3) {
+	case 0:
+		return 0 // P = S
+	case 1:
+		return 1 // maximal pass count
+	default:
+		return 1 + rng.Intn(l.Slots()) // S > P in general
+	}
+}
+
+// TestKernelMatchesSerialRandom sweeps many random scenarios with
+// readable failure output.
+func TestKernelMatchesSerialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		l := randomLayout(rng)
+		p := randomP(rng, l)
+		row, stored := randomRow(rng, l)
+		for s := 0; s < 4; s++ {
+			checkEquivalence(t, l, p, row, randomSearch(rng, l, stored))
+		}
+	}
+}
+
+// TestKernelMatchesSerialQuick states the equivalence as a testing/quick
+// property over the seed space.
+func TestKernelMatchesSerialQuick(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		l := randomLayout(rng)
+		p := randomP(rng, l)
+		row, stored := randomRow(rng, l)
+		search := randomSearch(rng, l, stored)
+
+		kern := NewProcessor(l, p)
+		oracle := NewProcessor(l, p)
+		got := kern.Search(row, search)
+		want := oracle.SearchSerial(row, search)
+		if got.First != want.First || got.Count != want.Count ||
+			got.Passes != want.Passes || got.Record != want.Record {
+			return false
+		}
+		for w := range got.Vector {
+			if got.Vector[w] != want.Vector[w] {
+				return false
+			}
+		}
+		return kern.Stats() == oracle.Stats()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKernelExpansionCacheAcrossRows reuses one processor for a probe
+// chain (same key, many rows) and interleaves key changes, exercising
+// the expansion cache the way Slice.Lookup does.
+func TestKernelExpansionCacheAcrossRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		l := randomLayout(rng)
+		p := randomP(rng, l)
+		kern := NewProcessor(l, p)
+		oracle := NewProcessor(l, p)
+		var searches []bitutil.Ternary
+		var rows [][]uint64
+		var allStored []bitutil.Ternary
+		for r := 0; r < 4; r++ {
+			row, stored := randomRow(rng, l)
+			rows = append(rows, row)
+			allStored = append(allStored, stored...)
+		}
+		for s := 0; s < 3; s++ {
+			searches = append(searches, randomSearch(rng, l, allStored))
+		}
+		for _, search := range searches {
+			for _, row := range rows { // same key across the chain → cached expansion
+				got := kern.Search(row, search)
+				want := oracle.SearchSerial(row, search)
+				if got.First != want.First || got.Count != want.Count {
+					t.Fatalf("layout=%+v search=%s: kernel (%d,%d) oracle (%d,%d)",
+						l, search.String(128), got.First, got.Count, want.First, want.Count)
+				}
+			}
+		}
+		if kern.Stats() != oracle.Stats() {
+			t.Fatalf("layout=%+v: stats diverged: %+v vs %+v", l, kern.Stats(), oracle.Stats())
+		}
+	}
+}
+
+// fuzzReader deals bytes from the fuzz corpus; exhausted reads return
+// zero so every input shapes a valid scenario.
+type fuzzReader struct{ data []byte }
+
+func (f *fuzzReader) byte() byte {
+	if len(f.data) == 0 {
+		return 0
+	}
+	b := f.data[0]
+	f.data = f.data[1:]
+	return b
+}
+
+func (f *fuzzReader) u64() uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | uint64(f.byte())
+	}
+	return v
+}
+
+// FuzzKernelVsSerial lets the fuzzer shape the layout, the raw row
+// image, and the search key directly from corpus bytes.
+func FuzzKernelVsSerial(f *testing.F) {
+	f.Add([]byte{4, 8, 1, 0, 0, 3, 0xff, 0xaa, 0x55, 0, 1, 2, 3})
+	f.Add([]byte{64, 32, 0, 8, 1, 7, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte{128, 128, 1, 64, 0, 1, 0xde, 0xad, 0xbe, 0xef})
+	f.Add([]byte{1, 0, 0, 0, 9, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fz := &fuzzReader{data}
+		l := Layout{
+			KeyBits:  1 + int(fz.byte())%128,
+			DataBits: int(fz.byte()) % 129,
+			Ternary:  fz.byte()&1 == 1,
+			AuxBits:  int(fz.byte()) % 65,
+		}
+		slots := 1 + int(fz.byte())%70
+		l.RowBits = l.AuxBits + slots*l.SlotBits() + int(fz.byte())%l.SlotBits()
+		if l.Validate() != nil {
+			t.Skip()
+		}
+		p := 1 + int(fz.byte())%l.Slots()
+		row := make([]uint64, bitutil.RowWords(l.RowBits))
+		for i := range row {
+			row[i] = fz.u64()
+		}
+		searches := []bitutil.Ternary{
+			{Value: bitutil.FromParts(fz.u64(), fz.u64()),
+				Mask: bitutil.FromParts(fz.u64(), fz.u64())},
+		}
+		// A truncated variant probes within the key width, and slot 0's
+		// own key (when valid) probes a guaranteed hit.
+		searches = append(searches, bitutil.Ternary{
+			Value: searches[0].Value.Trunc(l.KeyBits),
+			Mask:  searches[0].Mask.Trunc(l.KeyBits),
+		})
+		if rec, ok := l.ReadSlot(row, 0); ok {
+			searches = append(searches, bitutil.Ternary{Value: rec.Key.Value})
+		}
+		for _, search := range searches {
+			checkEquivalence(t, l, p, row, search)
+		}
+	})
+}

@@ -20,10 +20,24 @@ import (
 // When the row holds more slots than there are match processors
 // (S > P), matching is divided into ceil(S/P) pipelined passes, as the
 // paper describes for flexible key sizes.
+//
+// Steps 1–3 run on the word-parallel kernel (see matcher): the search
+// key is expanded into a row-sized image once per distinct key, each
+// fetched row is tested with whole-uint64 XOR/mask sweeps, and the
+// match vector lands in processor-owned scratch — the hot path
+// performs zero allocations per search. SearchSerial keeps the legacy
+// slot-at-a-time pipeline as the behavioral oracle.
+//
+// A Processor is not safe for concurrent use: the kernel's expansion
+// image, the scratch match vector and the statistics counters are all
+// per-processor mutable state (the hardware analogue: one comparator
+// bank per slice port).
 type Processor struct {
 	layout Layout
 	p      int // number of match processor instances
 	stats  ProcessorStats
+	m      *matcher
+	vec    []uint64 // scratch match vector handed out via Result.Vector
 }
 
 // ProcessorStats counts the work a processor bank has performed.
@@ -41,7 +55,12 @@ func NewProcessor(layout Layout, p int) *Processor {
 	if p <= 0 {
 		p = layout.Slots()
 	}
-	return &Processor{layout: layout, p: p}
+	return &Processor{
+		layout: layout,
+		p:      p,
+		m:      newMatcher(layout),
+		vec:    make([]uint64, (layout.Slots()+63)/64),
+	}
 }
 
 // Layout returns the record layout the processor decodes.
@@ -54,6 +73,14 @@ func (pr *Processor) P() int { return pr.p }
 type Result struct {
 	// Vector has one bit per slot: 1 = that slot matched. Word 0 bit 0
 	// is slot 0.
+	//
+	// Aliasing: when produced by Search, Vector is scratch owned by the
+	// processor — it stays valid only until the processor's next
+	// Search/SearchInto call, exactly like a hardware match-vector
+	// latch that the next operation overwrites. Callers that retain a
+	// Result across searches must Clone it first. SearchInto writes
+	// into caller-provided scratch instead; SearchSerial allocates a
+	// fresh vector.
 	Vector []uint64
 	// First is the priority-encoded match (lowest slot index), -1 if
 	// none. Insertion order therefore defines match priority, which is
@@ -74,11 +101,57 @@ func (r Result) Multi() bool { return r.Count > 1 }
 // Matched reports whether any slot matched.
 func (r Result) Matched() bool { return r.First >= 0 }
 
+// Clone returns a copy of the result whose Vector no longer aliases
+// processor scratch, safe to retain across searches.
+func (r Result) Clone() Result {
+	r.Vector = append([]uint64(nil), r.Vector...)
+	return r
+}
+
 // Search runs the match pipeline for a (possibly masked) search key
 // over one row. The search key's mask implements search-key bit
 // masking; stored masks implement ternary search — both may be active
 // at once.
+//
+// The returned Result's Vector aliases processor-owned scratch (see
+// Result.Vector); the call itself allocates nothing.
 func (pr *Processor) Search(row []uint64, search bitutil.Ternary) Result {
+	res := Result{Vector: pr.vec}
+	pr.SearchInto(&res, row, search)
+	return res
+}
+
+// SearchInto is Search writing its match vector into res.Vector's
+// backing array (grown only when too small), for callers that own
+// their scratch. All other Result fields are overwritten.
+func (pr *Processor) SearchInto(res *Result, row []uint64, search bitutil.Ternary) {
+	need := (pr.layout.Slots() + 63) / 64
+	if cap(res.Vector) < need {
+		res.Vector = make([]uint64, need)
+	} else {
+		res.Vector = res.Vector[:need]
+	}
+	pr.m.expand(search)
+	first, count, valid := pr.m.matchRow(res.Vector, row)
+	res.First = first
+	res.Count = count
+	res.Passes = (pr.layout.Slots() + pr.p - 1) / pr.p
+	res.Record = Record{}
+	if first >= 0 {
+		res.Record, _ = pr.layout.ReadSlot(row, first)
+	}
+	pr.stats.Searches++
+	pr.stats.Passes += uint64(res.Passes)
+	pr.stats.SlotsTested += uint64(valid)
+	pr.stats.Matches += uint64(count)
+}
+
+// SearchSerial is the legacy slot-serial match pipeline: every slot is
+// decoded with ReadSlot and compared on its own, and the match vector
+// is freshly allocated. It is kept as the behavioral oracle for the
+// word-parallel kernel — property and fuzz tests require the two paths
+// to be bit-exact — and it updates the same statistics counters.
+func (pr *Processor) SearchSerial(row []uint64, search bitutil.Ternary) Result {
 	s := pr.layout.Slots()
 	res := Result{
 		Vector: make([]uint64, (s+63)/64),
@@ -109,25 +182,33 @@ func (pr *Processor) Search(row []uint64, search bitutil.Ternary) Result {
 
 // SearchAll returns every matching record in slot order — the "massive
 // data evaluation" capability the decoupled match logic enables (§1).
+// It returns nil when nothing matches.
 func (pr *Processor) SearchAll(row []uint64, search bitutil.Ternary) []Record {
+	return pr.SearchAllAppend(nil, row, search)
+}
+
+// SearchAllAppend appends every matching record in slot order to dst
+// and returns the extended slice — the allocation-free variant of
+// SearchAll for callers that reuse a record buffer across rows.
+func (pr *Processor) SearchAllAppend(dst []Record, row []uint64, search bitutil.Ternary) []Record {
 	res := pr.Search(row, search)
 	if res.Count == 0 {
-		return nil
+		return dst
 	}
-	out := make([]Record, 0, res.Count)
 	for i := 0; i < pr.layout.Slots(); i++ {
 		if res.Vector[i/64]>>uint(i%64)&1 == 1 {
 			rec, _ := pr.layout.ReadSlot(row, i)
-			out = append(out, rec)
+			dst = append(dst, rec)
 		}
 	}
-	return out
+	return dst
 }
 
 // Best returns the matching record that maximizes the supplied score
 // (ties broken toward the lower slot), or ok=false if nothing matched.
 // This generalizes the priority encoder for applications, like LPM,
 // where priority is a property of the record rather than its position.
+// It allocates nothing.
 func (pr *Processor) Best(row []uint64, search bitutil.Ternary, score func(Record) int) (rec Record, ok bool) {
 	res := pr.Search(row, search)
 	if res.Count == 0 {

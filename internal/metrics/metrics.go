@@ -210,6 +210,24 @@ func (m *EngineMetrics) Observe(op Op, d time.Duration, err error) {
 	o.lat.Observe(int64(d))
 }
 
+// ObserveBatch records n completed operations of one kind measured with
+// a single clock pair: d is the whole batch's wall-clock duration, and
+// each operation is attributed the per-item share d/n. The op count and
+// the histogram's observation count advance by n together, preserving
+// the Latency(op).N() == Count(op) invariant the per-call Observe path
+// maintains. errs counts how many of the n returned errors.
+func (m *EngineMetrics) ObserveBatch(op Op, d time.Duration, n, errs uint64) {
+	if n == 0 {
+		return
+	}
+	o := &m.ops[op]
+	o.count.Add(n)
+	if errs > 0 {
+		o.errs.Add(errs)
+	}
+	o.lat.ObserveN(int64(d)/int64(n), n)
+}
+
 // Count returns the op's completed-operation count.
 func (m *EngineMetrics) Count(op Op) uint64 { return m.ops[op].count.Load() }
 

@@ -251,3 +251,39 @@ func TestWritePrometheus(t *testing.T) {
 		t.Error("missing +Inf closing bucket")
 	}
 }
+
+func TestObserveBatch(t *testing.T) {
+	r := NewRegistry([]string{"db"})
+	em := r.Engine("db")
+	// A 64-item batch measured with one clock pair must advance count,
+	// errors, and histogram observations together, each item carrying
+	// the per-item share of the batch duration.
+	em.ObserveBatch(OpMSearch, 64*time.Microsecond, 64, 3)
+	if got := em.Count(OpMSearch); got != 64 {
+		t.Fatalf("Count = %d, want 64", got)
+	}
+	if got := em.Errors(OpMSearch); got != 3 {
+		t.Fatalf("Errors = %d, want 3", got)
+	}
+	h := em.Latency(OpMSearch).Snapshot()
+	if h.N != 64 {
+		t.Fatalf("Latency N = %d, want 64 (must equal Count)", h.N)
+	}
+	if h.SumNs != 64*int64(time.Microsecond) {
+		t.Fatalf("SumNs = %d, want %d", h.SumNs, 64*int64(time.Microsecond))
+	}
+	if mean := h.MeanNs(); mean != float64(time.Microsecond) {
+		t.Fatalf("MeanNs = %v, want %v", mean, float64(time.Microsecond))
+	}
+	// Zero-sized batches are ignored entirely.
+	em.ObserveBatch(OpMSearch, time.Second, 0, 0)
+	if got := em.Count(OpMSearch); got != 64 {
+		t.Fatalf("Count after empty batch = %d, want 64", got)
+	}
+	// ObserveN floors negative durations at zero like Observe.
+	var hist Histogram
+	hist.ObserveN(-5, 2)
+	if hist.N() != 2 || hist.sumNs.Load() != 0 {
+		t.Fatalf("negative ObserveN: N=%d sum=%d", hist.N(), hist.sumNs.Load())
+	}
+}

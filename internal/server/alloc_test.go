@@ -1,0 +1,55 @@
+package server
+
+import (
+	"testing"
+
+	"caram/internal/caram"
+	"caram/internal/hash"
+	"caram/internal/subsystem"
+)
+
+func allocServer(opts ...Option) *Server {
+	sub := subsystem.New(0)
+	sl := caram.MustNew(caram.Config{
+		IndexBits: 6,
+		RowBits:   4*(1+64+32) + 8,
+		KeyBits:   64,
+		DataBits:  32,
+		Index:     hash.NewMultShift(6),
+	})
+	if err := sub.AddEngine(&subsystem.Engine{Name: "db", Main: sl}); err != nil {
+		panic(err)
+	}
+	return New(sub, opts...)
+}
+
+// TestExecAppendSearchZeroAlloc guards the end-to-end request hot path:
+// a SEARCH through parse → engine lock → word-parallel match → reply
+// encode must not allocate when the caller reuses its reply buffer, on
+// the uninstrumented and the default (instrumented) server alike. Run
+// by `make alloc-guard` / `make ci`.
+func TestExecAppendSearchZeroAlloc(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		s    *Server
+	}{
+		{"uninstrumented", allocServer(WithoutMetrics())},
+		{"instrumented", allocServer()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.s.Exec("INSERT db dead 42"); got != "OK" {
+				t.Fatalf("INSERT: %q", got)
+			}
+			buf := make([]byte, 0, 64)
+			if n := testing.AllocsPerRun(200, func() {
+				buf = tc.s.ExecAppend(buf[:0], "SEARCH db dead")
+				buf = tc.s.ExecAppend(buf[:0], "SEARCH db f00d")
+			}); n != 0 {
+				t.Fatalf("SEARCH ExecAppend allocated %.1f times per run, want 0", n)
+			}
+			if got := string(tc.s.ExecAppend(buf[:0], "SEARCH db dead")); got != "HIT 0:0000000000000042" {
+				t.Fatalf("SEARCH reply = %q", got)
+			}
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"strconv"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Append-based reply encoding. Every response the server emits is built
+// by appending into a caller-supplied byte buffer (per-connection,
+// pooled by Handle), replacing the fmt.Sprintf/strings.Builder
+// formatting of the original protocol engine. The encoders below are
+// byte-compatible with the fmt verbs they replace — the golden session
+// test holds the wire format to the old output exactly.
+
+// appendHex appends v in lower-case hex with no padding (fmt's %x).
+func appendHex(dst []byte, v uint64) []byte {
+	return strconv.AppendUint(dst, v, 16)
+}
+
+// appendHex016 appends v as exactly 16 lower-case hex digits (fmt's
+// %016x).
+func appendHex016(dst []byte, v uint64) []byte {
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = "0123456789abcdef"[v&0xf]
+		v >>= 4
+	}
+	return append(dst, buf[:]...)
+}
+
+// appendFixed appends v with prec digits after the decimal point
+// (fmt's %.<prec>f, including its NaN/±Inf spellings).
+func appendFixed(dst []byte, v float64, prec int) []byte {
+	return strconv.AppendFloat(dst, v, 'f', prec, 64)
+}
+
+// appendUint appends v in decimal (fmt's %d for unsigned).
+func appendUint(dst []byte, v uint64) []byte {
+	return strconv.AppendUint(dst, v, 10)
+}
+
+// appendInt appends v in decimal (fmt's %d).
+func appendInt(dst []byte, v int64) []byte {
+	return strconv.AppendInt(dst, v, 10)
+}
+
+// appendErr appends "ERR " plus the error text.
+func appendErr(dst []byte, err error) []byte {
+	dst = append(dst, "ERR "...)
+	return append(dst, err.Error()...)
+}
+
+// asciiSpace marks the six ASCII bytes unicode.IsSpace accepts, the
+// fast path of the field scanner.
+var asciiSpace = [256]uint8{'\t': 1, '\n': 1, '\v': 1, '\f': 1, '\r': 1, ' ': 1}
+
+// fieldScanner iterates the whitespace-separated fields of a request
+// line without allocating — the streaming equivalent of strings.Fields
+// (same unicode.IsSpace separator set), yielding substrings of the
+// input.
+type fieldScanner struct {
+	s string
+	i int
+}
+
+// next returns the next field, or ok=false at end of line.
+func (f *fieldScanner) next() (field string, ok bool) {
+	s, i := f.s, f.i
+	for i < len(s) {
+		if c := s[i]; c < utf8.RuneSelf {
+			if asciiSpace[c] == 0 {
+				break
+			}
+			i++
+			continue
+		}
+		r, w := utf8.DecodeRuneInString(s[i:])
+		if !unicode.IsSpace(r) {
+			break
+		}
+		i += w
+	}
+	if i >= len(s) {
+		f.i = i
+		return "", false
+	}
+	start := i
+	for i < len(s) {
+		if c := s[i]; c < utf8.RuneSelf {
+			if asciiSpace[c] == 1 {
+				break
+			}
+			i++
+			continue
+		}
+		r, w := utf8.DecodeRuneInString(s[i:])
+		if unicode.IsSpace(r) {
+			break
+		}
+		i += w
+	}
+	f.i = i
+	return s[start:i], true
+}
+
+// countFields returns how many fields remain from the scanner's current
+// position without advancing it.
+func (f *fieldScanner) countFields() int {
+	c := *f
+	n := 0
+	for {
+		if _, ok := c.next(); !ok {
+			return n
+		}
+		n++
+	}
+}

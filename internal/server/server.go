@@ -54,6 +54,10 @@ import (
 	"caram/internal/subsystem"
 )
 
+// flushThreshold caps how much reply data accumulates before Handle
+// writes it out even though more pipelined requests are buffered.
+const flushThreshold = 32 * 1024
+
 // MaxLineBytes bounds one request line. Longer lines are rejected with
 // "ERR line too long".
 const MaxLineBytes = 64 * 1024
@@ -181,6 +185,7 @@ func (s *Server) Close() error {
 	}
 	s.mu.Unlock()
 	s.handlers.Wait()
+	s.con.Close()
 	return nil
 }
 
@@ -190,190 +195,359 @@ func (s *Server) isClosed() bool {
 	return s.closed
 }
 
+// connState is one connection's reusable I/O state: a line reader
+// whose buffer doubles as the oversized-line bound, and the reply
+// buffer replies are appended into between flushes. Pooled so a
+// connection churn-heavy workload does not re-allocate 64 KiB buffers
+// per accept.
+type connState struct {
+	r   *bufio.Reader
+	out []byte
+}
+
+var connPool = sync.Pool{
+	New: func() any {
+		return &connState{
+			r:   bufio.NewReaderSize(nil, MaxLineBytes),
+			out: make([]byte, 0, 4096),
+		}
+	},
+}
+
 // Handle processes one connection's request stream. Split from Serve
 // so tests can drive it over arbitrary pipes. Handle itself is safe
 // for concurrent use: any number of connections may execute at once.
 // It returns as soon as the writer fails, so a dead client cannot keep
 // its read loop spinning through the rest of the stream.
+//
+// Replies are appended to a pooled per-connection buffer and written
+// out once per pipelined burst: the buffer is flushed when the reader
+// has no complete requests left buffered (or when flushThreshold of
+// replies has accumulated), so a client that pipelines N requests
+// costs one write, not N.
 func (s *Server) Handle(r io.Reader, w io.Writer) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 4096), MaxLineBytes)
-	out := bufio.NewWriter(w)
-	defer out.Flush()
-	for sc.Scan() {
-		fmt.Fprintln(out, s.Exec(sc.Text()))
-		if out.Flush() != nil {
-			return // write side is gone; stop consuming requests
+	st := connPool.Get().(*connState)
+	st.r.Reset(r)
+	st.out = st.out[:0]
+	defer func() {
+		st.r.Reset(nil) // drop the connection reference before pooling
+		connPool.Put(st)
+	}()
+	flush := func() bool {
+		if len(st.out) == 0 {
+			return true
 		}
+		_, err := w.Write(st.out)
+		st.out = st.out[:0]
+		return err == nil
 	}
-	switch err := sc.Err(); {
-	case err == nil: // clean EOF
-	case errors.Is(err, bufio.ErrTooLong):
-		fmt.Fprintln(out, "ERR line too long")
-	default:
-		fmt.Fprintln(out, "ERR read: "+err.Error())
+	// exec strips the line terminator (and a final "\r", as
+	// text-protocol clients send "\r\n") and appends the reply.
+	exec := func(line []byte) {
+		if n := len(line); n > 0 && line[n-1] == '\n' {
+			line = line[:n-1]
+		}
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			line = line[:n-1]
+		}
+		st.out = s.ExecAppend(st.out, string(line))
+		st.out = append(st.out, '\n')
+	}
+	for {
+		line, err := st.r.ReadSlice('\n')
+		switch {
+		case err == nil:
+			exec(line)
+			if st.r.Buffered() == 0 || len(st.out) >= flushThreshold {
+				if !flush() {
+					return // write side is gone; stop consuming requests
+				}
+			}
+		case errors.Is(err, bufio.ErrBufferFull):
+			// The stream is unrecoverable once a line overflows the
+			// buffer; report and end the connection like the previous
+			// Scanner-based loop did.
+			st.out = append(st.out, "ERR line too long\n"...)
+			flush()
+			return
+		case errors.Is(err, io.EOF):
+			if len(line) > 0 {
+				exec(line) // final unterminated request still counts
+			}
+			flush()
+			return
+		default:
+			if len(line) > 0 {
+				exec(line)
+			}
+			st.out = append(st.out, "ERR read: "...)
+			st.out = append(st.out, err.Error()...)
+			st.out = append(st.out, '\n')
+			flush()
+			return
+		}
 	}
 }
 
-// Exec runs one request line and returns the single-line response. It
-// is the protocol engine behind Handle, exported so embedders and
-// benchmarks can drive the server without a socket. Exec is safe for
-// concurrent use; requests to distinct engines run in parallel.
+// Exec runs one request line and returns the single-line response —
+// the string-returning convenience form of ExecAppend, kept for
+// embedders and tests.
 func (s *Server) Exec(line string) string {
-	fields := strings.Fields(line)
-	if len(fields) == 0 {
-		return "ERR empty request"
+	return string(s.ExecAppend(nil, line))
+}
+
+// ExecAppend runs one request line and appends the single-line
+// response (without the trailing newline) to dst, returning the
+// extended buffer. It is the protocol engine behind Handle, exported
+// so embedders and benchmarks can drive the server without a socket.
+// ExecAppend is safe for concurrent use; requests to distinct engines
+// run in parallel. A SEARCH request on an uninstrumented server
+// allocates nothing: fields are substrings of the line, keys parse in
+// place, and the reply is appended into dst.
+func (s *Server) ExecAppend(dst []byte, line string) []byte {
+	fs := fieldScanner{s: line}
+	cmd, ok := fs.next()
+	if !ok {
+		return append(dst, "ERR empty request"...)
 	}
-	switch cmd := strings.ToUpper(fields[0]); cmd {
+	switch cmd = strings.ToUpper(cmd); cmd {
 	case "ENGINES":
-		return "ENGINES " + strings.Join(s.con.Engines(), " ")
+		dst = append(dst, "ENGINES "...)
+		for i, name := range s.con.Engines() {
+			if i > 0 {
+				dst = append(dst, ' ')
+			}
+			dst = append(dst, name...)
+		}
+		return dst
 	case "INSERT":
-		if len(fields) != 4 {
-			return "ERR usage: INSERT <engine> <key> <data>"
+		eng, ok1 := fs.next()
+		keyS, ok2 := fs.next()
+		dataS, ok3 := fs.next()
+		if _, extra := fs.next(); !ok1 || !ok2 || !ok3 || extra {
+			return append(dst, "ERR usage: INSERT <engine> <key> <data>"...)
 		}
-		key, err := parseVec(fields[2])
+		key, err := parseVec(keyS)
 		if err != nil {
-			return "ERR " + err.Error()
+			return appendErr(dst, err)
 		}
-		data, err := parseVec(fields[3])
+		data, err := parseVec(dataS)
 		if err != nil {
-			return "ERR " + err.Error()
+			return appendErr(dst, err)
 		}
 		rec := match.Record{Key: bitutil.Exact(key), Data: data}
-		if err := s.con.Insert(fields[1], rec); err != nil {
-			return "ERR " + err.Error()
+		if err := s.con.Insert(eng, rec); err != nil {
+			return appendErr(dst, err)
 		}
-		return "OK"
+		return append(dst, "OK"...)
 	case "SEARCH":
-		if len(fields) != 3 && len(fields) != 4 {
-			return "ERR usage: SEARCH <engine> <key> [mask]"
+		eng, ok1 := fs.next()
+		keyS, ok2 := fs.next()
+		maskS, hasMask := fs.next()
+		if _, extra := fs.next(); !ok1 || !ok2 || extra {
+			return append(dst, "ERR usage: SEARCH <engine> <key> [mask]"...)
 		}
-		key, err := parseVec(fields[2])
+		key, err := parseVec(keyS)
 		if err != nil {
-			return "ERR " + err.Error()
+			return appendErr(dst, err)
 		}
 		search := bitutil.Exact(key)
-		if len(fields) == 4 {
-			mask, err := parseVec(fields[3])
+		if hasMask {
+			mask, err := parseVec(maskS)
 			if err != nil {
-				return "ERR " + err.Error()
+				return appendErr(dst, err)
 			}
 			search = bitutil.NewTernary(key, mask)
 		}
-		sr, err := s.con.Search(fields[1], search)
+		sr, err := s.con.Search(eng, search)
 		if err != nil {
-			return "ERR " + err.Error()
+			return appendErr(dst, err)
 		}
 		if !sr.Found {
-			return "MISS"
+			return append(dst, "MISS"...)
 		}
-		return fmt.Sprintf("HIT %x:%016x", sr.Record.Data.Hi, sr.Record.Data.Lo)
+		dst = append(dst, "HIT "...)
+		dst = appendHex(dst, sr.Record.Data.Hi)
+		dst = append(dst, ':')
+		return appendHex016(dst, sr.Record.Data.Lo)
 	case "MSEARCH":
-		args := fields[1:]
-		if len(args) == 0 || len(args)%2 != 0 {
-			return "ERR usage: MSEARCH <engine> <key> [<engine> <key> ...]"
+		// Arity is judged over the whole argument list before any key is
+		// parsed, so "MSEARCH db 12zz extra" is a usage error, not bad hex.
+		n := fs.countFields()
+		if n == 0 || n%2 != 0 {
+			return append(dst, "ERR usage: MSEARCH <engine> <key> [<engine> <key> ...]"...)
 		}
-		reqs := make([]subsystem.PortKey, len(args)/2)
+		reqs := make([]subsystem.PortKey, n/2)
 		for i := range reqs {
-			key, err := parseVec(args[2*i+1])
+			port, _ := fs.next()
+			keyS, _ := fs.next()
+			key, err := parseVec(keyS)
 			if err != nil {
-				return "ERR " + err.Error()
+				return appendErr(dst, err)
 			}
-			reqs[i] = subsystem.PortKey{Port: args[2*i], Key: bitutil.Exact(key)}
+			reqs[i] = subsystem.PortKey{Port: port, Key: bitutil.Exact(key)}
 		}
-		var sb strings.Builder
-		sb.WriteString("MRESULTS")
+		dst = append(dst, "MRESULTS"...)
 		for _, r := range s.con.MSearch(reqs) {
-			sb.WriteByte(' ')
+			dst = append(dst, ' ')
 			switch {
 			case r.Err != nil:
-				sb.WriteString("ERR:no-engine")
+				dst = append(dst, "ERR:no-engine"...)
 			case !r.Result.Found:
-				sb.WriteString("MISS")
+				dst = append(dst, "MISS"...)
 			default:
-				fmt.Fprintf(&sb, "HIT:%x:%016x", r.Result.Record.Data.Hi, r.Result.Record.Data.Lo)
+				dst = append(dst, "HIT:"...)
+				dst = appendHex(dst, r.Result.Record.Data.Hi)
+				dst = append(dst, ':')
+				dst = appendHex016(dst, r.Result.Record.Data.Lo)
 			}
 		}
-		return sb.String()
+		return dst
 	case "DELETE":
-		if len(fields) != 3 {
-			return "ERR usage: DELETE <engine> <key>"
+		eng, ok1 := fs.next()
+		keyS, ok2 := fs.next()
+		if _, extra := fs.next(); !ok1 || !ok2 || extra {
+			return append(dst, "ERR usage: DELETE <engine> <key>"...)
 		}
-		key, err := parseVec(fields[2])
+		key, err := parseVec(keyS)
 		if err != nil {
-			return "ERR " + err.Error()
+			return appendErr(dst, err)
 		}
-		if err := s.con.Delete(fields[1], bitutil.Exact(key)); err != nil {
-			return "ERR " + err.Error()
+		if err := s.con.Delete(eng, bitutil.Exact(key)); err != nil {
+			return appendErr(dst, err)
 		}
-		return "OK"
+		return append(dst, "OK"...)
 	case "METRICS":
-		return s.execMetrics(fields[1:])
+		return s.execMetricsAppend(dst, &fs)
 	case "STATS":
-		if len(fields) != 2 {
-			return "ERR usage: STATS <engine>"
+		eng, ok1 := fs.next()
+		if _, extra := fs.next(); !ok1 || extra {
+			return append(dst, "ERR usage: STATS <engine>"...)
 		}
-		info, err := s.con.Info(fields[1])
+		info, err := s.con.Info(eng)
 		if err != nil {
-			return "ERR " + err.Error()
+			return appendErr(dst, err)
 		}
-		return fmt.Sprintf("STATS n=%d alpha=%.3f amal=%.3f hits=%d misses=%d",
-			info.Count, info.LoadFactor, info.Stats.AMAL(), info.Stats.Hits, info.Stats.Misses)
+		dst = append(dst, "STATS n="...)
+		dst = appendInt(dst, int64(info.Count))
+		dst = append(dst, " alpha="...)
+		dst = appendFixed(dst, info.LoadFactor, 3)
+		dst = append(dst, " amal="...)
+		dst = appendFixed(dst, info.Stats.AMAL(), 3)
+		dst = append(dst, " hits="...)
+		dst = appendUint(dst, info.Stats.Hits)
+		dst = append(dst, " misses="...)
+		return appendUint(dst, info.Stats.Misses)
 	default:
-		return "ERR unknown command " + cmd
+		dst = append(dst, "ERR unknown command "...)
+		return append(dst, cmd...)
 	}
 }
 
-// execMetrics answers the METRICS command against the registry. The
-// no-argument and per-engine forms print only counters and core-state
-// gauges — deterministic for a scripted session, which is what lets the
-// golden-session test cover them byte-exactly. The LATENCY form adds
-// wall-clock quantiles and is therefore excluded from golden coverage.
-func (s *Server) execMetrics(args []string) string {
-	if s.met == nil {
-		return "ERR metrics disabled"
+// execMetricsAppend answers the METRICS command against the registry.
+// The no-argument and per-engine forms print only counters and
+// core-state gauges — deterministic for a scripted session, which is
+// what lets the golden-session test cover them byte-exactly. The
+// LATENCY form adds wall-clock quantiles and is therefore excluded
+// from golden coverage.
+func (s *Server) execMetricsAppend(dst []byte, fs *fieldScanner) []byte {
+	const usage = "ERR usage: METRICS [engine [LATENCY <op>]]"
+	var args [3]string
+	n := 0
+	for {
+		f, ok := fs.next()
+		if !ok {
+			break
+		}
+		if n == len(args) {
+			n++ // too many args: fall to the usage default below
+			break
+		}
+		args[n] = f
+		n++
 	}
-	switch len(args) {
+	if s.met == nil {
+		return append(dst, "ERR metrics disabled"...)
+	}
+	switch n {
 	case 0:
 		ops, errs := s.met.Totals()
-		return fmt.Sprintf("METRICS engines=%d ops=%d errors=%d unknown=%d",
-			len(s.met.Engines()), ops, errs, s.met.Unknown())
+		dst = append(dst, "METRICS engines="...)
+		dst = appendInt(dst, int64(len(s.met.Engines())))
+		dst = append(dst, " ops="...)
+		dst = appendUint(dst, ops)
+		dst = append(dst, " errors="...)
+		dst = appendUint(dst, errs)
+		dst = append(dst, " unknown="...)
+		return appendUint(dst, s.met.Unknown())
 	case 1:
 		em := s.met.Engine(args[0])
 		if em == nil {
-			return fmt.Sprintf("ERR metrics: no engine %q", args[0])
+			dst = append(dst, "ERR metrics: no engine "...)
+			return strconv.AppendQuote(dst, args[0])
 		}
-		var sb strings.Builder
-		fmt.Fprintf(&sb, "METRICS engine=%s", em.Name())
+		dst = append(dst, "METRICS engine="...)
+		dst = append(dst, em.Name()...)
 		for op := metrics.Op(0); op < metrics.NumOps; op++ {
-			fmt.Fprintf(&sb, " %s=%d %s_err=%d", op, em.Count(op), op, em.Errors(op))
+			dst = append(dst, ' ')
+			dst = append(dst, op.String()...)
+			dst = append(dst, '=')
+			dst = appendUint(dst, em.Count(op))
+			dst = append(dst, ' ')
+			dst = append(dst, op.String()...)
+			dst = append(dst, "_err="...)
+			dst = appendUint(dst, em.Errors(op))
 		}
 		if g, ok := em.SampleGauges(); ok {
-			fmt.Fprintf(&sb, " n=%d load=%.3f amal=%.3f hits=%d misses=%d overflow=%d spilled=%d",
-				g.Records, g.LoadFactor, g.AMAL, g.Hits, g.Misses, g.Overflow, g.Spilled)
+			dst = append(dst, " n="...)
+			dst = appendInt(dst, int64(g.Records))
+			dst = append(dst, " load="...)
+			dst = appendFixed(dst, g.LoadFactor, 3)
+			dst = append(dst, " amal="...)
+			dst = appendFixed(dst, g.AMAL, 3)
+			dst = append(dst, " hits="...)
+			dst = appendUint(dst, g.Hits)
+			dst = append(dst, " misses="...)
+			dst = appendUint(dst, g.Misses)
+			dst = append(dst, " overflow="...)
+			dst = appendInt(dst, int64(g.Overflow))
+			dst = append(dst, " spilled="...)
+			dst = appendInt(dst, int64(g.Spilled))
 		}
-		return sb.String()
+		return dst
 	case 3:
 		if !strings.EqualFold(args[1], "LATENCY") {
-			return "ERR usage: METRICS [engine [LATENCY <op>]]"
+			return append(dst, usage...)
 		}
 		em := s.met.Engine(args[0])
 		if em == nil {
-			return fmt.Sprintf("ERR metrics: no engine %q", args[0])
+			dst = append(dst, "ERR metrics: no engine "...)
+			return strconv.AppendQuote(dst, args[0])
 		}
 		op, err := metrics.ParseOp(args[2])
 		if err != nil {
-			return "ERR metrics: unknown op " + args[2]
+			dst = append(dst, "ERR metrics: unknown op "...)
+			return append(dst, args[2]...)
 		}
 		h := em.Latency(op).Snapshot()
 		qs := h.Quantiles(0.5, 0.9, 0.99, 1)
-		us := func(ns int64) float64 { return float64(ns) / 1e3 }
-		return fmt.Sprintf(
-			"METRICS engine=%s op=%s n=%d err=%d mean_us=%.2f p50_us=%.2f p90_us=%.2f p99_us=%.2f max_us=%.2f",
-			em.Name(), op, h.N, em.Errors(op), h.MeanNs()/1e3,
-			us(qs[0]), us(qs[1]), us(qs[2]), us(qs[3]))
+		dst = append(dst, "METRICS engine="...)
+		dst = append(dst, em.Name()...)
+		dst = append(dst, " op="...)
+		dst = append(dst, op.String()...)
+		dst = append(dst, " n="...)
+		dst = appendUint(dst, h.N)
+		dst = append(dst, " err="...)
+		dst = appendUint(dst, em.Errors(op))
+		dst = append(dst, " mean_us="...)
+		dst = appendFixed(dst, h.MeanNs()/1e3, 2)
+		for i, label := range [...]string{" p50_us=", " p90_us=", " p99_us=", " max_us="} {
+			dst = append(dst, label...)
+			dst = appendFixed(dst, float64(qs[i])/1e3, 2)
+		}
+		return dst
 	default:
-		return "ERR usage: METRICS [engine [LATENCY <op>]]"
+		return append(dst, usage...)
 	}
 }
 

@@ -34,29 +34,88 @@ type Concurrent struct {
 	order   []string
 	engines map[string]*guardedEngine
 	met     *metrics.Registry // nil when uninstrumented
+
+	// Batched-search machinery: one persistent worker per engine, fed
+	// through its guardedEngine.batch queue. sendMu guards the
+	// closed flag so MSearch never sends on a closed channel.
+	workers sync.WaitGroup
+	sendMu  sync.RWMutex
+	closed  bool
 }
 
-// guardedEngine pairs an engine with its port lock and the placement
-// stats the subsystem tracks for it.
+// guardedEngine pairs an engine with its port lock, the placement
+// stats the subsystem tracks for it, and the batch queue feeding its
+// persistent MSearch worker.
 type guardedEngine struct {
-	mu sync.RWMutex
-	e  *Engine
-	st *EngineStats
-	em *metrics.EngineMetrics // nil when uninstrumented
+	mu    sync.RWMutex
+	e     *Engine
+	st    *EngineStats
+	em    *metrics.EngineMetrics // nil when uninstrumented
+	batch chan *msearchBatch
 }
+
+// msearchBatch is one engine's share of an MSearch call: the slots of
+// reqs/out selected by idxs. The receiving worker signals wg when the
+// share is done.
+type msearchBatch struct {
+	reqs []PortKey
+	out  []MSearchResult
+	idxs []int
+	wg   *sync.WaitGroup
+}
+
+// msearchBatchDepth bounds how many in-flight MSearch shares can queue
+// on one engine before senders block (back-pressure, not an error).
+const msearchBatchDepth = 16
 
 // NewConcurrent wraps a subsystem whose engine registration is
 // complete. Engines added to the subsystem afterwards are not visible
 // through the wrapper.
+//
+// The wrapper starts one persistent worker goroutine per engine to
+// serve batched searches; Close stops them (leaving them running for
+// the process lifetime is also fine — idle workers block on an empty
+// queue and cost nothing).
 func NewConcurrent(sub *Subsystem) *Concurrent {
 	c := &Concurrent{
 		order:   sub.Engines(),
 		engines: make(map[string]*guardedEngine, len(sub.engines)),
 	}
 	for _, name := range c.order {
-		c.engines[name] = &guardedEngine{e: sub.engines[name], st: sub.stats[name]}
+		g := &guardedEngine{
+			e:     sub.engines[name],
+			st:    sub.stats[name],
+			batch: make(chan *msearchBatch, msearchBatchDepth),
+		}
+		c.engines[name] = g
+		c.workers.Add(1)
+		go c.msearchWorker(g)
 	}
 	return c
+}
+
+// msearchWorker drains one engine's batch queue until Close.
+func (c *Concurrent) msearchWorker(g *guardedEngine) {
+	defer c.workers.Done()
+	for b := range g.batch {
+		c.runBatch(g, b.reqs, b.out, b.idxs)
+		b.wg.Done()
+	}
+}
+
+// Close stops the per-engine batch workers and waits for them to
+// drain. MSearch remains usable afterwards — batches simply run on the
+// caller's goroutine. Close is idempotent.
+func (c *Concurrent) Close() {
+	c.sendMu.Lock()
+	if !c.closed {
+		c.closed = true
+		for _, name := range c.order {
+			close(c.engines[name].batch)
+		}
+	}
+	c.sendMu.Unlock()
+	c.workers.Wait()
 }
 
 // Instrument attaches a metrics registry: every subsequent
@@ -234,48 +293,92 @@ type MSearchResult struct {
 	Result SearchResult
 }
 
-// MSearch fans a batch of searches across engines: requests for
-// distinct engines run in parallel (one goroutine per referenced
-// port), requests sharing an engine serialize on its lock. Results
-// come back in request order; an unknown port yields a per-slot error
-// rather than failing the batch.
+// mjob is the per-engine grouping MSearch builds before dispatch.
+type mjob struct {
+	g    *guardedEngine
+	idxs []int
+}
+
+// MSearch fans a batch of searches across engines. Requests are
+// grouped by engine; each group is handed as one unit to the engine's
+// persistent worker (the caller runs the first group itself), which
+// acquires the engine lock once for the whole group and — when
+// instrumented — charges the group with a single clock pair
+// (metrics.ObserveBatch) instead of per-key timestamps. Groups for
+// distinct engines run in parallel; requests sharing an engine
+// serialize within their group, exactly the hardware's one-row-port
+// constraint. Results come back in request order; an unknown port
+// yields a per-slot error rather than failing the batch.
 func (c *Concurrent) MSearch(reqs []PortKey) []MSearchResult {
 	out := make([]MSearchResult, len(reqs))
-	byPort := make(map[string][]int, len(c.engines))
+	if len(reqs) == 0 {
+		return out
+	}
+	jobs := make([]mjob, 0, 4)
 	for i, r := range reqs {
-		byPort[r.Port] = append(byPort[r.Port], i)
+		g, ok := c.engines[r.Port]
+		if !ok {
+			c.met.AddUnknown(1)
+			out[i].Err = errNoEngine(r.Port)
+			continue
+		}
+		found := false
+		for j := range jobs { // engine counts are small; linear beats a map
+			if jobs[j].g == g {
+				jobs[j].idxs = append(jobs[j].idxs, i)
+				found = true
+				break
+			}
+		}
+		if !found {
+			jobs = append(jobs, mjob{g: g, idxs: []int{i}})
+		}
+	}
+	switch len(jobs) {
+	case 0:
+		return out
+	case 1:
+		c.runBatch(jobs[0].g, reqs, out, jobs[0].idxs)
+		return out
 	}
 	var wg sync.WaitGroup
-	for port, idxs := range byPort {
-		wg.Add(1)
-		go func(port string, idxs []int) {
-			defer wg.Done()
-			g, ok := c.engines[port]
-			if !ok {
-				c.met.AddUnknown(uint64(len(idxs)))
-				err := errNoEngine(port)
-				for _, i := range idxs {
-					out[i].Err = err
-				}
-				return
-			}
-			for _, i := range idxs {
-				if g.em == nil {
-					g.mu.Lock()
-					sr := g.e.Search(reqs[i].Key)
-					g.mu.Unlock()
-					out[i].Result = sr
-					continue
-				}
-				start := time.Now()
-				g.mu.Lock()
-				sr := g.e.Search(reqs[i].Key)
-				g.mu.Unlock()
-				g.em.Observe(metrics.OpMSearch, time.Since(start), nil)
-				out[i].Result = sr
-			}
-		}(port, idxs)
+	c.sendMu.RLock()
+	if c.closed {
+		c.sendMu.RUnlock()
+		for _, j := range jobs {
+			c.runBatch(j.g, reqs, out, j.idxs)
+		}
+		return out
 	}
+	wg.Add(len(jobs) - 1)
+	for i := range jobs[1:] {
+		j := &jobs[1+i]
+		j.g.batch <- &msearchBatch{reqs: reqs, out: out, idxs: j.idxs, wg: &wg}
+	}
+	c.sendMu.RUnlock()
+	c.runBatch(jobs[0].g, reqs, out, jobs[0].idxs)
 	wg.Wait()
 	return out
+}
+
+// runBatch executes one engine's share of an MSearch: the engine lock
+// is taken once for the whole share, and instrumentation measures the
+// share with one clock pair, attributing each key its per-item slice
+// of the duration.
+func (c *Concurrent) runBatch(g *guardedEngine, reqs []PortKey, out []MSearchResult, idxs []int) {
+	if g.em == nil {
+		g.mu.Lock()
+		for _, i := range idxs {
+			out[i].Result = g.e.Search(reqs[i].Key)
+		}
+		g.mu.Unlock()
+		return
+	}
+	start := time.Now()
+	g.mu.Lock()
+	for _, i := range idxs {
+		out[i].Result = g.e.Search(reqs[i].Key)
+	}
+	g.mu.Unlock()
+	g.em.ObserveBatch(metrics.OpMSearch, time.Since(start), uint64(len(idxs)), 0)
 }
