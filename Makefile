@@ -8,20 +8,24 @@
 #   make bench-json     hot-path benchmarks frozen into BENCH_PR3.json
 #   make alloc-guard    zero-allocation regression tests for the
 #                       search hot path (match, caram, server)
+#   make trace-guard    tracing-layer gate: ring races under -race,
+#                       slowlog admission property, zero-alloc with
+#                       tracing compiled in (off and on-unadmitted)
 #   make metrics-smoke  end-to-end observability check: live server,
-#                       /metrics scrape, graceful shutdown
+#                       /metrics + /debug/traces scrape, SLOWLOG/EXPLAIN
+#                       over the wire, graceful shutdown
 #   make ci             the CI gate: check + race + alloc-guard +
-#                       metrics-smoke
+#                       trace-guard + metrics-smoke
 #   make all            everything above, in that order
 
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check vet race stress fuzz bench bench-json alloc-guard metrics-smoke ci
+.PHONY: all check vet race stress fuzz bench bench-json alloc-guard trace-guard metrics-smoke ci
 
-all: check race stress fuzz bench metrics-smoke
+all: check race stress fuzz bench trace-guard metrics-smoke
 
-ci: check race alloc-guard metrics-smoke
+ci: check race alloc-guard trace-guard metrics-smoke
 
 check: vet
 	$(GO) build ./...
@@ -31,7 +35,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/server ./internal/subsystem ./internal/metrics
+	$(GO) test -race ./internal/server ./internal/subsystem ./internal/metrics ./internal/trace
 
 metrics-smoke:
 	$(GO) run ./cmd/metrics-smoke
@@ -52,6 +56,15 @@ bench:
 # core search paths (row match kernel, slice lookup, server SEARCH).
 alloc-guard:
 	$(GO) test -run ZeroAlloc -count=1 ./internal/match ./internal/caram ./internal/server
+
+# Tracing-layer gate: the lock-free ring under the race detector, the
+# slowlog admission property (admitted exactly when latency exceeds the
+# threshold), the per-command pipelined-burst attribution, and the
+# steady-state zero-alloc guarantee with tracing compiled in.
+trace-guard:
+	$(GO) test -race -count=1 ./internal/trace
+	$(GO) test -race -run 'Pipelined|Slowlog|Explain|SlowRequest|TracingOn' -count=1 ./internal/server
+	$(GO) test -run 'TracingOnSteadyStateAllocs|ZeroAlloc' -count=1 ./internal/server
 
 # Freeze the hot-path benchmarks into a versioned JSON artifact.
 bench-json:

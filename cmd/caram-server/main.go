@@ -7,12 +7,23 @@
 // so pointing hot traffic at several engines scales with cores.
 //
 // With -http the server also exposes its observability surface:
-// Prometheus-style metrics on /metrics, expvar on /debug/vars, and
-// pprof under /debug/pprof/.
+// Prometheus-style metrics on /metrics, expvar on /debug/vars, pprof
+// under /debug/pprof/, and the tracing layer's retained requests as
+// JSON on /debug/traces.
 //
-//	caram-server -addr :7070 -http :9090 -engines db,ip,tri &
-//	printf 'INSERT db dead 42\nMSEARCH db dead ip dead\n' | nc localhost 7070
-//	curl -s localhost:9090/metrics | grep caram_
+// Tracing is always on (the collector itself is a handful of atomics;
+// per-request cost is one pooled trace). -trace-sample admits every Nth
+// request into the sampled ring; -slowlog-us sets the slowlog latency
+// threshold in microseconds — every request slower than that is
+// retained with its full probe trace and logged at Warn. The wire
+// commands SLOWLOG and EXPLAIN read the same state.
+//
+// Logging goes to stderr as structured log/slog lines; -log-level
+// picks the floor (debug adds connection lifecycle events).
+//
+//	caram-server -addr :7070 -http :9090 -engines db,ip,tri -slowlog-us 500 &
+//	printf 'INSERT db dead 42\nEXPLAIN SEARCH db dead\nSLOWLOG LEN\n' | nc localhost 7070
+//	curl -s localhost:9090/debug/traces | head
 //
 // SIGINT/SIGTERM shut down gracefully: the listener closes, in-flight
 // handlers drain, and the process exits 0.
@@ -21,30 +32,44 @@ package main
 import (
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"caram/internal/caram"
 	"caram/internal/hash"
 	"caram/internal/metrics"
 	"caram/internal/server"
 	"caram/internal/subsystem"
+	"caram/internal/trace"
 )
 
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
-		httpAddr = flag.String("http", "", "optional HTTP listen address for /metrics, /debug/vars, /debug/pprof")
+		httpAddr = flag.String("http", "", "optional HTTP listen address for /metrics, /debug/vars, /debug/pprof, /debug/traces")
 		rbits    = flag.Int("indexbits", 12, "index bits per engine (2^n buckets)")
 		slots    = flag.Int("slots", 8, "keys per bucket")
 		engines  = flag.String("engines", "db", "comma-separated engine names; requests to distinct engines run in parallel")
+		logLevel = flag.String("log-level", "info", "log floor: debug, info, warn, error")
+		sampleN  = flag.Int("trace-sample", 0, "admit every Nth request into the sampled trace ring (0 = off)")
+		slowUs   = flag.Int64("slowlog-us", 10_000, "slowlog threshold in microseconds; requests slower than this are retained with their probe trace (-1 = off)")
+		ringSize = flag.Int("trace-ring", trace.DefaultRing, "retained traces per ring (slowlog and sampled)")
 	)
 	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		slog.Error("bad -log-level", "value", *logLevel, "err", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
 
 	names := strings.Split(*engines, ",")
 	sub := subsystem.New(0)
@@ -52,7 +77,8 @@ func main() {
 	for _, name := range names {
 		name = strings.TrimSpace(name)
 		if name == "" {
-			log.Fatal("caram-server: empty engine name in -engines")
+			logger.Error("empty engine name in -engines")
+			os.Exit(1)
 		}
 		sl, err := caram.New(caram.Config{
 			IndexBits: *rbits,
@@ -63,48 +89,67 @@ func main() {
 			Index:     hash.NewMultShift(*rbits),
 		})
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("engine config", "engine", name, "err", err)
+			os.Exit(1)
 		}
 		if err := sub.AddEngine(&subsystem.Engine{Name: name, Main: sl}); err != nil {
-			log.Fatal(err)
+			logger.Error("add engine", "engine", name, "err", err)
+			os.Exit(1)
 		}
 		rows, perRow = sl.Config().Rows(), sl.Config().Slots()
 	}
 
-	srv := server.New(sub)
+	slowlog := time.Duration(-1)
+	if *slowUs >= 0 {
+		slowlog = time.Duration(*slowUs) * time.Microsecond
+	}
+	col := trace.NewCollector(trace.Config{SampleN: *sampleN, Slowlog: slowlog, Ring: *ringSize})
+	srv := server.New(sub, server.WithTracing(col), server.WithLogger(logger))
 
 	if *httpAddr != "" {
 		hl, err := net.Listen("tcp", *httpAddr)
 		if err != nil {
-			log.Fatal(err)
+			logger.Error("http listen", "addr", *httpAddr, "err", err)
+			os.Exit(1)
 		}
-		log.Printf("caram-server: metrics on http://%s/metrics", hl.Addr())
+		logger.Info("http endpoints up",
+			"metrics", "http://"+hl.Addr().String()+"/metrics",
+			"traces", "http://"+hl.Addr().String()+"/debug/traces")
+		h := metrics.Handler(srv.Metrics(), metrics.WithHandler("/debug/traces", col.Handler()))
 		go func() {
-			if err := http.Serve(hl, metrics.Handler(srv.Metrics())); err != nil {
-				log.Printf("caram-server: http: %v", err)
+			if err := http.Serve(hl, h); err != nil {
+				logger.Error("http serve", "err", err)
 			}
 		}()
 	}
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
 	}
-	log.Printf("caram-server: %d engine(s) %v (%d buckets x %d slots each) on %s",
-		len(names), names, rows, perRow, l.Addr())
+	logger.Info("serving",
+		"engines", len(names),
+		"names", strings.Join(names, ","),
+		"buckets", rows,
+		"slots", perRow,
+		"addr", l.Addr().String(),
+		"slowlog_us", *slowUs,
+		"trace_sample", *sampleN)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		log.Printf("caram-server: %v: shutting down", s)
+		logger.Info("shutting down", "signal", s.String())
 		if err := srv.Close(); err != nil {
-			log.Printf("caram-server: close: %v", err)
+			logger.Error("close", "err", err)
 		}
 	}()
 
 	if err := srv.Serve(l); err != nil && !errors.Is(err, server.ErrServerClosed) {
-		log.Fatal(err)
+		logger.Error("serve", "err", err)
+		os.Exit(1)
 	}
-	log.Print("caram-server: bye")
+	logger.Info("bye")
 }

@@ -6,7 +6,12 @@
 //   - /metrics serves every caram_* metric family with the op counts
 //     the workload implies,
 //   - /debug/vars exposes the expvar "caram" map,
-//   - METRICS over the wire agrees with the scrape, and
+//   - METRICS over the wire agrees with the scrape,
+//   - the tracing layer works end to end: with a zero slowlog
+//     threshold every request is retained, SLOWLOG LEN/GET/RESET see
+//     them over the wire, EXPLAIN prints a probe chain, and
+//     /debug/traces serves the slowlog JSON with per-request probe
+//     events, and
 //   - SIGINT shuts the server down cleanly (exit code 0).
 //
 // It exits non-zero with a diagnostic on the first failed assertion,
@@ -57,7 +62,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	srv := exec.Command(bin, "-addr", wireAddr, "-http", httpAddr, "-engines", "db,aux", "-indexbits", "8")
+	// -slowlog-us 0 admits every request with nonzero latency into the
+	// slowlog (any real request qualifies); -log-level error keeps the
+	// resulting per-request Warn lines out of the CI output.
+	srv := exec.Command(bin, "-addr", wireAddr, "-http", httpAddr, "-engines", "db,aux", "-indexbits", "8",
+		"-slowlog-us", "0", "-log-level", "error")
 	srv.Stderr = os.Stderr
 	if err := srv.Start(); err != nil {
 		return fmt.Errorf("start caram-server: %w", err)
@@ -130,6 +139,107 @@ func run() error {
 		if !strings.Contains(body, want) {
 			return fmt.Errorf("/metrics missing %q\n%s", want, body)
 		}
+	}
+
+	// Tracing over the wire. The zero threshold admitted all 8 requests
+	// above; LEN reads the ring before its own trace is admitted (End
+	// runs after the reply is built), so the count is exact.
+	if got, err := ask("SLOWLOG LEN"); err != nil {
+		return err
+	} else if got != "SLOWLOG len=8" {
+		return fmt.Errorf("SLOWLOG LEN: got %q, want %q", got, "SLOWLOG len=8")
+	}
+	explain, err := ask("EXPLAIN SEARCH aux beef")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"EXPLAIN engine=aux key=beef ",
+		" rows=1 ",
+		" matches=1 ",
+		" expected=1.000 ",
+		" result=HIT ",
+		":d0:",
+		":hit]",
+		" ovfl=none",
+	} {
+		if !strings.Contains(explain, want) {
+			return fmt.Errorf("EXPLAIN missing %q in %q", want, explain)
+		}
+	}
+	// The newest slowlog entry is the EXPLAIN request itself (admitted
+	// when it ended, after the lookup it explains).
+	if got, err := ask("SLOWLOG GET 1"); err != nil {
+		return err
+	} else if !strings.HasPrefix(got, "SLOWLOG n=1 id=") || !strings.Contains(got, " cmd=EXPLAIN ") {
+		return fmt.Errorf("SLOWLOG GET 1: got %q, want one EXPLAIN entry", got)
+	}
+
+	// /debug/traces: the structured JSON view of the same rings.
+	traces, err := get("http://" + httpAddr + "/debug/traces")
+	if err != nil {
+		return err
+	}
+	var tv struct {
+		Policy struct {
+			SlowlogUs int64 `json:"slowlog_us"`
+			Ring      int   `json:"ring"`
+		} `json:"policy"`
+		Seen    uint64 `json:"seen"`
+		Slowlog struct {
+			Len     int `json:"len"`
+			Entries []struct {
+				ID     uint64 `json:"id"`
+				Cmd    string `json:"cmd"`
+				Result string `json:"result"`
+				Rows   int32  `json:"rows"`
+				Probes []struct {
+					Bucket  uint32 `json:"bucket"`
+					Matches int32  `json:"matches"`
+					Hit     bool   `json:"hit"`
+				} `json:"probes"`
+				Spans []struct {
+					Kind string `json:"kind"`
+				} `json:"spans"`
+			} `json:"entries"`
+		} `json:"slowlog"`
+		Sampled struct {
+			Len int `json:"len"`
+		} `json:"sampled"`
+	}
+	if err := json.Unmarshal([]byte(traces), &tv); err != nil {
+		return fmt.Errorf("/debug/traces not JSON: %w", err)
+	}
+	if tv.Policy.SlowlogUs != 0 || tv.Policy.Ring <= 0 {
+		return fmt.Errorf("/debug/traces policy: got slowlog_us=%d ring=%d", tv.Policy.SlowlogUs, tv.Policy.Ring)
+	}
+	if tv.Seen < 10 || tv.Slowlog.Len < 9 {
+		return fmt.Errorf("/debug/traces retention: seen=%d slowlog.len=%d", tv.Seen, tv.Slowlog.Len)
+	}
+	sawProbes := false
+	for _, e := range tv.Slowlog.Entries {
+		if e.ID == 0 || e.Cmd == "" {
+			return fmt.Errorf("/debug/traces entry missing id/cmd: %+v", e)
+		}
+		if e.Cmd == "SEARCH" && e.Result == "HIT" && len(e.Probes) > 0 && e.Rows > 0 {
+			sawProbes = true
+		}
+	}
+	if !sawProbes {
+		return fmt.Errorf("/debug/traces: no SEARCH HIT entry with a probe chain\n%s", traces)
+	}
+
+	// RESET clears the ring; the RESET request itself is admitted right
+	// after its reply is built, so the next LEN sees exactly one entry.
+	if got, err := ask("SLOWLOG RESET"); err != nil {
+		return err
+	} else if got != "OK" {
+		return fmt.Errorf("SLOWLOG RESET: got %q, want OK", got)
+	}
+	if got, err := ask("SLOWLOG LEN"); err != nil {
+		return err
+	} else if got != "SLOWLOG len=1" {
+		return fmt.Errorf("SLOWLOG LEN after RESET: got %q, want %q", got, "SLOWLOG len=1")
 	}
 
 	vars, err := get("http://" + httpAddr + "/debug/vars")

@@ -6,6 +6,7 @@ import (
 	"caram/internal/bitutil"
 	"caram/internal/match"
 	"caram/internal/mem"
+	"caram/internal/trace"
 )
 
 // Slice is one CA-RAM slice (Figure 3). It owns its memory array and
@@ -198,10 +199,22 @@ type LookupResult struct {
 // stored ternary masks are honored per Figure 4(b). The first match in
 // probe order wins, so insertion order defines priority.
 func (s *Slice) Lookup(search bitutil.Ternary) LookupResult {
+	return s.LookupTraced(search, nil)
+}
+
+// LookupTraced is Lookup recording the probe chain into a
+// request-scoped trace: one event per bucket probed (bucket index,
+// displacement, slots tested, match count, overflow hop), an aggregate
+// match-kernel event, and the lookup summary (home bucket, recorded
+// reach, rows accessed). A nil trace makes every recording call a
+// no-op, so this IS the hot path — Lookup delegates here and the
+// alloc-regression CI holds the nil-trace walk to zero allocations.
+func (s *Slice) LookupTraced(search bitutil.Ternary, tr *trace.Trace) LookupResult {
 	home := s.Index(search.Value)
 	res := LookupResult{HomeBucket: home}
 	rows := s.cfg.Rows()
 	reach := 0
+	slots, matches, passes := 0, 0, 0
 	for d := 0; d <= reach && d < rows; d++ {
 		idx := uint32((int(home) + d) % rows)
 		row := s.array.ReadRow(idx)
@@ -212,12 +225,22 @@ func (s *Slice) Lookup(search bitutil.Ternary) LookupResult {
 		// m.Vector aliases the processor's scratch; only the by-value
 		// fields are kept, so the next probe may reuse it freely.
 		m := s.proc.Search(row, search)
+		if tr.Enabled() {
+			tr.Probe(idx, d, m.SlotsTested, m.Count, m.Matched())
+			slots += m.SlotsTested
+			matches += m.Count
+			passes += m.Passes
+		}
 		if m.Matched() {
 			res.Found = true
 			res.Record = m.Record
 			res.Multi = m.Multi()
 			break
 		}
+	}
+	if tr.Enabled() {
+		tr.Match(slots, matches, passes)
+		tr.Lookup(home, reach, res.RowsRead, res.Found)
 	}
 	s.recordLookup(res)
 	return res
@@ -228,11 +251,21 @@ func (s *Slice) Lookup(search bitutil.Ternary) LookupResult {
 // match). This is the LPM-style search: a longer prefix may live
 // anywhere within the reach, so early exit is not sound.
 func (s *Slice) LookupBest(search bitutil.Ternary, score func(match.Record) int) LookupResult {
+	return s.LookupBestTraced(search, score, nil)
+}
+
+// LookupBestTraced is LookupBest with the same trace contract as
+// LookupTraced. It runs the match kernel once per probed row and scans
+// the match vector for the best-scoring slot (the same walk
+// Processor.Best performs), so the traced slot/match counts agree with
+// the processor's stats counters.
+func (s *Slice) LookupBestTraced(search bitutil.Ternary, score func(match.Record) int, tr *trace.Trace) LookupResult {
 	home := s.Index(search.Value)
 	res := LookupResult{HomeBucket: home}
 	rows := s.cfg.Rows()
 	reach := 0
 	bestScore := 0
+	slots, matches, passes := 0, 0, 0
 	for d := 0; d <= reach && d < rows; d++ {
 		idx := uint32((int(home) + d) % rows)
 		row := s.array.ReadRow(idx)
@@ -240,11 +273,31 @@ func (s *Slice) LookupBest(search bitutil.Ternary, score func(match.Record) int)
 		if d == 0 {
 			reach = int(s.layout.ReadAux(row))
 		}
-		if rec, ok := s.proc.Best(row, search, score); ok {
+		m := s.proc.Search(row, search)
+		if tr.Enabled() {
+			tr.Probe(idx, d, m.SlotsTested, m.Count, m.Count > 0)
+			slots += m.SlotsTested
+			matches += m.Count
+			passes += m.Passes
+		}
+		if m.Count == 0 {
+			continue
+		}
+		// Best-scoring matched slot, ties to the lowest slot index —
+		// strict > keeps the earliest (row, slot) winner overall.
+		for i := 0; i < s.layout.Slots(); i++ {
+			if m.Vector[i/64]>>uint(i%64)&1 == 0 {
+				continue
+			}
+			rec, _ := s.layout.ReadSlot(row, i)
 			if sc := score(rec); !res.Found || sc > bestScore {
 				res.Found, res.Record, bestScore = true, rec, sc
 			}
 		}
+	}
+	if tr.Enabled() {
+		tr.Match(slots, matches, passes)
+		tr.Lookup(home, reach, res.RowsRead, res.Found)
 	}
 	s.recordLookup(res)
 	return res

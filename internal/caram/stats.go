@@ -86,6 +86,29 @@ func (s *Slice) Placement() PlacementSummary {
 	return p
 }
 
+// ExpectedRows returns the §3.4 analytic expectation of rows accessed
+// by a lookup of a uniformly random stored record under the current
+// placement: mean over records of (1 + displacement), the model that
+// charges a record displaced by d exactly 1+d accesses. It is the
+// analytic counterpart — evaluated at the slice's current contents and
+// load factor — of the measured per-request row count a trace records,
+// so EXPLAIN can print model vs. measured side by side. An empty slice
+// reports 1 (a lookup always reads the home bucket). The scan uses
+// PeekRow and charges no accesses.
+func (s *Slice) ExpectedRows() float64 {
+	if s.count == 0 {
+		return 1
+	}
+	rows := s.cfg.Rows()
+	total := 0
+	s.Records(func(bucket uint32, slot int, rec match.Record) bool {
+		home := s.Index(rec.Key.Value)
+		total += 1 + (int(bucket)-int(home)+rows)%rows
+		return true
+	})
+	return float64(total) / float64(s.count)
+}
+
 // HomeLoads returns, for each bucket, the number of records that hash
 // to it (before any spilling) — the distribution Figure 7 plots. The
 // returned slice is a copy.

@@ -93,6 +93,11 @@ type Result struct {
 	Record Record
 	// Passes is how many pipelined passes this search needed.
 	Passes int
+	// SlotsTested is how many valid slots this search compared — the
+	// per-row share of the processor's cumulative SlotsTested stat,
+	// surfaced so request-scoped traces can attribute match work to
+	// individual bucket probes.
+	SlotsTested int
 }
 
 // Multi reports the multiple-match condition.
@@ -136,6 +141,7 @@ func (pr *Processor) SearchInto(res *Result, row []uint64, search bitutil.Ternar
 	res.First = first
 	res.Count = count
 	res.Passes = (pr.layout.Slots() + pr.p - 1) / pr.p
+	res.SlotsTested = valid
 	res.Record = Record{}
 	if first >= 0 {
 		res.Record, _ = pr.layout.ReadSlot(row, first)
@@ -166,6 +172,7 @@ func (pr *Processor) SearchSerial(row []uint64, search bitutil.Ternary) Result {
 			continue
 		}
 		pr.stats.SlotsTested++
+		res.SlotsTested++
 		if !rec.Key.Matches(search) {
 			continue
 		}

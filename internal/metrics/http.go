@@ -11,6 +11,17 @@ import (
 // panics on duplicates, and tests may build several handlers.
 var publishOnce sync.Once
 
+// HandlerOption adds a route to the exposition mux — the seam that lets
+// caram-server mount endpoints owned by other layers (the tracing
+// layer's /debug/traces) on the same port without this package
+// importing them.
+type HandlerOption func(*http.ServeMux)
+
+// WithHandler mounts h at pattern on the exposition mux.
+func WithHandler(pattern string, h http.Handler) HandlerOption {
+	return func(mux *http.ServeMux) { mux.Handle(pattern, h) }
+}
+
 // Handler serves the registry over HTTP:
 //
 //	/metrics       Prometheus text exposition (see WritePrometheus)
@@ -18,8 +29,10 @@ var publishOnce sync.Once
 //	               op counts per engine
 //	/debug/pprof/  the standard pprof index, profile, trace, ...
 //
-// Wire it with `caram-server -http :9090`.
-func Handler(r *Registry) http.Handler {
+// plus whatever extra routes the options mount (caram-server adds the
+// tracing layer's /debug/traces). Wire it with `caram-server -http
+// :9090`.
+func Handler(r *Registry, opts ...HandlerOption) http.Handler {
 	publishOnce.Do(func() {
 		expvar.Publish("caram", expvar.Func(func() any { return expvarView(r) }))
 	})
@@ -34,6 +47,9 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, opt := range opts {
+		opt(mux)
+	}
 	return mux
 }
 

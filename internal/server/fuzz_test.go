@@ -9,7 +9,7 @@ import (
 )
 
 // responsePrefixes classifies every legal single-line response.
-var responsePrefixes = []string{"OK", "HIT ", "MISS", "ERR ", "ENGINES", "STATS ", "MRESULTS", "METRICS"}
+var responsePrefixes = []string{"OK", "HIT ", "MISS", "ERR ", "ENGINES", "STATS ", "MRESULTS", "METRICS", "SLOWLOG ", "EXPLAIN "}
 
 // FuzzExec throws arbitrary request lines at the protocol engine: no
 // input may panic it, and every response must be one well-formed line
@@ -42,6 +42,24 @@ func FuzzExec(f *testing.F) {
 		"METRICS db latency msearch",
 		"METRICS db LATENCY BOGUS",
 		"METRICS db extra junk",
+		"SLOWLOG",
+		"SLOWLOG LEN",
+		"SLOWLOG GET",
+		"SLOWLOG GET 2",
+		"SLOWLOG GET 0",
+		"SLOWLOG GET -1",
+		"SLOWLOG GET 1 extra",
+		"SLOWLOG RESET",
+		"SLOWLOG BOGUS",
+		"slowlog get",
+		"EXPLAIN",
+		"EXPLAIN SEARCH",
+		"EXPLAIN SEARCH db dead",
+		"EXPLAIN SEARCH db dead ff",
+		"EXPLAIN SEARCH db 12zz",
+		"EXPLAIN SEARCH nope 1",
+		"EXPLAIN INSERT db 1",
+		"explain search db dead",
 		"BOGUS x y",
 		"insert db 1 2", // lowercase command
 		"INSERT db 1 2 3 4",

@@ -7,16 +7,22 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"caram/internal/caram"
 	"caram/internal/hash"
 	"caram/internal/subsystem"
+	"caram/internal/trace"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden protocol files")
 
 // goldenServer must be deterministic: fixed engines, fixed geometry,
-// no randomized hashing.
+// no randomized hashing. Tracing is attached with an unreachable
+// slowlog threshold so the SLOWLOG exchanges in the session stay
+// deterministic (nothing is ever admitted) while the commands
+// themselves are exercised; EXPLAIN forces its own trace and prints
+// only positional (timing-free) facts, so its full output is golden.
 func goldenServer(t *testing.T) *Server {
 	t.Helper()
 	sub := subsystem.New(0)
@@ -32,7 +38,7 @@ func goldenServer(t *testing.T) *Server {
 			t.Fatal(err)
 		}
 	}
-	return New(sub)
+	return New(sub, WithTracing(trace.NewCollector(trace.Config{Slowlog: time.Hour})))
 }
 
 // TestGoldenSession replays the scripted session in testdata and

@@ -12,17 +12,32 @@
 //	DELETE  <engine> <key>
 //	STATS   <engine>
 //	METRICS [engine [LATENCY <op>]]
+//	SLOWLOG GET [n] | LEN | RESET
+//	EXPLAIN SEARCH <engine> <key> [mask]
 //
 // Responses: "OK", "HIT <data>", "MISS", "STATS n=.. alpha=.. amal=..",
-// "ENGINES a b c", "MRESULTS r1 r2 ...", "METRICS ..." or
-// "ERR <reason>". Each MRESULTS slot is "HIT:<hi>:<lo>", "MISS", or
-// "ERR:no-engine", in request order.
+// "ENGINES a b c", "MRESULTS r1 r2 ...", "METRICS ...", "SLOWLOG ...",
+// "EXPLAIN ..." or "ERR <reason>". Each MRESULTS slot is
+// "HIT:<hi>:<lo>", "MISS", or "ERR:no-engine", in request order.
 //
 // METRICS reads the observability layer (internal/metrics): with no
 // argument it reports registry totals; with an engine it reports that
 // engine's per-op counters and live gauges (all deterministic for a
 // scripted session); with LATENCY <op> it adds the op's latency
 // quantiles in microseconds (wall-clock, inherently nondeterministic).
+//
+// SLOWLOG and EXPLAIN read the request-scoped tracing layer
+// (internal/trace). SLOWLOG is the Redis-style slow-request log: every
+// request whose wall latency exceeded the collector's threshold is
+// retained with its full probe trace; GET prints the newest entries on
+// one line, LEN the retained count, RESET clears the log. EXPLAIN
+// SEARCH runs a real lookup with tracing forced on and prints the
+// probe chain deterministically — home bucket, recorded reach, one
+// chain element per bucket probed (bucket index, displacement, slots
+// tested, match count, overflow hop), the overflow-CAM outcome, and
+// the §3.4 analytic expectation of rows accessed next to the measured
+// count. SLOWLOG requires the server to be built WithTracing; EXPLAIN
+// always works (it forces its own trace).
 //
 // Request lines are capped at MaxLineBytes; an oversized line draws
 // "ERR line too long" and ends the connection.
@@ -43,15 +58,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"caram/internal/bitutil"
 	"caram/internal/match"
 	"caram/internal/metrics"
 	"caram/internal/subsystem"
+	"caram/internal/trace"
 )
 
 // flushThreshold caps how much reply data accumulates before Handle
@@ -69,6 +87,8 @@ var ErrServerClosed = errors.New("server: closed")
 type Server struct {
 	con *subsystem.Concurrent
 	met *metrics.Registry // nil when built WithoutMetrics
+	trc *trace.Collector  // nil when built without WithTracing
+	log *slog.Logger      // nil when built without WithLogger
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -82,6 +102,8 @@ type Option func(*options)
 
 type options struct {
 	metrics bool
+	trc     *trace.Collector
+	log     *slog.Logger
 }
 
 // WithoutMetrics builds the server without the observability layer:
@@ -90,6 +112,25 @@ type options struct {
 // overhead benchmark and for embedders that bring their own telemetry.
 func WithoutMetrics() Option {
 	return func(o *options) { o.metrics = false }
+}
+
+// WithTracing attaches a request-scoped trace collector: every wire
+// command records its own trace (command, engine, key, per-command
+// start/end — so each member of a pipelined burst is individually
+// attributable — and, for SEARCH, the full probe chain) and the
+// collector's sampling/slowlog policies decide retention. Without this
+// option tracing is off: the hot path sees only nil checks and stays
+// allocation-free, SLOWLOG answers "ERR tracing disabled", and only
+// EXPLAIN (which forces its own trace) records probe chains.
+func WithTracing(c *trace.Collector) Option {
+	return func(o *options) { o.trc = c }
+}
+
+// WithLogger attaches a structured logger: connection lifecycle at
+// Debug, slow-request records (one line per slowlog admission) at
+// Warn. nil (the default) disables logging.
+func WithLogger(l *slog.Logger) Option {
+	return func(o *options) { o.log = l }
 }
 
 // New wraps a subsystem whose engine registration is complete. By
@@ -110,6 +151,8 @@ func New(sub *subsystem.Subsystem, opts ...Option) *Server {
 	return &Server{
 		con:       con,
 		met:       reg,
+		trc:       o.trc,
+		log:       o.log,
 		listeners: make(map[net.Listener]struct{}),
 		conns:     make(map[net.Conn]struct{}),
 	}
@@ -119,6 +162,10 @@ func New(sub *subsystem.Subsystem, opts ...Option) *Server {
 // WithoutMetrics. Callers use it to mount the HTTP exposition
 // (metrics.Handler).
 func (s *Server) Metrics() *metrics.Registry { return s.met }
+
+// Tracing returns the server's trace collector, or nil when tracing is
+// off. Callers use it to mount the /debug/traces endpoint.
+func (s *Server) Tracing() *trace.Collector { return s.trc }
 
 // Serve accepts connections until the listener closes or the server is
 // shut down with Close (which returns ErrServerClosed).
@@ -155,6 +202,9 @@ func (s *Server) Serve(l net.Listener) error {
 		s.conns[conn] = struct{}{}
 		s.handlers.Add(1)
 		s.mu.Unlock()
+		if s.log != nil {
+			s.log.Debug("connection accepted", "remote", conn.RemoteAddr().String())
+		}
 		go func() {
 			defer func() {
 				conn.Close()
@@ -162,6 +212,9 @@ func (s *Server) Serve(l net.Listener) error {
 				delete(s.conns, conn)
 				s.mu.Unlock()
 				s.handlers.Done()
+				if s.log != nil {
+					s.log.Debug("connection closed", "remote", conn.RemoteAddr().String())
+				}
 			}()
 			s.Handle(conn, conn)
 		}()
@@ -301,16 +354,50 @@ func (s *Server) Exec(line string) string {
 // extended buffer. It is the protocol engine behind Handle, exported
 // so embedders and benchmarks can drive the server without a socket.
 // ExecAppend is safe for concurrent use; requests to distinct engines
-// run in parallel. A SEARCH request on an uninstrumented server
-// allocates nothing: fields are substrings of the line, keys parse in
-// place, and the reply is appended into dst.
+// run in parallel. A SEARCH request on an uninstrumented, untraced
+// server allocates nothing: fields are substrings of the line, keys
+// parse in place, and the reply is appended into dst.
+//
+// With tracing attached (WithTracing), every call begins and ends its
+// own trace — each command of a pipelined burst gets its own
+// start/end stamps even though Handle flushes the burst's replies with
+// one write, so slow burst members are individually attributable.
 func (s *Server) ExecAppend(dst []byte, line string) []byte {
+	tr := s.trc.Begin()
+	if tr == nil {
+		return s.execAppend(dst, line, nil)
+	}
+	mark := len(dst)
+	dst = s.execAppend(dst, line, tr)
+	tr.SetResult(resultToken(dst[mark:]))
+	// On slowlog admission the trace is retained (immutable from here
+	// on) and safe to read for the log record; otherwise End has
+	// already recycled it and it must not be touched again.
+	if slow := s.trc.End(tr); slow && s.log != nil {
+		s.log.Warn("slow request",
+			"id", tr.ID,
+			"cmd", tr.Cmd,
+			"engine", tr.Engine,
+			"key", tr.Key,
+			"us", tr.Dur.Microseconds(),
+			"rows", tr.Rows,
+			"result", tr.Result,
+		)
+	}
+	return dst
+}
+
+// execAppend is the protocol engine proper; tr is nil when tracing is
+// off for this request.
+func (s *Server) execAppend(dst []byte, line string, tr *trace.Trace) []byte {
 	fs := fieldScanner{s: line}
 	cmd, ok := fs.next()
 	if !ok {
 		return append(dst, "ERR empty request"...)
 	}
-	switch cmd = strings.ToUpper(cmd); cmd {
+	cmd = strings.ToUpper(cmd)
+	tr.Request(cmd, "", "") // branches with an engine/key refine this
+	switch cmd {
 	case "ENGINES":
 		dst = append(dst, "ENGINES "...)
 		for i, name := range s.con.Engines() {
@@ -327,6 +414,7 @@ func (s *Server) ExecAppend(dst []byte, line string) []byte {
 		if _, extra := fs.next(); !ok1 || !ok2 || !ok3 || extra {
 			return append(dst, "ERR usage: INSERT <engine> <key> <data>"...)
 		}
+		tr.Request(cmd, eng, keyS)
 		key, err := parseVec(keyS)
 		if err != nil {
 			return appendErr(dst, err)
@@ -347,6 +435,7 @@ func (s *Server) ExecAppend(dst []byte, line string) []byte {
 		if _, extra := fs.next(); !ok1 || !ok2 || extra {
 			return append(dst, "ERR usage: SEARCH <engine> <key> [mask]"...)
 		}
+		tr.Request(cmd, eng, keyS)
 		key, err := parseVec(keyS)
 		if err != nil {
 			return appendErr(dst, err)
@@ -359,17 +448,29 @@ func (s *Server) ExecAppend(dst []byte, line string) []byte {
 			}
 			search = bitutil.NewTernary(key, mask)
 		}
-		sr, err := s.con.Search(eng, search)
+		if tr.Enabled() {
+			tr.Span(trace.KindParse, tr.Begin)
+		}
+		sr, err := s.con.SearchTraced(eng, search, tr)
 		if err != nil {
 			return appendErr(dst, err)
 		}
-		if !sr.Found {
-			return append(dst, "MISS"...)
+		var encStart time.Time
+		if tr.Enabled() {
+			encStart = time.Now()
 		}
-		dst = append(dst, "HIT "...)
-		dst = appendHex(dst, sr.Record.Data.Hi)
-		dst = append(dst, ':')
-		return appendHex016(dst, sr.Record.Data.Lo)
+		if !sr.Found {
+			dst = append(dst, "MISS"...)
+		} else {
+			dst = append(dst, "HIT "...)
+			dst = appendHex(dst, sr.Record.Data.Hi)
+			dst = append(dst, ':')
+			dst = appendHex016(dst, sr.Record.Data.Lo)
+		}
+		if tr.Enabled() {
+			tr.Span(trace.KindEncode, encStart)
+		}
+		return dst
 	case "MSEARCH":
 		// Arity is judged over the whole argument list before any key is
 		// parsed, so "MSEARCH db 12zz extra" is a usage error, not bad hex.
@@ -409,6 +510,7 @@ func (s *Server) ExecAppend(dst []byte, line string) []byte {
 		if _, extra := fs.next(); !ok1 || !ok2 || extra {
 			return append(dst, "ERR usage: DELETE <engine> <key>"...)
 		}
+		tr.Request(cmd, eng, keyS)
 		key, err := parseVec(keyS)
 		if err != nil {
 			return appendErr(dst, err)
@@ -419,6 +521,10 @@ func (s *Server) ExecAppend(dst []byte, line string) []byte {
 		return append(dst, "OK"...)
 	case "METRICS":
 		return s.execMetricsAppend(dst, &fs)
+	case "SLOWLOG":
+		return s.execSlowlogAppend(dst, &fs)
+	case "EXPLAIN":
+		return s.execExplainAppend(dst, &fs)
 	case "STATS":
 		eng, ok1 := fs.next()
 		if _, extra := fs.next(); !ok1 || extra {

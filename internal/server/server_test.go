@@ -12,6 +12,7 @@ import (
 	"caram/internal/caram"
 	"caram/internal/hash"
 	"caram/internal/subsystem"
+	"caram/internal/trace"
 )
 
 func testServer(t *testing.T) *Server {
@@ -20,7 +21,9 @@ func testServer(t *testing.T) *Server {
 }
 
 // fuzzServer builds the one-engine fixture without a testing.T, so
-// fuzz targets can share it.
+// fuzz targets can share it. Tracing is attached with a zero slowlog
+// threshold (small ring) so fuzzed inputs also stress the trace
+// record/admit/recycle path and the SLOWLOG command sees entries.
 func fuzzServer() *Server {
 	sub := subsystem.New(0)
 	sl := caram.MustNew(caram.Config{
@@ -33,7 +36,7 @@ func fuzzServer() *Server {
 	if err := sub.AddEngine(&subsystem.Engine{Name: "db", Main: sl}); err != nil {
 		panic(err)
 	}
-	return New(sub)
+	return New(sub, WithTracing(trace.NewCollector(trace.Config{SampleN: 3, Slowlog: 0, Ring: 8})))
 }
 
 // drive sends request lines and returns the response lines.

@@ -1,0 +1,221 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+
+	"caram/internal/bitutil"
+	"caram/internal/trace"
+)
+
+// Wire access to the tracing layer: the SLOWLOG and EXPLAIN commands.
+//
+// Both are built for determinism first. EXPLAIN prints only positional
+// facts about the lookup it runs — bucket indices, displacements, slot
+// and match counts, the overflow-CAM outcome, and the §3.4 analytic
+// expectation — never timings, so a scripted session produces the same
+// bytes every run and the golden test can hold the format exactly.
+// SLOWLOG GET prints retained entries with their measured latency, so
+// only its empty/LEN/RESET forms appear in the golden session.
+
+// resultToken returns the first token of a reply as an interned
+// constant, so stamping a trace's Result does not allocate. Unknown
+// prefixes (none exist today) fall back to a clone.
+func resultToken(reply []byte) string {
+	i := 0
+	for i < len(reply) && reply[i] != ' ' {
+		i++
+	}
+	switch string(reply[:i]) { // compiled to a non-allocating comparison
+	case "OK":
+		return "OK"
+	case "HIT":
+		return "HIT"
+	case "MISS":
+		return "MISS"
+	case "ERR":
+		return "ERR"
+	case "STATS":
+		return "STATS"
+	case "ENGINES":
+		return "ENGINES"
+	case "MRESULTS":
+		return "MRESULTS"
+	case "METRICS":
+		return "METRICS"
+	case "SLOWLOG":
+		return "SLOWLOG"
+	case "EXPLAIN":
+		return "EXPLAIN"
+	}
+	return strings.Clone(string(reply[:i]))
+}
+
+// execSlowlogAppend answers the SLOWLOG command against the slowlog
+// ring. GET prints the newest entries (optionally capped at n) on one
+// line, newest first; LEN the retained count; RESET clears the ring.
+func (s *Server) execSlowlogAppend(dst []byte, fs *fieldScanner) []byte {
+	const usage = "ERR usage: SLOWLOG GET [n] | SLOWLOG LEN | SLOWLOG RESET"
+	sub, ok := fs.next()
+	if !ok {
+		return append(dst, usage...)
+	}
+	if s.trc == nil {
+		return append(dst, "ERR tracing disabled"...)
+	}
+	ring := s.trc.Slow()
+	switch strings.ToUpper(sub) {
+	case "LEN":
+		if _, extra := fs.next(); extra {
+			return append(dst, usage...)
+		}
+		dst = append(dst, "SLOWLOG len="...)
+		return appendInt(dst, int64(ring.Len()))
+	case "RESET":
+		if _, extra := fs.next(); extra {
+			return append(dst, usage...)
+		}
+		ring.Reset()
+		return append(dst, "OK"...)
+	case "GET":
+		max := 0 // all retained
+		if arg, has := fs.next(); has {
+			v, err := strconv.Atoi(arg)
+			if err != nil || v < 0 {
+				return append(dst, usage...)
+			}
+			if _, extra := fs.next(); extra {
+				return append(dst, usage...)
+			}
+			max = v
+			if max == 0 {
+				max = -1 // "GET 0" means none, not all
+			}
+		}
+		var entries []*trace.Trace
+		if max >= 0 {
+			entries = ring.Snapshot(nil, max)
+		}
+		dst = append(dst, "SLOWLOG n="...)
+		dst = appendInt(dst, int64(len(entries)))
+		for _, t := range entries {
+			dst = append(dst, " id="...)
+			dst = appendUint(dst, t.ID)
+			dst = append(dst, " us="...)
+			dst = appendInt(dst, t.Dur.Microseconds())
+			dst = append(dst, " cmd="...)
+			dst = append(dst, t.Cmd...)
+			dst = append(dst, " engine="...)
+			dst = append(dst, t.Engine...)
+			dst = append(dst, " key="...)
+			dst = append(dst, t.Key...)
+			dst = append(dst, " result="...)
+			dst = append(dst, t.Result...)
+			dst = append(dst, " rows="...)
+			dst = appendInt(dst, int64(t.Rows))
+		}
+		return dst
+	default:
+		return append(dst, usage...)
+	}
+}
+
+// execExplainAppend answers EXPLAIN SEARCH: it runs a real lookup with
+// tracing forced on (independent of the server's collector — EXPLAIN
+// works on an untraced server) and prints the probe chain alongside the
+// analytic model. One chain element per bucket probed:
+//
+//	b<bucket>:d<displacement>:s<slots>:m<matches>[:ovf][:hit]
+//
+// expected= is the §3.4 analytic expectation of rows accessed for a
+// uniformly random stored record under the current placement
+// (mean(1 + displacement)); rows= is what this lookup measured. The
+// lookup is real — it charges access statistics and counts as a search
+// in the metrics layer, exactly like the request it explains.
+func (s *Server) execExplainAppend(dst []byte, fs *fieldScanner) []byte {
+	const usage = "ERR usage: EXPLAIN SEARCH <engine> <key> [mask]"
+	sub, ok0 := fs.next()
+	eng, ok1 := fs.next()
+	keyS, ok2 := fs.next()
+	maskS, hasMask := fs.next()
+	if _, extra := fs.next(); !ok0 || !ok1 || !ok2 || extra || !strings.EqualFold(sub, "SEARCH") {
+		return append(dst, usage...)
+	}
+	key, err := parseVec(keyS)
+	if err != nil {
+		return appendErr(dst, err)
+	}
+	search := bitutil.Exact(key)
+	if hasMask {
+		mask, err := parseVec(maskS)
+		if err != nil {
+			return appendErr(dst, err)
+		}
+		search = bitutil.NewTernary(key, mask)
+	}
+	tr := trace.New()
+	tr.Request("SEARCH", eng, keyS)
+	sr, expected, err := s.con.Explain(eng, search, tr)
+	if err != nil {
+		return appendErr(dst, err)
+	}
+	tr.End()
+	dst = append(dst, "EXPLAIN engine="...)
+	dst = append(dst, eng...)
+	dst = append(dst, " key="...)
+	dst = append(dst, keyS...)
+	dst = append(dst, " home="...)
+	dst = appendUint(dst, uint64(tr.Home))
+	dst = append(dst, " reach="...)
+	dst = appendInt(dst, int64(tr.Reach))
+	dst = append(dst, " rows="...)
+	dst = appendInt(dst, int64(tr.Rows))
+	if m, ok := tr.EventOf(trace.KindMatch); ok {
+		dst = append(dst, " slots="...)
+		dst = appendInt(dst, int64(m.SlotsTested))
+		dst = append(dst, " matches="...)
+		dst = appendInt(dst, int64(m.Matches))
+		dst = append(dst, " passes="...)
+		dst = appendInt(dst, int64(m.Passes))
+	}
+	dst = append(dst, " expected="...)
+	dst = appendFixed(dst, expected, 3)
+	dst = append(dst, " result="...)
+	if sr.Found {
+		dst = append(dst, "HIT"...)
+	} else {
+		dst = append(dst, "MISS"...)
+	}
+	dst = append(dst, " chain=["...)
+	first := true
+	tr.ProbeEvents(func(e trace.Event) {
+		if !first {
+			dst = append(dst, ' ')
+		}
+		first = false
+		dst = append(dst, 'b')
+		dst = appendUint(dst, uint64(e.Bucket))
+		dst = append(dst, ":d"...)
+		dst = appendInt(dst, int64(e.Displacement))
+		dst = append(dst, ":s"...)
+		dst = appendInt(dst, int64(e.SlotsTested))
+		dst = append(dst, ":m"...)
+		dst = appendInt(dst, int64(e.Matches))
+		if e.Overflow {
+			dst = append(dst, ":ovf"...)
+		}
+		if e.Hit {
+			dst = append(dst, ":hit"...)
+		}
+	})
+	dst = append(dst, "] ovfl="...)
+	switch e, ok := tr.EventOf(trace.KindOverflow); {
+	case !ok:
+		dst = append(dst, "none"...)
+	case e.Hit:
+		dst = append(dst, "hit"...)
+	default:
+		dst = append(dst, "miss"...)
+	}
+	return dst
+}

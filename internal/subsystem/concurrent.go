@@ -9,6 +9,7 @@ import (
 	"caram/internal/caram"
 	"caram/internal/match"
 	"caram/internal/metrics"
+	"caram/internal/trace"
 )
 
 // Concurrent is the thread-safe dispatch layer over a fully-registered
@@ -203,22 +204,60 @@ func (c *Concurrent) Insert(port string, rec match.Record) error {
 // statistics, so two searches of one engine cannot overlap — exactly
 // the hardware's constraint.
 func (c *Concurrent) Search(port string, key bitutil.Ternary) (SearchResult, error) {
+	return c.SearchTraced(port, key, nil)
+}
+
+// SearchTraced is Search recording into a request-scoped trace: the
+// wait for the engine's port lock becomes a lock_wait span (queueing
+// delay in front of the slice's single row port), and the engine layer
+// records the probe chain. A nil trace is the plain hot path — Search
+// delegates here, and with metrics also absent the clock is never
+// read.
+func (c *Concurrent) SearchTraced(port string, key bitutil.Ternary, tr *trace.Trace) (SearchResult, error) {
 	g, ok := c.engines[port]
 	if !ok {
 		c.met.AddUnknown(1)
 		return SearchResult{}, errNoEngine(port)
 	}
-	if g.em == nil {
+	if g.em == nil && tr == nil {
 		g.mu.Lock()
 		defer g.mu.Unlock()
 		return g.e.Search(key), nil
 	}
 	start := time.Now()
 	g.mu.Lock()
-	sr := g.e.Search(key)
+	tr.Span(trace.KindLockWait, start)
+	sr := g.e.SearchTraced(key, tr)
 	g.mu.Unlock()
-	g.em.Observe(metrics.OpSearch, time.Since(start), nil)
+	if g.em != nil {
+		g.em.Observe(metrics.OpSearch, time.Since(start), nil)
+	}
 	return sr, nil
+}
+
+// Explain runs one lookup with tracing forced on (tr must be non-nil)
+// and also returns the engine's §3.4 analytic expectation of rows
+// accessed — mean(1 + displacement) over the records stored at the
+// moment of the lookup, computed under the same lock hold so model and
+// measurement describe the same contents. The lookup is real: it
+// charges access statistics and counts as a search in the metrics
+// layer, exactly like the request it explains.
+func (c *Concurrent) Explain(port string, key bitutil.Ternary, tr *trace.Trace) (SearchResult, float64, error) {
+	g, ok := c.engines[port]
+	if !ok {
+		c.met.AddUnknown(1)
+		return SearchResult{}, 0, errNoEngine(port)
+	}
+	start := time.Now()
+	g.mu.Lock()
+	tr.Span(trace.KindLockWait, start)
+	sr := g.e.SearchTraced(key, tr)
+	expected := g.e.Main.ExpectedRows()
+	g.mu.Unlock()
+	if g.em != nil {
+		g.em.Observe(metrics.OpSearch, time.Since(start), nil)
+	}
+	return sr, expected, nil
 }
 
 // Delete removes the exact key from the named engine under its write

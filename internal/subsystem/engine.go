@@ -14,6 +14,7 @@ import (
 	"caram/internal/cam"
 	"caram/internal/caram"
 	"caram/internal/match"
+	"caram/internal/trace"
 )
 
 // Engine is one database search engine: a (possibly banked) CA-RAM
@@ -90,17 +91,26 @@ func (e *Engine) Insert(rec match.Record, st *EngineStats) error {
 // main lookup's only (AMAL = 1 under NoProbing), since the CAM search
 // proceeds in parallel.
 func (e *Engine) Search(key bitutil.Ternary) SearchResult {
+	return e.SearchTraced(key, nil)
+}
+
+// SearchTraced is Search recording into a request-scoped trace: the
+// main array's probe chain (via the caram layer) plus one event for
+// the parallel overflow-CAM search when an overflow area is attached.
+// A nil trace is the untraced hot path; Search delegates here.
+func (e *Engine) SearchTraced(key bitutil.Ternary, tr *trace.Trace) SearchResult {
 	var main caram.LookupResult
 	if e.Score != nil {
-		main = e.Main.LookupBest(key, e.Score)
+		main = e.Main.LookupBestTraced(key, e.Score, tr)
 	} else {
-		main = e.Main.Lookup(key)
+		main = e.Main.LookupTraced(key, tr)
 	}
 	res := SearchResult{Found: main.Found, Record: main.Record, RowsRead: main.RowsRead}
 	if e.Overflow == nil {
 		return res
 	}
 	ovfl := e.Overflow.Search(key)
+	tr.Overflow(ovfl.Found)
 	if !ovfl.Found {
 		return res
 	}

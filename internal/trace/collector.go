@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a Collector. The zero value keeps both
+// admission policies off (traces are still recorded and pooled, so
+// EXPLAIN-style forced traces and per-request logging keep working).
+type Config struct {
+	// SampleN admits every Nth request into the sampled ring
+	// (1-in-N). 0 or negative disables sampling. The sampler is
+	// counter-based, not random, so admission is deterministic for a
+	// scripted session.
+	SampleN int
+	// Slowlog is the slowlog latency threshold: a request is admitted
+	// exactly when its wall latency exceeds it (strictly greater, the
+	// Redis convention). A negative threshold disables the slowlog; 0
+	// admits everything with nonzero latency.
+	Slowlog time.Duration
+	// Ring is the capacity of each retention ring (sampled and
+	// slowlog). 0 means DefaultRing.
+	Ring int
+}
+
+// DefaultRing is the per-policy retention when Config.Ring is 0.
+const DefaultRing = 128
+
+// Collector owns trace retention for a server: a pool of reusable
+// traces, the two admission policies, and their rings. All methods are
+// safe for concurrent use and safe on a nil receiver (a nil Collector
+// is "tracing off": Begin returns a nil Trace and every downstream
+// recording call no-ops).
+type Collector struct {
+	sampleN int64
+	slowNs  int64
+
+	seen    atomic.Uint64 // requests begun (drives the 1-in-N sampler)
+	sampled *Ring
+	slow    *Ring
+	pool    sync.Pool
+}
+
+// NewCollector builds a collector with the given policies.
+func NewCollector(cfg Config) *Collector {
+	size := cfg.Ring
+	if size <= 0 {
+		size = DefaultRing
+	}
+	slowNs := int64(cfg.Slowlog)
+	if cfg.Slowlog < 0 {
+		slowNs = -1
+	}
+	sampleN := int64(cfg.SampleN)
+	if sampleN < 0 {
+		sampleN = 0
+	}
+	return &Collector{
+		sampleN: sampleN,
+		slowNs:  slowNs,
+		sampled: NewRing(size),
+		slow:    NewRing(size),
+		pool: sync.Pool{New: func() any {
+			return &Trace{Events: make([]Event, 0, 16)}
+		}},
+	}
+}
+
+// Enabled reports whether the collector is live.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// SampleN returns the 1-in-N sampling rate (0 = off).
+func (c *Collector) SampleN() int {
+	if c == nil {
+		return 0
+	}
+	return int(c.sampleN)
+}
+
+// SlowThreshold returns the slowlog threshold, or ok=false when the
+// slowlog is disabled.
+func (c *Collector) SlowThreshold() (time.Duration, bool) {
+	if c == nil || c.slowNs < 0 {
+		return 0, false
+	}
+	return time.Duration(c.slowNs), true
+}
+
+// Seen returns how many requests have begun tracing.
+func (c *Collector) Seen() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.seen.Load()
+}
+
+// Sampled returns the sampled-trace ring (nil on a nil collector).
+func (c *Collector) Sampled() *Ring {
+	if c == nil {
+		return nil
+	}
+	return c.sampled
+}
+
+// Slow returns the slowlog ring (nil on a nil collector).
+func (c *Collector) Slow() *Ring {
+	if c == nil {
+		return nil
+	}
+	return c.slow
+}
+
+// SlowAdmit is the slowlog admission predicate: latency strictly
+// greater than the threshold, never on a disabled slowlog. Exposed so
+// the admission property ("admitted exactly when d > threshold") is
+// directly testable.
+func (c *Collector) SlowAdmit(d time.Duration) bool {
+	return c != nil && c.slowNs >= 0 && int64(d) > c.slowNs
+}
+
+// Begin starts tracing one request. It returns nil — tracing off for
+// this request — only on a nil collector; otherwise the trace comes
+// from the pool, so the steady-state cost of an unadmitted trace is a
+// clock read and zero allocations.
+func (c *Collector) Begin() *Trace {
+	if c == nil {
+		return nil
+	}
+	t := c.pool.Get().(*Trace)
+	n := c.seen.Add(1)
+	t.Begin = time.Now()
+	t.sampled = c.sampleN > 0 && n%uint64(c.sampleN) == 0
+	return t
+}
+
+// End finishes a request trace: it stamps the wall latency, applies
+// both admission policies, and either retains the trace (slowlog wins
+// over the sampled ring) or recycles it. It returns whether the
+// request entered the slowlog, so the server can log it. Safe on nil
+// collector/trace.
+func (c *Collector) End(t *Trace) (slow bool) {
+	if c == nil || t == nil {
+		return false
+	}
+	return c.Observe(t, time.Since(t.Begin))
+}
+
+// Observe is End with an explicit latency, the seam the admission
+// property test drives with synthetic durations.
+func (c *Collector) Observe(t *Trace, d time.Duration) (slow bool) {
+	if c == nil || t == nil {
+		return false
+	}
+	t.Dur = d
+	switch {
+	case c.SlowAdmit(d):
+		t.detach()
+		c.slow.Put(t)
+		return true
+	case t.sampled:
+		t.detach()
+		c.sampled.Put(t)
+		return false
+	default:
+		t.reset()
+		c.pool.Put(t)
+		return false
+	}
+}

@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// JSON shapes for the /debug/traces endpoint. The wire SLOWLOG command
+// is the terse, single-line view; this endpoint is the full structured
+// dump a human (or the metrics-smoke gate) reads.
+
+type probeJSON struct {
+	Bucket       uint32 `json:"bucket"`
+	Displacement int32  `json:"d"`
+	Slots        int32  `json:"slots"`
+	Matches      int32  `json:"matches"`
+	Overflow     bool   `json:"ovf"`
+	Hit          bool   `json:"hit"`
+}
+
+type spanJSON struct {
+	Kind     string `json:"kind"`
+	OffsetNs int64  `json:"offset_ns"`
+	DurNs    int64  `json:"dur_ns"`
+}
+
+type entryJSON struct {
+	ID        uint64      `json:"id"`
+	Cmd       string      `json:"cmd"`
+	Engine    string      `json:"engine,omitempty"`
+	Key       string      `json:"key,omitempty"`
+	StartUnix int64       `json:"start_unix_ns"`
+	Us        float64     `json:"us"`
+	Result    string      `json:"result,omitempty"`
+	Home      uint32      `json:"home"`
+	Reach     int32       `json:"reach"`
+	Rows      int32       `json:"rows"`
+	Found     bool        `json:"found"`
+	Probes    []probeJSON `json:"probes,omitempty"`
+	Spans     []spanJSON  `json:"spans,omitempty"`
+}
+
+type ringJSON struct {
+	Len     int         `json:"len"`
+	Total   uint64      `json:"total"`
+	Entries []entryJSON `json:"entries"`
+}
+
+type tracesJSON struct {
+	Policy struct {
+		SampleN   int   `json:"sample"`
+		SlowlogUs int64 `json:"slowlog_us"` // -1 when the slowlog is off
+		Ring      int   `json:"ring"`
+	} `json:"policy"`
+	Seen    uint64   `json:"seen"`
+	Slowlog ringJSON `json:"slowlog"`
+	Sampled ringJSON `json:"sampled"`
+}
+
+func entryView(t *Trace) entryJSON {
+	e := entryJSON{
+		ID:        t.ID,
+		Cmd:       t.Cmd,
+		Engine:    t.Engine,
+		Key:       t.Key,
+		StartUnix: t.Begin.UnixNano(),
+		Us:        float64(t.Dur) / float64(time.Microsecond),
+		Result:    t.Result,
+		Home:      t.Home,
+		Reach:     t.Reach,
+		Rows:      t.Rows,
+		Found:     t.Found,
+	}
+	for _, ev := range t.Events {
+		switch ev.Kind {
+		case KindProbe:
+			e.Probes = append(e.Probes, probeJSON{
+				Bucket:       ev.Bucket,
+				Displacement: ev.Displacement,
+				Slots:        ev.SlotsTested,
+				Matches:      ev.Matches,
+				Overflow:     ev.Overflow,
+				Hit:          ev.Hit,
+			})
+		case KindOverflow:
+			e.Spans = append(e.Spans, spanJSON{Kind: ev.Kind.String()})
+		default:
+			e.Spans = append(e.Spans, spanJSON{
+				Kind:     ev.Kind.String(),
+				OffsetNs: int64(ev.Offset),
+				DurNs:    int64(ev.Dur),
+			})
+		}
+	}
+	return e
+}
+
+func ringView(r *Ring, max int) ringJSON {
+	v := ringJSON{Len: r.Len(), Total: r.Total(), Entries: []entryJSON{}}
+	for _, t := range r.Snapshot(nil, max) {
+		v.Entries = append(v.Entries, entryView(t))
+	}
+	return v
+}
+
+// Handler serves the collector's state as JSON — mounted by the
+// server's metrics mux at /debug/traces. The optional ?n= query bounds
+// how many entries of each ring are returned (default 32).
+func (c *Collector) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if c == nil {
+			_, _ = w.Write([]byte(`{"disabled":true}` + "\n"))
+			return
+		}
+		max := 32
+		if q := req.URL.Query().Get("n"); q != "" {
+			// Tolerant parse: anything non-numeric keeps the default.
+			n := 0
+			for i := 0; i < len(q) && q[i] >= '0' && q[i] <= '9'; i++ {
+				n = n*10 + int(q[i]-'0')
+			}
+			if n > 0 {
+				max = n
+			}
+		}
+		var v tracesJSON
+		v.Policy.SampleN = c.SampleN()
+		v.Policy.SlowlogUs = -1
+		if thr, ok := c.SlowThreshold(); ok {
+			v.Policy.SlowlogUs = int64(thr / time.Microsecond)
+		}
+		v.Policy.Ring = c.slow.Cap()
+		v.Seen = c.Seen()
+		v.Slowlog = ringView(c.slow, max)
+		v.Sampled = ringView(c.sampled, max)
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(v)
+	})
+}

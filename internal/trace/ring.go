@@ -1,0 +1,86 @@
+package trace
+
+import "sync/atomic"
+
+// Ring is a fixed-size lock-free trace buffer. Writers claim a slot
+// with one atomic add and publish with one atomic pointer store; the
+// newest size traces survive, older ones are overwritten in FIFO
+// order. Readers snapshot by walking the sequence backwards with
+// atomic loads. Reset is a lock-free epoch bump: it advances the base
+// sequence and clears the slots.
+//
+// Concurrent Put/Snapshot/Reset are all safe. A snapshot taken while
+// writers are active is best-effort — it may miss a trace published
+// mid-walk — but every trace it returns was genuinely admitted and is
+// immutable (the Collector detaches traces before Put).
+type Ring struct {
+	slots []atomic.Pointer[Trace]
+	seq   atomic.Uint64 // next admission sequence number
+	base  atomic.Uint64 // sequence floor set by the last Reset
+}
+
+// NewRing returns a ring retaining the newest size traces (minimum 1).
+func NewRing(size int) *Ring {
+	if size < 1 {
+		size = 1
+	}
+	return &Ring{slots: make([]atomic.Pointer[Trace], size)}
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring) Cap() int { return len(r.slots) }
+
+// Put admits a trace and returns its admission sequence number
+// (monotone from 1). The trace must not be mutated afterwards.
+func (r *Ring) Put(t *Trace) uint64 {
+	id := r.seq.Add(1)
+	t.ID = id
+	r.slots[int((id-1)%uint64(len(r.slots)))].Store(t)
+	return id
+}
+
+// Len returns the number of traces currently retained.
+func (r *Ring) Len() int {
+	seq, base := r.seq.Load(), r.base.Load()
+	n := int(seq - base)
+	if n < 0 { // racing Reset moved base past a stale seq read
+		n = 0
+	}
+	if n > len(r.slots) {
+		n = len(r.slots)
+	}
+	return n
+}
+
+// Total returns how many traces were ever admitted (across resets).
+func (r *Ring) Total() uint64 { return r.seq.Load() }
+
+// Reset discards the retained traces. Traces admitted concurrently
+// with the reset may survive it.
+func (r *Ring) Reset() {
+	r.base.Store(r.seq.Load())
+	for i := range r.slots {
+		r.slots[i].Store(nil)
+	}
+}
+
+// Snapshot appends up to max retained traces to dst, newest first, and
+// returns the extended slice. max <= 0 means "all retained".
+func (r *Ring) Snapshot(dst []*Trace, max int) []*Trace {
+	n := r.Len()
+	if max <= 0 || max > n {
+		max = n
+	}
+	seq := r.seq.Load()
+	for i := 0; i < max && uint64(i) < seq; i++ {
+		id := seq - uint64(i) // walk newest to oldest
+		t := r.slots[int((id-1)%uint64(len(r.slots)))].Load()
+		// A racing writer may have overwritten the slot with a newer
+		// trace, or a racing Reset nilled it; keep only what matches.
+		if t == nil || t.ID != id {
+			continue
+		}
+		dst = append(dst, t)
+	}
+	return dst
+}

@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(3)
+	if r.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", r.Cap())
+	}
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("empty ring: Len=%d Total=%d", r.Len(), r.Total())
+	}
+	for i := 0; i < 5; i++ {
+		tr := &Trace{Cmd: "SEARCH"}
+		if id := r.Put(tr); id != uint64(i+1) {
+			t.Fatalf("Put #%d returned id %d", i+1, id)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len after 5 puts into cap 3 = %d, want 3", r.Len())
+	}
+	if r.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", r.Total())
+	}
+	got := r.Snapshot(nil, 0)
+	if len(got) != 3 {
+		t.Fatalf("Snapshot returned %d traces, want 3", len(got))
+	}
+	for i, tr := range got { // newest first: ids 5, 4, 3
+		if want := uint64(5 - i); tr.ID != want {
+			t.Fatalf("snapshot[%d].ID = %d, want %d", i, tr.ID, want)
+		}
+	}
+	if got := r.Snapshot(nil, 2); len(got) != 2 || got[0].ID != 5 {
+		t.Fatalf("bounded snapshot = %v", got)
+	}
+
+	r.Reset()
+	if r.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", r.Len())
+	}
+	if got := r.Snapshot(nil, 0); len(got) != 0 {
+		t.Fatalf("Snapshot after Reset returned %d traces", len(got))
+	}
+	// Admission sequence continues across resets.
+	if id := r.Put(&Trace{}); id != 6 {
+		t.Fatalf("Put after Reset returned id %d, want 6", id)
+	}
+	if r.Len() != 1 || r.Total() != 6 {
+		t.Fatalf("after post-reset put: Len=%d Total=%d", r.Len(), r.Total())
+	}
+}
+
+func TestRingMinimumCapacity(t *testing.T) {
+	r := NewRing(0)
+	if r.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", r.Cap())
+	}
+	r.Put(&Trace{})
+	r.Put(&Trace{})
+	if got := r.Snapshot(nil, 0); len(got) != 1 || got[0].ID != 2 {
+		t.Fatalf("snapshot = %+v, want the single newest trace", got)
+	}
+}
+
+// TestRingConcurrent hammers one ring from 32 writer goroutines while
+// readers snapshot and reset concurrently — the retention path a busy
+// traced server exercises. Run under -race by `make race`. The
+// correctness bar: no torn traces (every snapshot entry's ID is
+// self-consistent and IDs are strictly decreasing within a snapshot).
+func TestRingConcurrent(t *testing.T) {
+	const (
+		writers = 32
+		perG    = 500
+	)
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Put(&Trace{Cmd: "SEARCH", Rows: int32(w)})
+			}
+		}(w)
+	}
+	// Two snapshot readers and one resetter race the writers.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]*Trace, 0, 64)
+			for !stop.Load() {
+				buf = r.Snapshot(buf[:0], 0)
+				last := uint64(0)
+				for i, tr := range buf {
+					if tr.ID == 0 {
+						t.Error("snapshot returned an unadmitted trace")
+						return
+					}
+					if i > 0 && tr.ID >= last {
+						t.Errorf("snapshot not newest-first: id %d after %d", tr.ID, last)
+						return
+					}
+					last = tr.ID
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load(); i++ {
+			if i%64 == 0 {
+				r.Reset()
+			}
+			_ = r.Len()
+		}
+	}()
+
+	// Writers finish, then the readers are released.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r.Total() < writers*perG {
+			if stop.Load() {
+				return
+			}
+		}
+	}()
+	<-done
+	stop.Store(true)
+	wg.Wait()
+
+	if r.Total() != writers*perG {
+		t.Fatalf("Total = %d, want %d", r.Total(), writers*perG)
+	}
+}

@@ -1,0 +1,274 @@
+// Package trace is the request-scoped tracing layer: where
+// internal/metrics answers "how is the server doing on average", this
+// package answers "what did *this* request actually do" — which home
+// bucket the index generator selected, how many buckets the probe
+// chain touched (the per-request contribution to the paper's AMAL,
+// §3.4), whether the parallel overflow CAM answered, and where the
+// wall-clock time went (parse, engine lock wait, match, reply encode).
+//
+// The design constraints, in order:
+//
+//  1. Zero cost when off. Every recording method is nil-safe — a nil
+//     *Trace (and a nil *Collector) turns the whole layer into a
+//     handful of predictable branches, so the search hot path stays
+//     allocation-free with tracing compiled in but disabled (guarded
+//     by the alloc-regression CI).
+//  2. Race-safe retention. Admitted traces land in fixed-size
+//     lock-free rings (atomic slot pointers + a sequence counter);
+//     concurrent record, snapshot and reset never block each other.
+//  3. Two admission policies: probabilistic sampling (1-in-N, counter
+//     based so tests are deterministic) and a Redis-style slowlog —
+//     every request whose wall latency exceeds the threshold is kept
+//     with its full probe trace.
+//
+// The package depends only on the standard library and imports nothing
+// from this repository, so any layer (caram, subsystem, server) may
+// thread a *Trace through without cycles.
+package trace
+
+import (
+	"strings"
+	"time"
+)
+
+// Kind enumerates span/event types along the request path, in stack
+// order from the server's parser down to the match kernel and back.
+type Kind uint8
+
+const (
+	// KindParse covers request parsing and validation in the server
+	// (command word, engine name, hex keys).
+	KindParse Kind = iota
+	// KindLockWait is the wait for the target engine's port lock —
+	// the queueing delay in front of the slice's single row port.
+	KindLockWait
+	// KindProbe is one bucket probe of the CA-RAM lookup chain: one
+	// row fetched and matched. Payload: bucket index, displacement
+	// from the home bucket, slots tested, match count, and whether
+	// the probe was an overflow hop (displacement > 0).
+	KindProbe
+	// KindOverflow is the parallel overflow-CAM search (§4.3).
+	KindOverflow
+	// KindMatch aggregates the match kernel's work over the whole
+	// lookup: total slots tested, total matches, pipelined passes.
+	KindMatch
+	// KindEncode covers appending the reply to the output buffer.
+	KindEncode
+)
+
+// String names the kind for logs and JSON.
+func (k Kind) String() string {
+	switch k {
+	case KindParse:
+		return "parse"
+	case KindLockWait:
+		return "lock_wait"
+	case KindProbe:
+		return "probe"
+	case KindOverflow:
+		return "overflow"
+	case KindMatch:
+		return "match"
+	case KindEncode:
+		return "encode"
+	}
+	return "unknown"
+}
+
+// Event is one recorded step. It is a small plain struct (no pointers)
+// so a Trace's event list reuses one backing array across pooled
+// reuses. Fields beyond Kind are kind-specific; unused ones are zero.
+type Event struct {
+	Kind Kind
+
+	// Probe / match payload.
+	Bucket       uint32 // bucket index probed
+	Displacement int32  // probe distance from the home bucket
+	SlotsTested  int32  // valid slots compared in this row / lookup
+	Matches      int32  // slots that matched
+	Passes       int32  // pipelined match passes (KindMatch)
+	Overflow     bool   // probe left the home bucket (an overflow hop)
+	Hit          bool   // this probe (or the overflow CAM) matched
+
+	// Span timing: offset from the trace's Begin and duration. Zero
+	// for untimed events (probes are positional, not timed — the
+	// hardware fetches rows at a fixed cadence).
+	Offset time.Duration
+	Dur    time.Duration
+}
+
+// Trace accumulates one request's events. A Trace is owned by exactly
+// one goroutine while recording; once admitted to a ring it is
+// immutable and may be read concurrently.
+//
+// The zero-value-pointer contract: every method is safe on a nil
+// receiver and does nothing, so call sites need no "is tracing on"
+// branches beyond what the compiler generates for the nil check.
+type Trace struct {
+	ID     uint64        // admission sequence number (0 until admitted)
+	Cmd    string        // wire command, upper-case
+	Engine string        // target engine ("" when the command has none)
+	Key    string        // key field as received ("" when none)
+	Begin  time.Time     // request start (per command, not per burst)
+	Dur    time.Duration // wall latency, set by Collector.End/Observe
+	Result string        // first reply token: OK, HIT, MISS, ERR, ...
+
+	// Lookup summary, recorded by the caram layer.
+	Home  uint32 // home bucket the index generator selected
+	Reach int32  // home bucket's recorded overflow reach
+	Rows  int32  // rows accessed (this request's AMAL contribution)
+	Found bool
+
+	Events []Event
+
+	sampled bool // chosen by the 1-in-N sampler at Begin
+}
+
+// Enabled reports whether the trace is live. It is the idiomatic guard
+// for work that only matters when tracing (building strings, summing
+// aggregates); plain recording calls don't need it.
+func (t *Trace) Enabled() bool { return t != nil }
+
+// Request records the command identity. The strings may be substrings
+// of the request line; the Collector clones them on admission so a
+// retained trace does not pin a connection buffer.
+func (t *Trace) Request(cmd, engine, key string) {
+	if t == nil {
+		return
+	}
+	t.Cmd, t.Engine, t.Key = cmd, engine, key
+}
+
+// SetResult records the first token of the reply.
+func (t *Trace) SetResult(r string) {
+	if t == nil {
+		return
+	}
+	t.Result = r
+}
+
+// Probe records one bucket probe of the lookup chain.
+func (t *Trace) Probe(bucket uint32, displacement, slotsTested, matches int, hit bool) {
+	if t == nil {
+		return
+	}
+	t.Events = append(t.Events, Event{
+		Kind:         KindProbe,
+		Bucket:       bucket,
+		Displacement: int32(displacement),
+		SlotsTested:  int32(slotsTested),
+		Matches:      int32(matches),
+		Overflow:     displacement > 0,
+		Hit:          hit,
+	})
+}
+
+// Overflow records the parallel overflow-CAM search and its outcome.
+func (t *Trace) Overflow(hit bool) {
+	if t == nil {
+		return
+	}
+	t.Events = append(t.Events, Event{Kind: KindOverflow, Hit: hit})
+}
+
+// Match records the match kernel's aggregate work for the lookup.
+func (t *Trace) Match(slotsTested, matches, passes int) {
+	if t == nil {
+		return
+	}
+	t.Events = append(t.Events, Event{
+		Kind:        KindMatch,
+		SlotsTested: int32(slotsTested),
+		Matches:     int32(matches),
+		Passes:      int32(passes),
+	})
+}
+
+// Lookup records the caram-level lookup summary.
+func (t *Trace) Lookup(home uint32, reach, rows int, found bool) {
+	if t == nil {
+		return
+	}
+	t.Home, t.Reach, t.Rows, t.Found = home, int32(reach), int32(rows), found
+}
+
+// Span records a timed stage that started at start and ends now.
+// Callers take the start timestamp only when the trace is enabled:
+//
+//	var start time.Time
+//	if tr.Enabled() { start = time.Now() }
+//	... stage ...
+//	tr.Span(trace.KindLockWait, start)
+func (t *Trace) Span(k Kind, start time.Time) {
+	if t == nil {
+		return
+	}
+	t.Events = append(t.Events, Event{
+		Kind:   k,
+		Offset: start.Sub(t.Begin),
+		Dur:    time.Since(start),
+	})
+}
+
+// SpanDur records a timed stage with an explicit duration.
+func (t *Trace) SpanDur(k Kind, start time.Time, d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.Events = append(t.Events, Event{Kind: k, Offset: start.Sub(t.Begin), Dur: d})
+}
+
+// ProbeEvents calls fn for each KindProbe event in record order.
+func (t *Trace) ProbeEvents(fn func(Event)) {
+	if t == nil {
+		return
+	}
+	for _, e := range t.Events {
+		if e.Kind == KindProbe {
+			fn(e)
+		}
+	}
+}
+
+// EventOf returns the first event of the given kind.
+func (t *Trace) EventOf(k Kind) (Event, bool) {
+	if t == nil {
+		return Event{}, false
+	}
+	for _, e := range t.Events {
+		if e.Kind == k {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// End stamps the trace's wall latency. The Collector calls it; EXPLAIN
+// calls it directly on its forced trace.
+func (t *Trace) End() {
+	if t == nil {
+		return
+	}
+	t.Dur = time.Since(t.Begin)
+}
+
+// reset clears the trace for pooled reuse, keeping the event array.
+func (t *Trace) reset() {
+	events := t.Events[:0]
+	*t = Trace{Events: events}
+}
+
+// detach clones any strings that may alias a caller buffer, making the
+// trace safe to retain after the request line is recycled.
+func (t *Trace) detach() {
+	t.Cmd = strings.Clone(t.Cmd)
+	t.Engine = strings.Clone(t.Engine)
+	t.Key = strings.Clone(t.Key)
+	t.Result = strings.Clone(t.Result)
+}
+
+// New returns a standalone trace beginning now — the forced-on form
+// EXPLAIN uses, independent of any collector.
+func New() *Trace {
+	return &Trace{Begin: time.Now(), Events: make([]Event, 0, 8)}
+}
