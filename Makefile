@@ -13,19 +13,22 @@
 #                       tracing compiled in (off and on-unadmitted)
 #   make metrics-smoke  end-to-end observability check: live server,
 #                       /metrics + /debug/traces scrape, SLOWLOG/EXPLAIN
-#                       over the wire, graceful shutdown
+#                       and HEALTH over the wire, graceful shutdown
+#   make chaos          fault-injection capstone under -race: mixed ops
+#                       against engines with live soft-error injectors,
+#                       exact ECC/injector counter reconciliation
 #   make ci             the CI gate: check + race + alloc-guard +
-#                       trace-guard + metrics-smoke
+#                       trace-guard + chaos + metrics-smoke
 #   make all            everything above, in that order
 
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check vet race stress fuzz bench bench-json alloc-guard trace-guard metrics-smoke ci
+.PHONY: all check vet race stress fuzz bench bench-json alloc-guard trace-guard chaos metrics-smoke ci
 
-all: check race stress fuzz bench trace-guard metrics-smoke
+all: check race stress fuzz bench trace-guard chaos metrics-smoke
 
-ci: check race alloc-guard trace-guard metrics-smoke
+ci: check race alloc-guard trace-guard chaos metrics-smoke
 
 check: vet
 	$(GO) build ./...
@@ -39,6 +42,12 @@ race:
 
 metrics-smoke:
 	$(GO) run ./cmd/metrics-smoke
+
+# Fault-injection capstone: 32 goroutines of mixed operations against
+# ECC-protected engines whose memory arrays have live fault injectors,
+# under the race detector, with exact counter reconciliation at the end.
+chaos:
+	$(GO) test -race -run Chaos -count=1 ./internal/subsystem
 
 # Tier-2: the mixed-workload stress tests (>=32 goroutines, >=10k ops)
 # under the race detector, across every package that defines them.

@@ -18,6 +18,23 @@
 // retained with its full probe trace and logged at Warn. The wire
 // commands SLOWLOG and EXPLAIN read the same state.
 //
+// Fault tolerance is opt-in. -ecc arms per-row error coding on every
+// engine: each fetched row is verified against a SECDED-style check
+// word, single-bit errors are corrected in place, uncorrectable rows
+// are quarantined (lookups answer the explicit "MISS!" instead of
+// silently missing) and restored by HEALTH <engine> SCRUB over the
+// wire. The HEALTH command and the caram_engine_health /metrics gauge
+// expose each engine's healthy/degraded/failed state. -fault-seed
+// installs a deterministic soft-error injector per engine (bit flips,
+// transient read errors, latency spikes at the -fault-* rates) — the
+// chaos-testing mode; combine it with -ecc to watch the error coding
+// absorb the faults.
+//
+// Overload protection is opt-in too: -max-conns sheds connections
+// beyond the cap with one "ERR BUSY" line; -read-timeout and
+// -idle-timeout arm the per-connection read deadlines (slow-loris
+// defense) described in internal/server.
+//
 // Logging goes to stderr as structured log/slog lines; -log-level
 // picks the floor (debug adds connection lifecycle events).
 //
@@ -42,6 +59,7 @@ import (
 	"time"
 
 	"caram/internal/caram"
+	"caram/internal/fault"
 	"caram/internal/hash"
 	"caram/internal/metrics"
 	"caram/internal/server"
@@ -60,6 +78,17 @@ func main() {
 		sampleN  = flag.Int("trace-sample", 0, "admit every Nth request into the sampled trace ring (0 = off)")
 		slowUs   = flag.Int64("slowlog-us", 10_000, "slowlog threshold in microseconds; requests slower than this are retained with their probe trace (-1 = off)")
 		ringSize = flag.Int("trace-ring", trace.DefaultRing, "retained traces per ring (slowlog and sampled)")
+
+		eccOn    = flag.Bool("ecc", false, "enable per-row error coding: SECDED check words, quarantine, HEALTH <engine> SCRUB recovery")
+		maxConns = flag.Int("max-conns", 0, "cap on concurrently served connections; excess accepts are shed with ERR BUSY (0 = unlimited)")
+		readTO   = flag.Duration("read-timeout", 0, "per-read deadline once a request has started arriving (slow-loris defense; 0 = none)")
+		idleTO   = flag.Duration("idle-timeout", 0, "deadline for the start of the next request on an idle connection (0 = none)")
+
+		faultSeed    = flag.Int64("fault-seed", 0, "install a deterministic soft-error injector per engine, seeded with this base (0 = off)")
+		faultSingle  = flag.Float64("fault-single", 0.001, "per-fetch single-bit-flip probability when -fault-seed is set")
+		faultDouble  = flag.Float64("fault-double", 0, "per-fetch double-bit-flip (uncorrectable) probability when -fault-seed is set")
+		faultReadErr = flag.Float64("fault-readerr", 0, "per-fetch transient row-read-failure probability when -fault-seed is set")
+		faultSpike   = flag.Float64("fault-spike", 0, "per-fetch latency-spike probability when -fault-seed is set")
 	)
 	flag.Parse()
 
@@ -71,10 +100,13 @@ func main() {
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	slog.SetDefault(logger)
 
+	if *faultSeed != 0 && !*eccOn {
+		logger.Warn("fault injection without -ecc: corrupted rows will serve wrong data undetected")
+	}
 	names := strings.Split(*engines, ",")
 	sub := subsystem.New(0)
 	var rows, perRow int
-	for _, name := range names {
+	for i, name := range names {
 		name = strings.TrimSpace(name)
 		if name == "" {
 			logger.Error("empty engine name in -engines")
@@ -87,10 +119,24 @@ func main() {
 			DataBits:  32,
 			AuxBits:   16,
 			Index:     hash.NewMultShift(*rbits),
+			ECC:       *eccOn,
 		})
 		if err != nil {
 			logger.Error("engine config", "engine", name, "err", err)
 			os.Exit(1)
+		}
+		if *faultSeed != 0 {
+			// One injector per engine, derived deterministically from
+			// the base seed, so a run is reproducible end to end.
+			inj := fault.New(fault.Config{
+				Seed:     *faultSeed + int64(i),
+				PSingle:  *faultSingle,
+				PDouble:  *faultDouble,
+				PReadErr: *faultReadErr,
+				PSpike:   *faultSpike,
+			})
+			sl.Array().InstallFaults(inj)
+			inj.Enable()
 		}
 		if err := sub.AddEngine(&subsystem.Engine{Name: name, Main: sl}); err != nil {
 			logger.Error("add engine", "engine", name, "err", err)
@@ -104,7 +150,14 @@ func main() {
 		slowlog = time.Duration(*slowUs) * time.Microsecond
 	}
 	col := trace.NewCollector(trace.Config{SampleN: *sampleN, Slowlog: slowlog, Ring: *ringSize})
-	srv := server.New(sub, server.WithTracing(col), server.WithLogger(logger))
+	srvOpts := []server.Option{server.WithTracing(col), server.WithLogger(logger)}
+	if *maxConns > 0 {
+		srvOpts = append(srvOpts, server.WithConnLimit(*maxConns))
+	}
+	if *readTO > 0 || *idleTO > 0 {
+		srvOpts = append(srvOpts, server.WithTimeouts(*readTO, *idleTO))
+	}
+	srv := server.New(sub, srvOpts...)
 
 	if *httpAddr != "" {
 		hl, err := net.Listen("tcp", *httpAddr)
@@ -135,7 +188,10 @@ func main() {
 		"slots", perRow,
 		"addr", l.Addr().String(),
 		"slowlog_us", *slowUs,
-		"trace_sample", *sampleN)
+		"trace_sample", *sampleN,
+		"ecc", *eccOn,
+		"fault_seed", *faultSeed,
+		"max_conns", *maxConns)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -3,8 +3,11 @@
 // both the wire port and the -http port on ephemeral addresses, drives
 // a small mixed workload over TCP, then asserts that
 //
-//   - /metrics serves every caram_* metric family with the op counts
-//     the workload implies,
+//   - /metrics serves every caram_* metric family — including the
+//     fault-tolerance gauges, since the server runs with -ecc — with
+//     the op counts the workload implies,
+//   - the HEALTH wire command reports healthy engines with zeroed
+//     error-coding counters and HEALTH <engine> SCRUB runs a scrub,
 //   - /debug/vars exposes the expvar "caram" map,
 //   - METRICS over the wire agrees with the scrape,
 //   - the tracing layer works end to end: with a zero slowlog
@@ -66,7 +69,7 @@ func run() error {
 	// slowlog (any real request qualifies); -log-level error keeps the
 	// resulting per-request Warn lines out of the CI output.
 	srv := exec.Command(bin, "-addr", wireAddr, "-http", httpAddr, "-engines", "db,aux", "-indexbits", "8",
-		"-slowlog-us", "0", "-log-level", "error")
+		"-slowlog-us", "0", "-log-level", "error", "-ecc")
 	srv.Stderr = os.Stderr
 	if err := srv.Start(); err != nil {
 		return fmt.Errorf("start caram-server: %w", err)
@@ -101,6 +104,13 @@ func run() error {
 		{"DELETE db dead", "OK"},
 		{"SEARCH ghost 1", `ERR subsystem: no engine "ghost"`},
 		{"METRICS", "METRICS engines=2 ops=7 errors=0 unknown=1"},
+		// The fault-tolerance surface (-ecc is on): everything healthy,
+		// a scrub over clean arrays repairs nothing, and the scrub run
+		// shows up in the counters.
+		{"HEALTH", "HEALTH db=healthy aux=healthy"},
+		{"HEALTH db", "HEALTH engine=db state=healthy quarantined=0 corrected=0 uncorrectable=0 read_errors=0 scrubs=0 scrub_bits=0 overflow=0/0"},
+		{"HEALTH db SCRUB", "OK scrub engine=db rows=0 bits=0 released=0"},
+		{"HEALTH db", "HEALTH engine=db state=healthy quarantined=0 corrected=0 uncorrectable=0 read_errors=0 scrubs=1 scrub_bits=0 overflow=0/0"},
 	} {
 		got, err := ask(step.req)
 		if err != nil {
@@ -134,6 +144,12 @@ func run() error {
 		metrics.FamRowsAccessed + `{engine="db"}`,
 		metrics.FamOverflow + `{engine="db"} 0`,
 		metrics.FamSpilled + `{engine="db"} 0`,
+		metrics.FamHealth + `{engine="db"} 0`,
+		metrics.FamQuarantined + `{engine="db"} 0`,
+		metrics.FamEccCorrected + `{engine="db"} 0`,
+		metrics.FamEccUncorrect + `{engine="db"} 0`,
+		metrics.FamRowReadErrors + `{engine="db"} 0`,
+		metrics.FamScrubRepaired + `{engine="db"} 0`,
 		metrics.FamUnknown + " 1",
 	} {
 		if !strings.Contains(body, want) {
@@ -141,13 +157,13 @@ func run() error {
 		}
 	}
 
-	// Tracing over the wire. The zero threshold admitted all 8 requests
+	// Tracing over the wire. The zero threshold admitted all 12 requests
 	// above; LEN reads the ring before its own trace is admitted (End
 	// runs after the reply is built), so the count is exact.
 	if got, err := ask("SLOWLOG LEN"); err != nil {
 		return err
-	} else if got != "SLOWLOG len=8" {
-		return fmt.Errorf("SLOWLOG LEN: got %q, want %q", got, "SLOWLOG len=8")
+	} else if got != "SLOWLOG len=12" {
+		return fmt.Errorf("SLOWLOG LEN: got %q, want %q", got, "SLOWLOG len=12")
 	}
 	explain, err := ask("EXPLAIN SEARCH aux beef")
 	if err != nil {

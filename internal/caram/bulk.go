@@ -28,7 +28,7 @@ import (
 func (s *Slice) CountWhere(search bitutil.Ternary) int {
 	n := 0
 	for b := 0; b < s.cfg.Rows(); b++ {
-		row := s.array.ReadRow(uint32(b))
+		row := s.logicalRow(uint32(b), s.array.ReadRow(uint32(b)))
 		res := s.proc.Search(row, search)
 		n += res.Count
 	}
@@ -40,7 +40,7 @@ func (s *Slice) CountWhere(search bitutil.Ternary) int {
 func (s *Slice) SelectWhere(search bitutil.Ternary) []match.Record {
 	var out []match.Record
 	for b := 0; b < s.cfg.Rows(); b++ {
-		row := s.array.ReadRow(uint32(b))
+		row := s.logicalRow(uint32(b), s.array.ReadRow(uint32(b)))
 		out = append(out, s.proc.SearchAll(row, search)...)
 	}
 	return out
@@ -52,12 +52,18 @@ func (s *Slice) SelectWhere(search bitutil.Ternary) []match.Record {
 func (s *Slice) UpdateWhere(search bitutil.Ternary, fn func(match.Record) bitutil.Vec128) int {
 	updated := 0
 	for b := 0; b < s.cfg.Rows(); b++ {
-		row := s.array.ReadRow(uint32(b))
+		quar := s.Quarantined(uint32(b))
+		row := s.logicalRow(uint32(b), s.array.ReadRow(uint32(b)))
 		res := s.proc.Search(row, search)
 		if res.Count == 0 {
 			continue
 		}
-		wrow := s.array.RowForUpdate(uint32(b))
+		// Quarantined rows are transformed in their shadow (row already
+		// aliases it); in-service rows go through the charged write port.
+		wrow := row
+		if !quar {
+			wrow = s.array.RowForUpdate(uint32(b))
+		}
 		for i := 0; i < s.layout.Slots(); i++ {
 			if res.Vector[i/64]>>uint(i%64)&1 == 0 {
 				continue
@@ -70,6 +76,9 @@ func (s *Slice) UpdateWhere(search bitutil.Ternary, fn func(match.Record) bituti
 			}
 			updated++
 		}
+		if !quar {
+			s.syncRow(uint32(b))
+		}
 	}
 	return updated
 }
@@ -80,17 +89,24 @@ func (s *Slice) UpdateWhere(search bitutil.Ternary, fn func(match.Record) bituti
 func (s *Slice) DeleteWhere(search bitutil.Ternary) int {
 	deleted := 0
 	for b := 0; b < s.cfg.Rows(); b++ {
-		row := s.array.ReadRow(uint32(b))
+		quar := s.Quarantined(uint32(b))
+		row := s.logicalRow(uint32(b), s.array.ReadRow(uint32(b)))
 		res := s.proc.Search(row, search)
 		if res.Count == 0 {
 			continue
 		}
-		wrow := s.array.RowForUpdate(uint32(b))
+		wrow := row
+		if !quar {
+			wrow = s.array.RowForUpdate(uint32(b))
+		}
 		for i := 0; i < s.layout.Slots(); i++ {
 			if res.Vector[i/64]>>uint(i%64)&1 == 1 {
 				s.layout.ClearSlot(wrow, i)
 				deleted++
 			}
+		}
+		if !quar {
+			s.syncRow(uint32(b))
 		}
 	}
 	if deleted > 0 {
@@ -167,6 +183,11 @@ func (s *Slice) LoadImage(img []uint64) error {
 	}
 	for w, v := range img {
 		s.array.WriteWord(w, v)
+	}
+	if s.ecc != nil {
+		// The image replaced every row wholesale: rebuild the check
+		// words and shadow from the new contents.
+		s.EnableECC()
 	}
 	s.count = 0
 	s.Records(func(uint32, int, match.Record) bool { s.count++; return true })

@@ -66,6 +66,12 @@ type Config struct {
 	ProbeLimit int
 	// Index is the index generator; its Bits() must equal IndexBits.
 	Index hash.IndexGenerator
+	// ECC enables per-row error coding at construction: a SECDED-style
+	// check word per row verified on every charged fetch, single-bit
+	// correction, quarantine of uncorrectable rows, and scrub recovery
+	// (see ecc.go). EnableECC is the post-load form for slices built
+	// from an image.
+	ECC bool
 	// AllowDuplicates permits inserting records with equal keys
 	// (needed when a ternary key is duplicated across buckets shares a
 	// slice with itself is NOT this — this is equal keys in one

@@ -1,0 +1,310 @@
+package caram
+
+import (
+	"math/bits"
+
+	"caram/internal/trace"
+)
+
+// Per-row error coding. The check word is a SECDED-style pair stored
+// beside (not inside) the array, one word per row:
+//
+//   - bits 0..31: a Hamming-style syndrome — the XOR, over every set
+//     bit of the row, of that bit's position code (word*64 + bit + 1;
+//     the +1 keeps every code nonzero so a single flip always yields a
+//     nonzero syndrome delta);
+//   - bit 32: the row's overall parity.
+//
+// On a checked fetch the row's check word is recomputed and compared.
+// A single-bit error changes the parity and leaves the syndrome delta
+// equal to the flipped bit's position code, so it is corrected in
+// place — written back to storage, the scrub-on-read discipline real
+// memory controllers use. A double-bit error preserves parity but
+// yields a nonzero syndrome delta: detectable, not correctable, so the
+// row is quarantined — lookups skip it and report a distinct
+// miss-with-error until a scrub pass restores it.
+//
+// The shadow is the insert-side logical image: every legitimate write
+// (insert, delete, update, reach maintenance, bulk transform) is
+// mirrored into it, so a scrub can restore a quarantined row's true
+// contents without re-deriving them from the fault history. The shadow
+// models the paper's §3.2 observation that the hashed database also
+// exists at the host — reconstruction is a memory copy, not a rebuild.
+//
+// Protection is opt-in (Config.ECC or EnableECC): with it off the
+// slice keeps its existing zero-allocation lookup path untouched
+// except for the one nil check fetchChecked adds.
+
+// eccState is a slice's error-coding sidecar.
+type eccState struct {
+	rowWords int
+	check    []uint64 // one check word per row
+	shadow   []uint64 // authoritative logical image, rowWords per row
+	quar     []bool   // rows out of service
+	quarBits []uint32 // corrupt-bit count recorded at quarantine time
+	nQuar    int
+	st       EccStats
+}
+
+// EccStats counts the error-coding layer's activity. The chaos harness
+// reconciles these exactly against the injector's ledger:
+// CorrectedBits accounts every single-bit event (random singles plus
+// stuck-cell assertions), Uncorrectable every double-bit event, and
+// ScrubRepairedBits the corrupt bits a scrub restored (two per
+// quarantined row in the one-event-per-fetch model).
+type EccStats struct {
+	CheckedFetches    uint64 // fetches verified against the check word
+	CorrectedBits     uint64 // single-bit errors fixed in place
+	Uncorrectable     uint64 // quarantine events (double-bit detections)
+	ReadErrors        uint64 // transient row-read failures observed
+	QuarantineSkips   uint64 // probes that skipped an out-of-service row
+	ScrubRuns         uint64
+	ScrubRepairedRows uint64 // rows a scrub restored from the shadow
+	ScrubRepairedBits uint64 // corrupt bits restored (recorded at quarantine)
+	ScrubReleased     uint64 // quarantined rows returned to service
+}
+
+// checkWord computes the row's syndrome|parity pair.
+func checkWord(row []uint64) uint64 {
+	var syn uint32
+	pop := 0
+	for w, v := range row {
+		pop += bits.OnesCount64(v)
+		for v != 0 {
+			b := bits.TrailingZeros64(v)
+			syn ^= uint32(w<<6 + b + 1)
+			v &= v - 1
+		}
+	}
+	return uint64(syn) | uint64(pop&1)<<32
+}
+
+// EnableECC turns per-row error coding on, building the check words
+// and the insert-side shadow from the array's current contents. It is
+// the post-load entry point too: LoadImage and ReadImage call it again
+// on an ECC-enabled slice, so bulk-constructed databases (§3.2) are
+// protected from their current state onward. Enabling is idempotent;
+// re-enabling rebuilds and clears any quarantine.
+func (s *Slice) EnableECC() {
+	rows := s.cfg.Rows()
+	rw := s.array.Words() / rows
+	e := s.ecc
+	if e == nil {
+		e = &eccState{
+			rowWords: rw,
+			check:    make([]uint64, rows),
+			shadow:   make([]uint64, rw*rows),
+			quar:     make([]bool, rows),
+			quarBits: make([]uint32, rows),
+		}
+		s.ecc = e
+	}
+	for i := 0; i < rows; i++ {
+		row := s.array.PeekRow(uint32(i))
+		copy(e.shadow[i*rw:(i+1)*rw], row)
+		e.check[i] = checkWord(row)
+		e.quar[i] = false
+		e.quarBits[i] = 0
+	}
+	e.nQuar = 0
+}
+
+// EccEnabled reports whether per-row error coding is on.
+func (s *Slice) EccEnabled() bool { return s.ecc != nil }
+
+// EccStats returns the error-coding counters (zero value when ECC is
+// off).
+func (s *Slice) EccStats() EccStats {
+	if s.ecc == nil {
+		return EccStats{}
+	}
+	return s.ecc.st
+}
+
+// QuarantinedRows returns how many rows are out of service.
+func (s *Slice) QuarantinedRows() int {
+	if s.ecc == nil {
+		return 0
+	}
+	return s.ecc.nQuar
+}
+
+// Quarantined reports whether one row is out of service.
+func (s *Slice) Quarantined(idx uint32) bool {
+	return s.ecc != nil && s.ecc.quar[idx]
+}
+
+// shadowRow returns the mutable shadow image of a row.
+func (e *eccState) shadowRow(idx uint32) []uint64 {
+	off := int(idx) * e.rowWords
+	return e.shadow[off : off+e.rowWords]
+}
+
+// logicalRow returns a row's logical contents for maintenance scans:
+// the authoritative shadow when the row is quarantined, the stored row
+// otherwise. Maintenance (locate, Records, bulk scans) always sees the
+// true database even while a row is out of service.
+func (s *Slice) logicalRow(idx uint32, stored []uint64) []uint64 {
+	if s.ecc != nil && s.ecc.quar[idx] {
+		return s.ecc.shadowRow(idx)
+	}
+	return stored
+}
+
+// syncRow records a legitimate write: the array row is authoritative,
+// so mirror it into the shadow and recompute its check word. Callers
+// never write to quarantined rows (probes skip them; reach maintenance
+// diverts to the shadow), so syncing cannot bless corruption.
+func (s *Slice) syncRow(idx uint32) {
+	if s.ecc == nil {
+		return
+	}
+	row := s.array.PeekRow(idx)
+	copy(s.ecc.shadowRow(idx), row)
+	s.ecc.check[idx] = checkWord(row)
+}
+
+// quarantine takes a row out of service, recording how many stored
+// bits differ from the shadow at this moment — the corrupt-bit ledger
+// a later scrub settles. (Writes that land in the shadow while the row
+// is quarantined widen the raw restore diff without being corruption,
+// which is why the count is taken now.)
+func (e *eccState) quarantine(idx uint32, row []uint64) {
+	if e.quar[idx] {
+		return
+	}
+	diff := 0
+	sh := e.shadowRow(idx)
+	for w := range row {
+		diff += bits.OnesCount64(row[w] ^ sh[w])
+	}
+	e.quar[idx] = true
+	e.quarBits[idx] = uint32(diff)
+	e.nQuar++
+	e.st.Uncorrectable++
+}
+
+// fetchChecked is the slice's one row-fetch path for charged lookups
+// and insert probes. With ECC off it is the array fetch plus a nil
+// check — the zero-allocation hot path. With ECC on it verifies the
+// row against its check word, corrects a single-bit error in place,
+// and quarantines an uncorrectable row. ok=false means the row is
+// unavailable this access (quarantined, just quarantined, or a
+// transient read error that persisted past one retry); the caller
+// skips the row and marks the lookup as erred.
+func (s *Slice) fetchChecked(idx uint32, tr *trace.Trace) ([]uint64, bool) {
+	if s.ecc == nil {
+		row, _ := s.array.FetchRow(idx) // unprotected: errors are invisible
+		return row, true
+	}
+	e := s.ecc
+	if e.quar[idx] {
+		e.st.QuarantineSkips++
+		return nil, false
+	}
+	row, ok := s.array.FetchRow(idx)
+	if !ok {
+		e.st.ReadErrors++
+		row, ok = s.array.FetchRow(idx) // one retry: transient means transient
+		if !ok {
+			e.st.ReadErrors++
+			return nil, false
+		}
+	}
+	e.st.CheckedFetches++
+	stored := e.check[idx]
+	got := checkWord(row)
+	if got == stored {
+		return row, true
+	}
+	delta := got ^ stored
+	dSyn := uint32(delta)
+	dPar := delta >> 32 & 1
+	if dPar == 1 && dSyn != 0 {
+		// Odd flip count with a position-code syndrome: a single-bit
+		// error at position dSyn-1. Correct in place (scrub-on-read).
+		pos := int(dSyn - 1)
+		if w := pos >> 6; w < len(row) {
+			row[w] ^= 1 << uint(pos&63)
+			if checkWord(row) == stored {
+				e.st.CorrectedBits++
+				tr.Ecc(idx, 1, false)
+				return row, true
+			}
+			row[w] ^= 1 << uint(pos&63) // not a clean single; undo
+		}
+	}
+	// Even flip count (or an aliased syndrome): detectable but not
+	// correctable. Out of service until scrubbed.
+	e.quarantine(idx, row)
+	tr.Ecc(idx, 0, true)
+	return nil, false
+}
+
+// ScrubReport summarizes one scrub pass.
+type ScrubReport struct {
+	RepairedRows int // rows whose stored bits were restored from the shadow
+	RepairedBits int // raw bit difference restored (includes shadow-side writes)
+	Released     int // quarantined rows returned to service
+}
+
+// Scrub re-verifies every row against the insert-side shadow and
+// restores any divergence: quarantined rows get their true contents
+// back (and return to service), and every check word is recomputed.
+// It is maintenance — rows move via Peek/direct writes, no accesses
+// are charged and no faults injected — and it is the episode boundary
+// for the health state machine above: after a scrub the slice is
+// exactly its logical contents again. No-op (zero report) with ECC
+// off.
+func (s *Slice) Scrub() ScrubReport {
+	var rep ScrubReport
+	if s.ecc == nil {
+		return rep
+	}
+	e := s.ecc
+	e.st.ScrubRuns++
+	rows := s.cfg.Rows()
+	for i := 0; i < rows; i++ {
+		row := s.array.PeekRow(uint32(i))
+		sh := e.shadowRow(uint32(i))
+		diff := 0
+		for w := range row {
+			diff += bits.OnesCount64(row[w] ^ sh[w])
+		}
+		if diff > 0 {
+			copy(row, sh)
+			rep.RepairedRows++
+			rep.RepairedBits += diff
+		}
+		if e.quar[i] {
+			e.quar[i] = false
+			e.nQuar--
+			rep.Released++
+			e.st.ScrubRepairedBits += uint64(e.quarBits[i])
+			e.quarBits[i] = 0
+		}
+		e.check[i] = checkWord(row)
+	}
+	e.st.ScrubRepairedRows += uint64(rep.RepairedRows)
+	e.st.ScrubReleased += uint64(rep.Released)
+	return rep
+}
+
+// resetECC clears the sidecar alongside Slice.Clear: empty array,
+// empty shadow, zero check words, no quarantine. Counters are kept
+// (they describe history, like the slice's activity stats).
+func (s *Slice) resetECC() {
+	if s.ecc == nil {
+		return
+	}
+	e := s.ecc
+	for i := range e.shadow {
+		e.shadow[i] = 0
+	}
+	for i := range e.check {
+		e.check[i] = 0
+		e.quar[i] = false
+		e.quarBits[i] = 0
+	}
+	e.nQuar = 0
+}

@@ -1,0 +1,323 @@
+package caram
+
+import (
+	"math/bits"
+	"testing"
+
+	"caram/internal/bitutil"
+	"caram/internal/match"
+)
+
+func eccConfig() Config {
+	c := smallConfig()
+	c.ECC = true
+	return c
+}
+
+// corrupt flips bit pos of the stored row directly, bypassing the write
+// paths that would sync the shadow — a soft error in storage.
+func corrupt(s *Slice, idx uint32, pos int) {
+	row := s.array.PeekRow(idx)
+	row[pos>>6] ^= 1 << uint(pos&63)
+}
+
+// TestCheckWordProperties: single flips always change the parity bit
+// and yield the flipped position's code as the syndrome delta; double
+// flips preserve parity with a nonzero syndrome delta.
+func TestCheckWordProperties(t *testing.T) {
+	row := []uint64{0xdeadbeefcafef00d, 0x0123456789abcdef, 0xffff}
+	base := checkWord(row)
+	for pos := 0; pos < len(row)*64; pos++ {
+		row[pos>>6] ^= 1 << uint(pos&63)
+		delta := checkWord(row) ^ base
+		if delta>>32&1 != 1 {
+			t.Fatalf("pos %d: single flip kept parity", pos)
+		}
+		if got := uint32(delta); got != uint32(pos+1) {
+			t.Fatalf("pos %d: syndrome delta %d, want %d", pos, got, pos+1)
+		}
+		row[pos>>6] ^= 1 << uint(pos&63)
+	}
+	for _, pair := range [][2]int{{0, 1}, {5, 70}, {63, 64}, {0, 191}} {
+		row[pair[0]>>6] ^= 1 << uint(pair[0]&63)
+		row[pair[1]>>6] ^= 1 << uint(pair[1]&63)
+		delta := checkWord(row) ^ base
+		if delta>>32&1 != 0 {
+			t.Fatalf("pair %v: double flip changed parity", pair)
+		}
+		if uint32(delta) == 0 {
+			t.Fatalf("pair %v: double flip invisible to syndrome", pair)
+		}
+		row[pair[0]>>6] ^= 1 << uint(pair[0]&63)
+		row[pair[1]>>6] ^= 1 << uint(pair[1]&63)
+	}
+}
+
+// TestEccCorrectsSingleBit: one flipped bit is corrected in place on
+// the next lookup — the hit still lands and the counter advances.
+func TestEccCorrectsSingleBit(t *testing.T) {
+	s := MustNew(eccConfig())
+	for i := 0; i < 20; i++ {
+		if err := s.Insert(rec(uint64(i), uint64(100+i))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	key := bitutil.Exact(bitutil.FromUint64(7))
+	home := s.Index(key.Value)
+	corrupt(s, home, 3)
+	res := s.Lookup(key)
+	if !res.Found || res.Erred {
+		t.Fatalf("lookup after single flip: %+v", res)
+	}
+	st := s.EccStats()
+	if st.CorrectedBits != 1 || st.Uncorrectable != 0 {
+		t.Fatalf("ecc stats after single flip: %+v", st)
+	}
+	// Scrub-on-read wrote the correction back: next fetch is clean.
+	s.Lookup(key)
+	if st := s.EccStats(); st.CorrectedBits != 1 {
+		t.Fatalf("correction not persisted: %+v", st)
+	}
+	if s.QuarantinedRows() != 0 {
+		t.Fatal("single-bit error quarantined a row")
+	}
+}
+
+// TestEccQuarantinesDoubleBit: a double flip is uncorrectable — the row
+// leaves service, lookups report the distinct miss-with-error, and
+// maintenance still sees the logical contents via the shadow.
+func TestEccQuarantinesDoubleBit(t *testing.T) {
+	s := MustNew(eccConfig())
+	for i := 0; i < 20; i++ {
+		if err := s.Insert(rec(uint64(i), uint64(100+i))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	key := bitutil.Exact(bitutil.FromUint64(7))
+	home := s.Index(key.Value)
+	corrupt(s, home, 3)
+	corrupt(s, home, 90)
+	res := s.Lookup(key)
+	if res.Found || !res.Erred {
+		t.Fatalf("lookup after double flip: %+v", res)
+	}
+	st := s.EccStats()
+	if st.Uncorrectable != 1 {
+		t.Fatalf("ecc stats after double flip: %+v", st)
+	}
+	if s.QuarantinedRows() != 1 || !s.Quarantined(home) {
+		t.Fatal("row not quarantined")
+	}
+	// Subsequent lookups skip the row without re-detecting.
+	s.Lookup(key)
+	st = s.EccStats()
+	if st.Uncorrectable != 1 || st.QuarantineSkips == 0 {
+		t.Fatalf("quarantine not sticky: %+v", st)
+	}
+	// The logical view survives: Contains and Records see the record.
+	if !s.Contains(key) {
+		t.Fatal("Contains lost the record during quarantine")
+	}
+	seen := false
+	s.Records(func(b uint32, slot int, r match.Record) bool {
+		if r.Key.Equal(key) {
+			seen = true
+		}
+		return true
+	})
+	if !seen {
+		t.Fatal("Records lost the record during quarantine")
+	}
+	if s.stats.Erred != 2 {
+		t.Fatalf("Erred lookups = %d, want 2", s.stats.Erred)
+	}
+}
+
+// TestScrubRestoresQuarantinedRow: scrub copies the shadow back,
+// releases the quarantine, and the record is findable again. A delete
+// issued during quarantine lands in the shadow, so the scrubbed row
+// comes back without the deleted record.
+func TestScrubRestoresQuarantinedRow(t *testing.T) {
+	s := MustNew(eccConfig())
+	for i := 0; i < 20; i++ {
+		if err := s.Insert(rec(uint64(i), uint64(100+i))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	key := bitutil.Exact(bitutil.FromUint64(7))
+	home := s.Index(key.Value)
+	corrupt(s, home, 3)
+	corrupt(s, home, 90)
+	if res := s.Lookup(key); res.Found {
+		t.Fatal("corrupt row still hit")
+	}
+	// Delete a *different* record that lives in the same quarantined
+	// bucket chain, if any shares the bucket; deleting key 7 itself is
+	// the stronger test — it must succeed against the shadow.
+	if err := s.Delete(key); err != nil {
+		t.Fatalf("delete during quarantine: %v", err)
+	}
+	rep := s.Scrub()
+	if rep.Released != 1 || rep.RepairedRows != 1 {
+		t.Fatalf("scrub report: %+v", rep)
+	}
+	if s.QuarantinedRows() != 0 {
+		t.Fatal("quarantine not released")
+	}
+	st := s.EccStats()
+	if st.ScrubRepairedBits != 2 {
+		t.Fatalf("ScrubRepairedBits = %d, want 2 (recorded at quarantine)", st.ScrubRepairedBits)
+	}
+	// The deleted record stays deleted; every other record is back.
+	if res := s.Lookup(key); res.Found || res.Erred {
+		t.Fatalf("deleted record resurrected by scrub: %+v", res)
+	}
+	for i := 0; i < 20; i++ {
+		if i == 7 {
+			continue
+		}
+		k := bitutil.Exact(bitutil.FromUint64(uint64(i)))
+		if res := s.Lookup(k); !res.Found || res.Erred {
+			t.Fatalf("record %d lost after scrub: %+v", i, res)
+		}
+	}
+	if v := s.Verify(); v != "" {
+		t.Fatalf("post-scrub verify: %s", v)
+	}
+}
+
+// TestScrubRepairedBitsExcludesShadowWrites: legitimate writes landing
+// in a quarantined row's shadow widen the raw restore diff, but the
+// corrupt-bit ledger still reports exactly the bits the fault flipped.
+func TestScrubRepairedBitsExcludesShadowWrites(t *testing.T) {
+	s := MustNew(eccConfig())
+	for i := 0; i < 8; i++ {
+		if err := s.Insert(rec(uint64(i), uint64(100+i))); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	key := bitutil.Exact(bitutil.FromUint64(3))
+	home := s.Index(key.Value)
+	corrupt(s, home, 10)
+	corrupt(s, home, 120)
+	s.Lookup(key) // detect + quarantine
+	if !s.Quarantined(home) {
+		t.Fatal("row not quarantined")
+	}
+	// A shadow-side update changes many data bits (16-bit data field).
+	if err := s.Update(key, bitutil.FromUint64(0xffff)); err != nil {
+		t.Fatalf("update during quarantine: %v", err)
+	}
+	rep := s.Scrub()
+	if rep.RepairedBits <= 2 {
+		t.Fatalf("raw restore diff %d should exceed the 2 corrupt bits", rep.RepairedBits)
+	}
+	if st := s.EccStats(); st.ScrubRepairedBits != 2 {
+		t.Fatalf("ScrubRepairedBits = %d, want 2", st.ScrubRepairedBits)
+	}
+	res := s.Lookup(key)
+	if !res.Found || res.Record.Data.Lo != 0xffff {
+		t.Fatalf("shadow-side update lost: %+v", res)
+	}
+}
+
+// TestInsertSkipsQuarantinedRow: placement never lands a record in an
+// out-of-service row; it spills past it and stays reachable.
+func TestInsertSkipsQuarantinedRow(t *testing.T) {
+	s := MustNew(eccConfig())
+	// Quarantine bucket 5 (LowBits(4) of 0x505 is 5) by corrupting it
+	// while a record is there.
+	if err := s.Insert(rec(0x505, 1)); err != nil {
+		t.Fatal(err)
+	}
+	corrupt(s, 5, 3)
+	corrupt(s, 5, 80)
+	s.Lookup(bitutil.Exact(bitutil.FromUint64(0x505)))
+	if !s.Quarantined(5) {
+		t.Fatal("bucket 5 not quarantined")
+	}
+	// New records homing at 5 (low nibble 5) must spill to bucket 6+.
+	spillKeys := []uint64{0x15, 0x25, 0x35}
+	for _, k := range spillKeys {
+		if err := s.Insert(rec(k, 2)); err != nil {
+			t.Fatalf("insert during quarantine: %v", err)
+		}
+	}
+	s.Records(func(b uint32, slot int, r match.Record) bool {
+		if b == 5 && r.Key.Value.Lo != 0x505 {
+			t.Fatalf("record %x placed into quarantined bucket", r.Key.Value.Lo)
+		}
+		return true
+	})
+	for _, k := range spillKeys {
+		if res := s.Lookup(bitutil.Exact(bitutil.FromUint64(k))); !res.Found {
+			t.Fatalf("spilled record %x unreachable: %+v", k, res)
+		}
+	}
+}
+
+// TestEnableECCAfterLoad: LoadImage on an ECC slice rebuilds checks and
+// shadow from the new contents; EnableECC on a populated plain slice
+// protects from that state onward.
+func TestEnableECCAfterLoad(t *testing.T) {
+	src := MustNew(smallConfig())
+	for i := 0; i < 12; i++ {
+		if err := src.Insert(rec(uint64(i), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dst := MustNew(eccConfig())
+	if err := dst.LoadImage(src.Image()); err != nil {
+		t.Fatal(err)
+	}
+	// Every row must verify cleanly against its rebuilt check word.
+	for i := 0; i < 12; i++ {
+		k := bitutil.Exact(bitutil.FromUint64(uint64(i)))
+		if res := dst.Lookup(k); !res.Found || res.Erred {
+			t.Fatalf("record %d after LoadImage: %+v", i, res)
+		}
+	}
+	if st := dst.EccStats(); st.CorrectedBits != 0 || st.Uncorrectable != 0 {
+		t.Fatalf("rebuilt checks flagged clean rows: %+v", st)
+	}
+	// Late enablement on a populated slice.
+	late := MustNew(smallConfig())
+	for i := 0; i < 12; i++ {
+		if err := late.Insert(rec(uint64(i), uint64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	late.EnableECC()
+	k := bitutil.Exact(bitutil.FromUint64(uint64(4)))
+	corrupt(late, late.Index(k.Value), 2)
+	if res := late.Lookup(k); !res.Found {
+		t.Fatalf("late-enabled ECC failed to correct: %+v", res)
+	}
+	if st := late.EccStats(); st.CorrectedBits != 1 {
+		t.Fatalf("late-enabled ECC stats: %+v", st)
+	}
+}
+
+// TestEccOffIsInert: without ECC the new paths are pass-throughs —
+// no stats, no quarantine, Scrub reports zero.
+func TestEccOffIsInert(t *testing.T) {
+	s := MustNew(smallConfig())
+	if err := s.Insert(rec(1, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if s.EccEnabled() {
+		t.Fatal("ECC on by default")
+	}
+	if rep := s.Scrub(); rep != (ScrubReport{}) {
+		t.Fatalf("Scrub on plain slice: %+v", rep)
+	}
+	if st := s.EccStats(); st != (EccStats{}) {
+		t.Fatalf("EccStats on plain slice: %+v", st)
+	}
+	if s.QuarantinedRows() != 0 {
+		t.Fatal("phantom quarantine")
+	}
+}
+
+// sanity guard for the bit helpers this file leans on
+var _ = bits.OnesCount64

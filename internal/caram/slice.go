@@ -27,6 +27,7 @@ type Slice struct {
 	spilled  int     // records placed outside their home bucket
 	foreign  bool    // InsertAt was used with a home != Index(key)
 	stats    Stats
+	ecc      *eccState // nil = unprotected memory (see ecc.go)
 }
 
 // New builds a slice from a validated configuration.
@@ -44,14 +45,18 @@ func New(cfg Config) (*Slice, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Slice{
+	s := &Slice{
 		cfg:      cfg,
 		layout:   layout,
 		array:    array,
 		proc:     match.NewProcessor(layout, cfg.MatchProcessors),
 		homeLoad: make([]int32, cfg.Rows()),
 		overflow: make([]bool, cfg.Rows()),
-	}, nil
+	}
+	if cfg.ECC {
+		s.EnableECC()
+	}
+	return s, nil
 }
 
 // MustNew is New that panics on error, for static configurations.
@@ -133,7 +138,10 @@ func (s *Slice) Place(home uint32, rec match.Record) (displacement int, err erro
 	s.homeLoad[home]++
 	for d := 0; d <= limit && d < rows; d++ {
 		idx := uint32((int(home) + d) % rows)
-		row := s.array.ReadRow(idx)
+		row, ok := s.fetchChecked(idx, nil)
+		if !ok {
+			continue // quarantined or unreadable: never place records there
+		}
 		s.stats.InsertProbes++
 		slot := s.freeSlot(row)
 		if slot < 0 {
@@ -143,6 +151,7 @@ func (s *Slice) Place(home uint32, rec match.Record) (displacement int, err erro
 		if err := s.layout.WriteSlot(wrow, slot, rec); err != nil {
 			return 0, err
 		}
+		s.syncRow(idx)
 		s.count++
 		s.stats.Inserts++
 		if d > 0 {
@@ -169,18 +178,33 @@ func (s *Slice) freeSlot(row []uint64) int {
 // raiseReach lifts the home bucket's auxiliary reach counter to at
 // least d, saturating at the field's capacity.
 func (s *Slice) raiseReach(home uint32, d uint64) {
-	row := s.array.PeekRow(home) // metadata maintenance, not a charged access
 	max := uint64(1)<<uint(s.layout.AuxBits) - 1
 	if d > max {
 		d = max
 	}
+	if s.ecc != nil && s.ecc.quar[home] {
+		// The home row is out of service: the reach update lands in
+		// the authoritative shadow and reaches the array at scrub.
+		sh := s.ecc.shadowRow(home)
+		if s.layout.ReadAux(sh) < d {
+			s.layout.WriteAux(sh, d)
+		}
+		return
+	}
+	row := s.array.PeekRow(home) // metadata maintenance, not a charged access
 	if s.layout.ReadAux(row) < d {
 		s.layout.WriteAux(row, d)
+		s.syncRow(home)
 	}
 }
 
-// Reach returns the overflow reach recorded for a bucket.
+// Reach returns the overflow reach recorded for a bucket (from the
+// shadow when the bucket is quarantined — the stored aux bits are not
+// trustworthy then).
 func (s *Slice) Reach(bucket uint32) int {
+	if s.ecc != nil && s.ecc.quar[bucket] {
+		return int(s.layout.ReadAux(s.ecc.shadowRow(bucket)))
+	}
 	return int(s.layout.ReadAux(s.array.PeekRow(bucket)))
 }
 
@@ -190,6 +214,7 @@ type LookupResult struct {
 	Record     match.Record
 	RowsRead   int  // buckets examined — the per-lookup AMAL contribution
 	Multi      bool // more than one slot matched in the winning bucket
+	Erred      bool // a probed row was unavailable (quarantined/unreadable)
 	HomeBucket uint32
 }
 
@@ -217,7 +242,19 @@ func (s *Slice) LookupTraced(search bitutil.Ternary, tr *trace.Trace) LookupResu
 	slots, matches, passes := 0, 0, 0
 	for d := 0; d <= reach && d < rows; d++ {
 		idx := uint32((int(home) + d) % rows)
-		row := s.array.ReadRow(idx)
+		row, ok := s.fetchChecked(idx, tr)
+		if !ok {
+			// Row unavailable (quarantined or unreadable): its slots
+			// cannot be tested, so the result is at best a partial miss.
+			// For the home row, recover the reach from the maintenance
+			// view (the shadow when quarantined) so spilled records stay
+			// findable while the home is out of service.
+			res.Erred = true
+			if d == 0 {
+				reach = s.Reach(home)
+			}
+			continue
+		}
 		res.RowsRead++
 		if d == 0 {
 			reach = int(s.layout.ReadAux(row))
@@ -268,7 +305,19 @@ func (s *Slice) LookupBestTraced(search bitutil.Ternary, score func(match.Record
 	slots, matches, passes := 0, 0, 0
 	for d := 0; d <= reach && d < rows; d++ {
 		idx := uint32((int(home) + d) % rows)
-		row := s.array.ReadRow(idx)
+		row, ok := s.fetchChecked(idx, tr)
+		if !ok {
+			// Row unavailable (quarantined or unreadable): its slots
+			// cannot be tested, so the result is at best a partial miss.
+			// For the home row, recover the reach from the maintenance
+			// view (the shadow when quarantined) so spilled records stay
+			// findable while the home is out of service.
+			res.Erred = true
+			if d == 0 {
+				reach = s.Reach(home)
+			}
+			continue
+		}
 		res.RowsRead++
 		if d == 0 {
 			reach = int(s.layout.ReadAux(row))
@@ -311,16 +360,22 @@ func (s *Slice) recordLookup(res LookupResult) {
 	} else {
 		s.stats.Misses++
 	}
+	if res.Erred {
+		s.stats.Erred++
+	}
 }
 
 // locate finds the bucket and slot holding a key (exact ternary
 // equality, not match semantics), scanning the home bucket's reach.
+// Quarantined rows are scanned through their shadow — the logical
+// contents — so maintenance operations keep seeing the true database
+// while the stored row is out of service.
 func (s *Slice) locate(home uint32, key bitutil.Ternary) (bucket uint32, slot, rowsRead int, found bool) {
 	rows := s.cfg.Rows()
 	reach := s.Reach(home)
 	for d := 0; d <= reach && d < rows; d++ {
 		idx := uint32((int(home) + d) % rows)
-		row := s.array.PeekRow(idx)
+		row := s.logicalRow(idx, s.array.PeekRow(idx))
 		rowsRead++
 		for i := 0; i < s.layout.Slots(); i++ {
 			rec, ok := s.layout.ReadSlot(row, i)
@@ -349,8 +404,15 @@ func (s *Slice) DeleteAt(home uint32, key bitutil.Ternary) error {
 	if !found {
 		return ErrNotFound
 	}
-	row := s.array.RowForUpdate(bucket)
-	s.layout.ClearSlot(row, slot)
+	if s.ecc != nil && s.ecc.quar[bucket] {
+		// The row is out of service: delete from the authoritative
+		// shadow, so the scrub restores the row without this record.
+		s.layout.ClearSlot(s.ecc.shadowRow(bucket), slot)
+	} else {
+		row := s.array.RowForUpdate(bucket)
+		s.layout.ClearSlot(row, slot)
+		s.syncRow(bucket)
+	}
 	s.count--
 	s.stats.Deletes++
 	if s.homeLoad[home] > 0 {
@@ -367,10 +429,20 @@ func (s *Slice) Update(key bitutil.Ternary, data bitutil.Vec128) error {
 	if !found {
 		return ErrNotFound
 	}
+	if s.ecc != nil && s.ecc.quar[bucket] {
+		sh := s.ecc.shadowRow(bucket)
+		rec, _ := s.layout.ReadSlot(sh, slot)
+		rec.Data = data
+		return s.layout.WriteSlot(sh, slot, rec)
+	}
 	row := s.array.RowForUpdate(bucket)
 	rec, _ := s.layout.ReadSlot(row, slot)
 	rec.Data = data
-	return s.layout.WriteSlot(row, slot, rec)
+	if err := s.layout.WriteSlot(row, slot, rec); err != nil {
+		return err
+	}
+	s.syncRow(bucket)
+	return nil
 }
 
 // Contains reports whether the exact key is stored, without touching
@@ -385,7 +457,7 @@ func (s *Slice) Contains(key bitutil.Ternary) bool {
 // no accesses (a diagnostic, not a hardware operation).
 func (s *Slice) Records(fn func(bucket uint32, slot int, rec match.Record) bool) {
 	for b := 0; b < s.cfg.Rows(); b++ {
-		row := s.array.PeekRow(uint32(b))
+		row := s.logicalRow(uint32(b), s.array.PeekRow(uint32(b)))
 		for i := 0; i < s.layout.Slots(); i++ {
 			if rec, ok := s.layout.ReadSlot(row, i); ok {
 				if !fn(uint32(b), i, rec) {
@@ -400,6 +472,7 @@ func (s *Slice) Records(fn func(bucket uint32, slot int, rec match.Record) bool)
 // are kept; use ResetStats separately).
 func (s *Slice) Clear() {
 	s.array.Clear()
+	s.resetECC()
 	s.count = 0
 	s.spilled = 0
 	for i := range s.homeLoad {

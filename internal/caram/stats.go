@@ -17,6 +17,7 @@ type Stats struct {
 	Inserts      uint64
 	InsertProbes uint64
 	Deletes      uint64
+	Erred        uint64 // lookups that skipped an unavailable row (ECC)
 }
 
 // AMAL returns the average number of memory accesses per lookup, or 0

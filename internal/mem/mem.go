@@ -74,6 +74,18 @@ type Stats struct {
 // Accesses returns the total number of row-granularity accesses.
 func (s Stats) Accesses() uint64 { return s.RowReads + s.RowWrites }
 
+// RowFaultInjector intercepts charged row fetches — the narrow
+// interface a soft-error model (internal/fault) implements. OnRowFetch
+// may mutate row in place (bit flips land in the stored bits, exactly
+// as a particle strike corrupts a cell), and reports whether the fetch
+// delivered data (false models a transient row-read failure: the
+// stored bits are intact but this access returned nothing usable) plus
+// extra latency cycles (a latency spike) charged to the array's cycle
+// counter.
+type RowFaultInjector interface {
+	OnRowFetch(idx uint32, row []uint64) (ok bool, extraCycles int)
+}
+
 // Array is a behavioral memory array. It is not safe for concurrent
 // mutation; a CA-RAM slice owns exactly one array, matching the
 // hardware.
@@ -83,6 +95,7 @@ type Array struct {
 	data     []uint64 // all rows, contiguous
 	stats    Stats
 	stuck    map[int][]stuckBit // installed stuck-at faults
+	inj      RowFaultInjector   // nil = perfect memory (the fast path)
 }
 
 // New validates the configuration and allocates the array, zero-filled.
@@ -136,6 +149,32 @@ func (a *Array) ReadRow(idx uint32) []uint64 {
 	a.stats.RowReads++
 	a.stats.Cycles += uint64(a.cfg.Timing.MinInterval)
 	return a.row(idx)
+}
+
+// InstallFaults attaches a fault injector to the array's fetch path
+// (FetchRow). nil detaches it. With no injector installed FetchRow is
+// ReadRow plus one predictable nil-check branch, so the lookup hot
+// path keeps its zero-allocation guarantee.
+func (a *Array) InstallFaults(inj RowFaultInjector) { a.inj = inj }
+
+// FetchRow is ReadRow through the fault-injection hook: it charges a
+// read access, then gives an installed injector the chance to corrupt
+// the row, fail the fetch, or stretch its latency. ok=false is a
+// transient row-read error — the storage is intact, but this access
+// delivered nothing usable and the caller must retry or skip. The
+// returned slice aliases the array's storage (a corrupted fetch has
+// corrupted the stored bits; error-coding layers correct in place,
+// scrub-on-read style).
+func (a *Array) FetchRow(idx uint32) ([]uint64, bool) {
+	a.stats.RowReads++
+	a.stats.Cycles += uint64(a.cfg.Timing.MinInterval)
+	row := a.row(idx)
+	if a.inj == nil {
+		return row, true
+	}
+	ok, extra := a.inj.OnRowFetch(idx, row)
+	a.stats.Cycles += uint64(extra)
+	return row, ok
 }
 
 // PeekRow returns a row without charging an access — for assertions,

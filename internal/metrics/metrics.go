@@ -89,7 +89,11 @@ func equalFold(s, t string) bool {
 // AMAL is RowsAccessed/Lookups over the engine's lifetime traffic —
 // the measured counterpart of the §3.4 analytic access cost; Overflow
 // counts records diverted to the parallel overflow CAM (§4.3), Spilled
-// counts main-array records stored outside their home bucket.
+// counts main-array records stored outside their home bucket. The
+// fault-tolerance block mirrors the engine's availability state and
+// error-coding counters: Health is the subsystem.Health value
+// (0 healthy, 1 degraded, 2 failed), Quarantined the rows currently
+// out of service.
 type Gauges struct {
 	Records      int
 	LoadFactor   float64
@@ -100,6 +104,13 @@ type Gauges struct {
 	Misses       uint64
 	Overflow     int
 	Spilled      int
+
+	Health            int
+	Quarantined       int
+	EccCorrected      uint64
+	EccUncorrectable  uint64
+	EccReadErrors     uint64
+	ScrubRepairedBits uint64
 }
 
 // Registry holds the metrics of a fixed set of engines. The engine set

@@ -21,6 +21,15 @@ const (
 	FamOverflow     = "caram_engine_overflow_records"
 	FamSpilled      = "caram_engine_spilled_records"
 	FamUnknown      = "caram_unknown_engine_total"
+
+	// Fault-tolerance families (the health state machine and the
+	// per-row error coding behind it).
+	FamHealth        = "caram_engine_health"
+	FamQuarantined   = "caram_engine_quarantined_rows"
+	FamEccCorrected  = "caram_engine_ecc_corrected_bits_total"
+	FamEccUncorrect  = "caram_engine_ecc_uncorrectable_total"
+	FamRowReadErrors = "caram_engine_row_read_errors_total"
+	FamScrubRepaired = "caram_engine_scrub_repaired_bits_total"
 )
 
 // WritePrometheus renders a snapshot in the Prometheus text exposition
@@ -79,6 +88,18 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.Overflow) }, "gauge")
 	gauge(FamSpilled, "Main-array records stored outside their home bucket.",
 		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.Spilled) }, "gauge")
+	gauge(FamHealth, "Engine availability state: 0 healthy, 1 degraded, 2 failed (circuit broken).",
+		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.Health) }, "gauge")
+	gauge(FamQuarantined, "Main-array rows quarantined as uncorrectable, pending scrub.",
+		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.Quarantined) }, "gauge")
+	gauge(FamEccCorrected, "Single-bit errors corrected in place by per-row error coding.",
+		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.EccCorrected) }, "counter")
+	gauge(FamEccUncorrect, "Uncorrectable row errors detected (each quarantines its row).",
+		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.EccUncorrectable) }, "counter")
+	gauge(FamRowReadErrors, "Transient row-read failures observed by checked fetches.",
+		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.EccReadErrors) }, "counter")
+	gauge(FamScrubRepaired, "Corrupt bits restored from the insert-side shadow by scrub passes.",
+		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.ScrubRepairedBits) }, "counter")
 
 	bw.printf("# HELP %s Requests addressed to no registered engine.\n# TYPE %s counter\n", FamUnknown, FamUnknown)
 	bw.printf("%s %d\n", FamUnknown, s.Unknown)

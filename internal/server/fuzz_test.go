@@ -9,7 +9,7 @@ import (
 )
 
 // responsePrefixes classifies every legal single-line response.
-var responsePrefixes = []string{"OK", "HIT ", "MISS", "ERR ", "ENGINES", "STATS ", "MRESULTS", "METRICS", "SLOWLOG ", "EXPLAIN "}
+var responsePrefixes = []string{"OK", "HIT ", "MISS", "ERR ", "ENGINES", "STATS ", "MRESULTS", "METRICS", "SLOWLOG ", "EXPLAIN ", "HEALTH"}
 
 // FuzzExec throws arbitrary request lines at the protocol engine: no
 // input may panic it, and every response must be one well-formed line
@@ -49,6 +49,8 @@ func FuzzExec(f *testing.F) {
 		"SLOWLOG GET 0",
 		"SLOWLOG GET -1",
 		"SLOWLOG GET 1 extra",
+		"SLOWLOG GET 99999999", // beyond the GET bound
+		"SLOWLOG GET 99999999999999999999",
 		"SLOWLOG RESET",
 		"SLOWLOG BOGUS",
 		"slowlog get",
@@ -60,6 +62,14 @@ func FuzzExec(f *testing.F) {
 		"EXPLAIN SEARCH nope 1",
 		"EXPLAIN INSERT db 1",
 		"explain search db dead",
+		"HEALTH",
+		"HEALTH db",
+		"HEALTH nope",
+		"HEALTH db SCRUB",
+		"HEALTH db scrub",
+		"HEALTH db BOGUS",
+		"HEALTH db SCRUB extra",
+		"health db",
 		"BOGUS x y",
 		"insert db 1 2", // lowercase command
 		"INSERT db 1 2 3 4",

@@ -1,0 +1,78 @@
+package server
+
+import "strings"
+
+// Wire access to the fault-tolerance layer: the HEALTH command.
+//
+// Like EXPLAIN, HEALTH is built for determinism: it prints only state
+// and counters — never timings — so a scripted session produces the
+// same bytes every run and the golden test can hold the format. On an
+// engine without error coding every counter reads zero and the state
+// is healthy, which keeps the command meaningful (and golden-testable)
+// on ECC-less servers.
+
+// execHealthAppend answers the HEALTH command.
+//
+//	HEALTH                  one "name=state" pair per engine
+//	HEALTH <engine>         state plus the error-coding counters
+//	HEALTH <engine> SCRUB   run the scrub pass, report repairs
+func (s *Server) execHealthAppend(dst []byte, fs *fieldScanner) []byte {
+	const usage = "ERR usage: HEALTH [engine [SCRUB]]"
+	eng, hasEng := fs.next()
+	if !hasEng {
+		dst = append(dst, "HEALTH"...)
+		for _, name := range s.con.Engines() {
+			h, _ := s.con.Health(name)
+			dst = append(dst, ' ')
+			dst = append(dst, name...)
+			dst = append(dst, '=')
+			dst = append(dst, h.String()...)
+		}
+		return dst
+	}
+	sub, hasSub := fs.next()
+	if _, extra := fs.next(); extra {
+		return append(dst, usage...)
+	}
+	if hasSub {
+		if !strings.EqualFold(sub, "SCRUB") {
+			return append(dst, usage...)
+		}
+		rep, err := s.con.Scrub(eng)
+		if err != nil {
+			return appendErr(dst, err)
+		}
+		dst = append(dst, "OK scrub engine="...)
+		dst = append(dst, eng...)
+		dst = append(dst, " rows="...)
+		dst = appendInt(dst, int64(rep.RepairedRows))
+		dst = append(dst, " bits="...)
+		dst = appendInt(dst, int64(rep.RepairedBits))
+		dst = append(dst, " released="...)
+		return appendInt(dst, int64(rep.Released))
+	}
+	hi, err := s.con.HealthInfo(eng)
+	if err != nil {
+		return appendErr(dst, err)
+	}
+	dst = append(dst, "HEALTH engine="...)
+	dst = append(dst, eng...)
+	dst = append(dst, " state="...)
+	dst = append(dst, hi.State.String()...)
+	dst = append(dst, " quarantined="...)
+	dst = appendInt(dst, int64(hi.Quarantined))
+	dst = append(dst, " corrected="...)
+	dst = appendUint(dst, hi.Ecc.CorrectedBits)
+	dst = append(dst, " uncorrectable="...)
+	dst = appendUint(dst, hi.Ecc.Uncorrectable)
+	dst = append(dst, " read_errors="...)
+	dst = appendUint(dst, hi.Ecc.ReadErrors)
+	dst = append(dst, " scrubs="...)
+	dst = appendUint(dst, hi.Ecc.ScrubRuns)
+	dst = append(dst, " scrub_bits="...)
+	dst = appendUint(dst, hi.Ecc.ScrubRepairedBits)
+	dst = append(dst, " overflow="...)
+	dst = appendInt(dst, int64(hi.OverflowLen))
+	dst = append(dst, '/')
+	return appendInt(dst, int64(hi.OverflowCap))
+}

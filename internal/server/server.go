@@ -14,11 +14,22 @@
 //	METRICS [engine [LATENCY <op>]]
 //	SLOWLOG GET [n] | LEN | RESET
 //	EXPLAIN SEARCH <engine> <key> [mask]
+//	HEALTH  [engine [SCRUB]]
 //
 // Responses: "OK", "HIT <data>", "MISS", "STATS n=.. alpha=.. amal=..",
 // "ENGINES a b c", "MRESULTS r1 r2 ...", "METRICS ...", "SLOWLOG ...",
-// "EXPLAIN ..." or "ERR <reason>". Each MRESULTS slot is
-// "HIT:<hi>:<lo>", "MISS", or "ERR:no-engine", in request order.
+// "EXPLAIN ...", "HEALTH ..." or "ERR <reason>". A SEARCH that could
+// not rule the key out — its row is quarantined or unreadable under the
+// error-coding layer — answers "MISS!", the explicit miss-with-error.
+// Each MRESULTS slot is "HIT:<hi>:<lo>", "MISS", "MISS!",
+// "ERR:no-engine", or "ERR:unavailable" (circuit breaker open), in
+// request order.
+//
+// HEALTH reads the fault-tolerance layer (internal/subsystem): with no
+// argument it lists every engine's availability state, with an engine
+// it prints the state plus the error-coding counters behind it, and
+// HEALTH <engine> SCRUB runs the scrub pass — restoring quarantined
+// rows from the insert-side shadow — and reports what it repaired.
 //
 // METRICS reads the observability layer (internal/metrics): with no
 // argument it reports registry totals; with an engine it reports that
@@ -42,6 +53,18 @@
 // Request lines are capped at MaxLineBytes; an oversized line draws
 // "ERR line too long" and ends the connection.
 //
+// Overload protection is opt-in per server. WithConnLimit caps the
+// number of concurrently served connections: excess accepts are shed
+// immediately with a one-line "ERR BUSY" and closed, so a connection
+// flood degrades into fast rejections instead of unbounded goroutines.
+// WithTimeouts arms read deadlines — an idle timeout for the start of
+// the next request and a (usually shorter) read timeout once a request
+// has begun arriving, the slow-loris defense — and a deadline expiry
+// draws "ERR timeout" and ends the connection without executing the
+// partial line. Independently of both, every connection handler runs
+// under a panic recovery: a handler bug tears down that one connection
+// (logged at Error) and never the process.
+//
 // Concurrency: the server runs on a per-engine locking model
 // (subsystem.Concurrent). Requests that target distinct engines
 // execute in parallel — N connections hammering N engines proceed
@@ -63,6 +86,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"caram/internal/bitutil"
@@ -90,6 +114,16 @@ type Server struct {
 	trc *trace.Collector  // nil when built without WithTracing
 	log *slog.Logger      // nil when built without WithLogger
 
+	maxConns    int           // 0 = unlimited
+	active      atomic.Int32  // connections currently served (conn-limit bookkeeping)
+	readTimeout time.Duration // per-read deadline once a request has started; 0 = none
+	idleTimeout time.Duration // deadline for the start of the next request; 0 = none
+
+	// panicLine, when non-empty, makes execAppend panic on that exact
+	// request line — the test hook behind the panic-recovery regression
+	// test. Never set in production.
+	panicLine string
+
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
@@ -101,9 +135,12 @@ type Server struct {
 type Option func(*options)
 
 type options struct {
-	metrics bool
-	trc     *trace.Collector
-	log     *slog.Logger
+	metrics  bool
+	trc      *trace.Collector
+	log      *slog.Logger
+	maxConns int
+	readTO   time.Duration
+	idleTO   time.Duration
 }
 
 // WithoutMetrics builds the server without the observability layer:
@@ -128,9 +165,29 @@ func WithTracing(c *trace.Collector) Option {
 
 // WithLogger attaches a structured logger: connection lifecycle at
 // Debug, slow-request records (one line per slowlog admission) at
-// Warn. nil (the default) disables logging.
+// Warn, handler panics at Error. nil (the default) disables logging.
 func WithLogger(l *slog.Logger) Option {
 	return func(o *options) { o.log = l }
+}
+
+// WithConnLimit caps concurrently served connections at n (load
+// shedding): an accept beyond the cap is answered with one "ERR BUSY"
+// line and closed immediately, without dedicating a handler goroutine
+// to it. n <= 0 (the default) means unlimited.
+func WithConnLimit(n int) Option {
+	return func(o *options) { o.maxConns = n }
+}
+
+// WithTimeouts arms per-connection read deadlines. idle bounds how
+// long a connection may sit between requests (waiting for the first
+// byte of the next line); read bounds each subsequent read once a
+// request has started arriving — the slow-loris defense, since a
+// client trickling one byte per read can no longer hold a handler
+// forever. Either may be zero to disable that bound. On expiry the
+// connection draws "ERR timeout" and closes; a partially received
+// line is never executed.
+func WithTimeouts(read, idle time.Duration) Option {
+	return func(o *options) { o.readTO, o.idleTO = read, idle }
 }
 
 // New wraps a subsystem whose engine registration is complete. By
@@ -149,12 +206,15 @@ func New(sub *subsystem.Subsystem, opts ...Option) *Server {
 		con.Instrument(reg)
 	}
 	return &Server{
-		con:       con,
-		met:       reg,
-		trc:       o.trc,
-		log:       o.log,
-		listeners: make(map[net.Listener]struct{}),
-		conns:     make(map[net.Conn]struct{}),
+		con:         con,
+		met:         reg,
+		trc:         o.trc,
+		log:         o.log,
+		maxConns:    o.maxConns,
+		readTimeout: o.readTO,
+		idleTimeout: o.idleTO,
+		listeners:   make(map[net.Listener]struct{}),
+		conns:       make(map[net.Conn]struct{}),
 	}
 }
 
@@ -193,10 +253,21 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return err
 		}
+		if !s.admit() {
+			// Over the connection cap: shed the load with one line and
+			// move on — no handler goroutine, no map entry, no buffers.
+			conn.Write([]byte("ERR BUSY\n")) //nolint:errcheck // best-effort courtesy reply
+			conn.Close()
+			if s.log != nil {
+				s.log.Debug("connection shed", "remote", conn.RemoteAddr().String())
+			}
+			continue
+		}
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
 			conn.Close()
+			s.active.Add(-1)
 			return ErrServerClosed
 		}
 		s.conns[conn] = struct{}{}
@@ -211,14 +282,74 @@ func (s *Server) Serve(l net.Listener) error {
 				s.mu.Lock()
 				delete(s.conns, conn)
 				s.mu.Unlock()
+				s.active.Add(-1)
 				s.handlers.Done()
 				if s.log != nil {
 					s.log.Debug("connection closed", "remote", conn.RemoteAddr().String())
 				}
 			}()
-			s.Handle(conn, conn)
+			// A panicking handler must cost exactly its own connection:
+			// recover here (before the cleanup defer above closes it)
+			// so the accept loop and every other connection live on.
+			defer func() {
+				if r := recover(); r != nil && s.log != nil {
+					s.log.Error("connection handler panic",
+						"remote", conn.RemoteAddr().String(),
+						"panic", fmt.Sprint(r))
+				}
+			}()
+			rd := io.Reader(conn)
+			if s.readTimeout > 0 || s.idleTimeout > 0 {
+				rd = &connReader{c: conn, read: s.readTimeout, idle: s.idleTimeout}
+			}
+			s.Handle(rd, conn)
 		}()
 	}
+}
+
+// admit charges one connection against the cap; false means shed it.
+func (s *Server) admit() bool {
+	if s.maxConns <= 0 {
+		s.active.Add(1) // uncapped: keep the gauge honest anyway
+		return true
+	}
+	for {
+		cur := s.active.Load()
+		if int(cur) >= s.maxConns {
+			return false
+		}
+		if s.active.CompareAndSwap(cur, cur+1) {
+			return true
+		}
+	}
+}
+
+// connReader arms a read deadline before every read from the
+// connection: the idle timeout while waiting for a request to start,
+// the read timeout once one has begun arriving. Handle flips atStart
+// at request boundaries; the zero value of either duration clears the
+// deadline for reads it would govern.
+type connReader struct {
+	c       net.Conn
+	read    time.Duration
+	idle    time.Duration
+	atStart bool
+}
+
+func (cr *connReader) Read(p []byte) (int, error) {
+	d := cr.read
+	if cr.atStart {
+		d = cr.idle
+	}
+	var dl time.Time // zero clears any previous deadline
+	if d > 0 {
+		dl = time.Now().Add(d)
+	}
+	if err := cr.c.SetReadDeadline(dl); err != nil {
+		return 0, err
+	}
+	cr.atStart = false
+	return cr.c.Read(p)
 }
 
 // Close shuts the server down: it closes every listener and active
@@ -306,7 +437,14 @@ func (s *Server) Handle(r io.Reader, w io.Writer) {
 		st.out = s.ExecAppend(st.out, string(line))
 		st.out = append(st.out, '\n')
 	}
+	cr, _ := r.(*connReader) // deadline-armed transport, when Serve wired one
 	for {
+		if cr != nil {
+			// The next byte pulled off the wire starts a new request
+			// (anything already buffered costs no read at all), so it is
+			// governed by the idle timeout, not the per-read one.
+			cr.atStart = true
+		}
 		line, err := st.r.ReadSlice('\n')
 		switch {
 		case err == nil:
@@ -330,6 +468,15 @@ func (s *Server) Handle(r io.Reader, w io.Writer) {
 			flush()
 			return
 		default:
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				// Deadline expiry (WithTimeouts): a partially received
+				// line is untrusted input cut off mid-flight — never
+				// execute it, just report and hang up.
+				st.out = append(st.out, "ERR timeout\n"...)
+				flush()
+				return
+			}
 			if len(line) > 0 {
 				exec(line)
 			}
@@ -390,6 +537,9 @@ func (s *Server) ExecAppend(dst []byte, line string) []byte {
 // execAppend is the protocol engine proper; tr is nil when tracing is
 // off for this request.
 func (s *Server) execAppend(dst []byte, line string, tr *trace.Trace) []byte {
+	if s.panicLine != "" && line == s.panicLine {
+		panic("injected handler panic: " + line)
+	}
 	fs := fieldScanner{s: line}
 	cmd, ok := fs.next()
 	if !ok {
@@ -460,7 +610,14 @@ func (s *Server) execAppend(dst []byte, line string, tr *trace.Trace) []byte {
 			encStart = time.Now()
 		}
 		if !sr.Found {
-			dst = append(dst, "MISS"...)
+			if sr.Erred {
+				// The lookup skipped a quarantined or unreadable row:
+				// the key may well be stored there, so this is the
+				// explicit miss-with-error, not a clean miss.
+				dst = append(dst, "MISS!"...)
+			} else {
+				dst = append(dst, "MISS"...)
+			}
 		} else {
 			dst = append(dst, "HIT "...)
 			dst = appendHex(dst, sr.Record.Data.Hi)
@@ -492,8 +649,12 @@ func (s *Server) execAppend(dst []byte, line string, tr *trace.Trace) []byte {
 		for _, r := range s.con.MSearch(reqs) {
 			dst = append(dst, ' ')
 			switch {
+			case errors.Is(r.Err, subsystem.ErrEngineUnavailable):
+				dst = append(dst, "ERR:unavailable"...)
 			case r.Err != nil:
 				dst = append(dst, "ERR:no-engine"...)
+			case !r.Result.Found && r.Result.Erred:
+				dst = append(dst, "MISS!"...)
 			case !r.Result.Found:
 				dst = append(dst, "MISS"...)
 			default:
@@ -525,6 +686,8 @@ func (s *Server) execAppend(dst []byte, line string, tr *trace.Trace) []byte {
 		return s.execSlowlogAppend(dst, &fs)
 	case "EXPLAIN":
 		return s.execExplainAppend(dst, &fs)
+	case "HEALTH":
+		return s.execHealthAppend(dst, &fs)
 	case "STATS":
 		eng, ok1 := fs.next()
 		if _, extra := fs.next(); !ok1 || extra {

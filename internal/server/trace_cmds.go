@@ -33,6 +33,10 @@ func resultToken(reply []byte) string {
 		return "HIT"
 	case "MISS":
 		return "MISS"
+	case "MISS!":
+		return "MISS!"
+	case "HEALTH":
+		return "HEALTH"
 	case "ERR":
 		return "ERR"
 	case "STATS":
@@ -50,6 +54,10 @@ func resultToken(reply []byte) string {
 	}
 	return strings.Clone(string(reply[:i]))
 }
+
+// maxSlowlogGet bounds the n of SLOWLOG GET n: far above any sane ring
+// size, far below anything that could size a hostile allocation.
+const maxSlowlogGet = 1 << 20
 
 // execSlowlogAppend answers the SLOWLOG command against the slowlog
 // ring. GET prints the newest entries (optionally capped at n) on one
@@ -83,6 +91,13 @@ func (s *Server) execSlowlogAppend(dst []byte, fs *fieldScanner) []byte {
 			v, err := strconv.Atoi(arg)
 			if err != nil || v < 0 {
 				return append(dst, usage...)
+			}
+			if v > maxSlowlogGet {
+				// The ring itself clamps a snapshot at its retained
+				// length, but the request is still nonsense: reject it
+				// outright so no future ring (or caller pre-sizing on
+				// n) can be talked into an attacker-sized allocation.
+				return append(dst, "ERR slowlog: n too large"...)
 			}
 			if _, extra := fs.next(); extra {
 				return append(dst, usage...)

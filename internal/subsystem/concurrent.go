@@ -3,6 +3,7 @@ package subsystem
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"caram/internal/bitutil"
@@ -35,6 +36,12 @@ type Concurrent struct {
 	order   []string
 	engines map[string]*guardedEngine
 	met     *metrics.Registry // nil when uninstrumented
+	policy  HealthPolicy
+
+	// down gates every operation after Close: a single atomic load on
+	// the op path, so a closed layer fails fast instead of deadlocking
+	// or panicking on torn-down machinery.
+	down atomic.Bool
 
 	// Batched-search machinery: one persistent worker per engine, fed
 	// through its guardedEngine.batch queue. sendMu guards the
@@ -53,6 +60,26 @@ type guardedEngine struct {
 	st    *EngineStats
 	em    *metrics.EngineMetrics // nil when uninstrumented
 	batch chan *msearchBatch
+
+	// health is the engine's availability state (a Health value). It is
+	// read lock-free by the circuit breaker and written only while the
+	// engine lock is held: raised monotonically as faults are observed,
+	// lowered only by Scrub (the episode boundary).
+	health atomic.Int32
+}
+
+// raiseTo lifts the engine's health state to at least h, never
+// lowering it — the per-episode monotonicity contract.
+func (g *guardedEngine) raiseTo(h Health) {
+	for {
+		cur := Health(g.health.Load())
+		if cur >= h {
+			return
+		}
+		if g.health.CompareAndSwap(int32(cur), int32(h)) {
+			return
+		}
+	}
 }
 
 // msearchBatch is one engine's share of an MSearch call: the slots of
@@ -81,6 +108,7 @@ func NewConcurrent(sub *Subsystem) *Concurrent {
 	c := &Concurrent{
 		order:   sub.Engines(),
 		engines: make(map[string]*guardedEngine, len(sub.engines)),
+		policy:  DefaultHealthPolicy(),
 	}
 	for _, name := range c.order {
 		g := &guardedEngine{
@@ -105,9 +133,13 @@ func (c *Concurrent) msearchWorker(g *guardedEngine) {
 }
 
 // Close stops the per-engine batch workers and waits for them to
-// drain. MSearch remains usable afterwards — batches simply run on the
-// caller's goroutine. Close is idempotent.
+// drain. Afterwards every operation returns ErrClosed (per-slot for
+// MSearch); only the uncharged read-side inspectors Contains and Info
+// stay usable, since they touch no torn-down machinery. Close is
+// idempotent and safe to race with in-flight operations — an op that
+// already passed the gate completes normally on its own goroutine.
 func (c *Concurrent) Close() {
+	c.down.Store(true)
 	c.sendMu.Lock()
 	if !c.closed {
 		c.closed = true
@@ -158,17 +190,115 @@ func (c *Concurrent) sampleGauges(g *guardedEngine) metrics.Gauges {
 	if g.e.Overflow != nil {
 		ovfl = g.e.Overflow.Len()
 	}
+	est := g.e.Main.EccStats()
 	return metrics.Gauges{
-		Records:      g.e.Main.Count(),
-		LoadFactor:   g.e.Main.LoadFactor(),
-		AMAL:         st.AMAL(),
-		Lookups:      st.Lookups,
-		RowsAccessed: st.RowsAccessed,
-		Hits:         st.Hits,
-		Misses:       st.Misses,
-		Overflow:     ovfl,
-		Spilled:      g.e.Main.Placement().SpilledRecords,
+		Records:           g.e.Main.Count(),
+		LoadFactor:        g.e.Main.LoadFactor(),
+		AMAL:              st.AMAL(),
+		Lookups:           st.Lookups,
+		RowsAccessed:      st.RowsAccessed,
+		Hits:              st.Hits,
+		Misses:            st.Misses,
+		Overflow:          ovfl,
+		Spilled:           g.e.Main.Placement().SpilledRecords,
+		Health:            int(g.health.Load()),
+		Quarantined:       g.e.Main.QuarantinedRows(),
+		EccCorrected:      est.CorrectedBits,
+		EccUncorrectable:  est.Uncorrectable,
+		EccReadErrors:     est.ReadErrors,
+		ScrubRepairedBits: est.ScrubRepairedBits,
 	}
+}
+
+// SetHealthPolicy replaces the health thresholds. Like Instrument it
+// is part of construction: call it before the Concurrent is shared
+// across goroutines.
+func (c *Concurrent) SetHealthPolicy(p HealthPolicy) *Concurrent {
+	c.policy = p
+	return c
+}
+
+// evalHealth computes the engine's health from its current state (the
+// caller holds the engine lock). All inputs are O(1) counters, so this
+// is cheap enough to run after every write-side operation.
+func (c *Concurrent) evalHealth(g *guardedEngine) Health {
+	p := c.policy
+	q := g.e.Main.QuarantinedRows()
+	if p.FailQuarantinedFrac > 0 && q > 0 &&
+		float64(q) >= p.FailQuarantinedFrac*float64(g.e.Main.Config().Rows()) {
+		return Failed
+	}
+	h := Healthy
+	if p.DegradeQuarantined > 0 && q >= p.DegradeQuarantined {
+		h = Degraded
+	}
+	if g.e.Overflow != nil && p.DegradeOverflowFrac > 0 {
+		if cap := g.e.Overflow.Capacity(); cap > 0 &&
+			float64(g.e.Overflow.Len()) >= p.DegradeOverflowFrac*float64(cap) {
+			if h < Degraded {
+				h = Degraded
+			}
+		}
+	}
+	return h
+}
+
+// Health returns the engine's current availability state (a lock-free
+// read of what the breaker sees).
+func (c *Concurrent) Health(port string) (Health, error) {
+	g, ok := c.engines[port]
+	if !ok {
+		return Healthy, errNoEngine(port)
+	}
+	return Health(g.health.Load()), nil
+}
+
+// HealthInfo is the HEALTH wire command's payload for one engine.
+type HealthInfo struct {
+	State       Health
+	Quarantined int
+	Ecc         caram.EccStats
+	OverflowLen int
+	OverflowCap int
+}
+
+// HealthInfo snapshots an engine's availability state and the fault
+// counters behind it, under the read lock.
+func (c *Concurrent) HealthInfo(port string) (HealthInfo, error) {
+	g, ok := c.engines[port]
+	if !ok {
+		return HealthInfo{}, errNoEngine(port)
+	}
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	hi := HealthInfo{
+		State:       Health(g.health.Load()),
+		Quarantined: g.e.Main.QuarantinedRows(),
+		Ecc:         g.e.Main.EccStats(),
+	}
+	if g.e.Overflow != nil {
+		hi.OverflowLen, hi.OverflowCap = g.e.Overflow.Len(), g.e.Overflow.Capacity()
+	}
+	return hi, nil
+}
+
+// Scrub runs the engine's scrub pass under the write lock and then
+// re-evaluates health from the repaired state. It is the episode
+// boundary: the one transition allowed to LOWER health, because the
+// array has just been restored from the authoritative shadow.
+func (c *Concurrent) Scrub(port string) (caram.ScrubReport, error) {
+	if c.down.Load() {
+		return caram.ScrubReport{}, ErrClosed
+	}
+	g, ok := c.engines[port]
+	if !ok {
+		return caram.ScrubReport{}, errNoEngine(port)
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	rep := g.e.Main.Scrub()
+	g.health.Store(int32(c.evalHealth(g)))
+	return rep, nil
 }
 
 // errNoEngine formats the canonical unknown-port error.
@@ -179,21 +309,32 @@ func errNoEngine(port string) error {
 // Engines lists engine names in registration order.
 func (c *Concurrent) Engines() []string { return append([]string(nil), c.order...) }
 
-// Insert routes a record to the named engine under its write lock.
+// Insert routes a record to the named engine under its write lock. A
+// Failed engine fails fast with ErrEngineUnavailable before the lock
+// (the circuit breaker), so a broken engine cannot queue work.
 func (c *Concurrent) Insert(port string, rec match.Record) error {
+	if c.down.Load() {
+		return ErrClosed
+	}
 	g, ok := c.engines[port]
 	if !ok {
 		c.met.AddUnknown(1)
 		return errNoEngine(port)
 	}
+	if Health(g.health.Load()) == Failed {
+		return ErrEngineUnavailable
+	}
 	if g.em == nil {
 		g.mu.Lock()
 		defer g.mu.Unlock()
-		return g.e.Insert(rec, g.st)
+		err := g.e.Insert(rec, g.st)
+		g.raiseTo(c.evalHealth(g))
+		return err
 	}
 	start := time.Now()
 	g.mu.Lock()
 	err := g.e.Insert(rec, g.st)
+	g.raiseTo(c.evalHealth(g))
 	g.mu.Unlock()
 	g.em.Observe(metrics.OpInsert, time.Since(start), err)
 	return err
@@ -214,20 +355,33 @@ func (c *Concurrent) Search(port string, key bitutil.Ternary) (SearchResult, err
 // delegates here, and with metrics also absent the clock is never
 // read.
 func (c *Concurrent) SearchTraced(port string, key bitutil.Ternary, tr *trace.Trace) (SearchResult, error) {
+	if c.down.Load() {
+		return SearchResult{}, ErrClosed
+	}
 	g, ok := c.engines[port]
 	if !ok {
 		c.met.AddUnknown(1)
 		return SearchResult{}, errNoEngine(port)
 	}
+	if Health(g.health.Load()) == Failed {
+		return SearchResult{}, ErrEngineUnavailable
+	}
 	if g.em == nil && tr == nil {
 		g.mu.Lock()
 		defer g.mu.Unlock()
-		return g.e.Search(key), nil
+		sr := g.e.Search(key)
+		if sr.Erred {
+			g.raiseTo(c.evalHealth(g))
+		}
+		return sr, nil
 	}
 	start := time.Now()
 	g.mu.Lock()
 	tr.Span(trace.KindLockWait, start)
 	sr := g.e.SearchTraced(key, tr)
+	if sr.Erred {
+		g.raiseTo(c.evalHealth(g))
+	}
 	g.mu.Unlock()
 	if g.em != nil {
 		g.em.Observe(metrics.OpSearch, time.Since(start), nil)
@@ -243,15 +397,24 @@ func (c *Concurrent) SearchTraced(port string, key bitutil.Ternary, tr *trace.Tr
 // charges access statistics and counts as a search in the metrics
 // layer, exactly like the request it explains.
 func (c *Concurrent) Explain(port string, key bitutil.Ternary, tr *trace.Trace) (SearchResult, float64, error) {
+	if c.down.Load() {
+		return SearchResult{}, 0, ErrClosed
+	}
 	g, ok := c.engines[port]
 	if !ok {
 		c.met.AddUnknown(1)
 		return SearchResult{}, 0, errNoEngine(port)
 	}
+	if Health(g.health.Load()) == Failed {
+		return SearchResult{}, 0, ErrEngineUnavailable
+	}
 	start := time.Now()
 	g.mu.Lock()
 	tr.Span(trace.KindLockWait, start)
 	sr := g.e.SearchTraced(key, tr)
+	if sr.Erred {
+		g.raiseTo(c.evalHealth(g))
+	}
 	expected := g.e.Main.ExpectedRows()
 	g.mu.Unlock()
 	if g.em != nil {
@@ -263,10 +426,16 @@ func (c *Concurrent) Explain(port string, key bitutil.Ternary, tr *trace.Trace) 
 // Delete removes the exact key from the named engine under its write
 // lock.
 func (c *Concurrent) Delete(port string, key bitutil.Ternary) error {
+	if c.down.Load() {
+		return ErrClosed
+	}
 	g, ok := c.engines[port]
 	if !ok {
 		c.met.AddUnknown(1)
 		return errNoEngine(port)
+	}
+	if Health(g.health.Load()) == Failed {
+		return ErrEngineUnavailable
 	}
 	if g.em == nil {
 		g.mu.Lock()
@@ -350,6 +519,12 @@ type mjob struct {
 // yields a per-slot error rather than failing the batch.
 func (c *Concurrent) MSearch(reqs []PortKey) []MSearchResult {
 	out := make([]MSearchResult, len(reqs))
+	if c.down.Load() {
+		for i := range out {
+			out[i].Err = ErrClosed
+		}
+		return out
+	}
 	if len(reqs) == 0 {
 		return out
 	}
@@ -359,6 +534,10 @@ func (c *Concurrent) MSearch(reqs []PortKey) []MSearchResult {
 		if !ok {
 			c.met.AddUnknown(1)
 			out[i].Err = errNoEngine(r.Port)
+			continue
+		}
+		if Health(g.health.Load()) == Failed {
+			out[i].Err = ErrEngineUnavailable
 			continue
 		}
 		found := false
@@ -405,10 +584,15 @@ func (c *Concurrent) MSearch(reqs []PortKey) []MSearchResult {
 // share with one clock pair, attributing each key its per-item slice
 // of the duration.
 func (c *Concurrent) runBatch(g *guardedEngine, reqs []PortKey, out []MSearchResult, idxs []int) {
+	erred := false
 	if g.em == nil {
 		g.mu.Lock()
 		for _, i := range idxs {
 			out[i].Result = g.e.Search(reqs[i].Key)
+			erred = erred || out[i].Result.Erred
+		}
+		if erred {
+			g.raiseTo(c.evalHealth(g))
 		}
 		g.mu.Unlock()
 		return
@@ -417,6 +601,10 @@ func (c *Concurrent) runBatch(g *guardedEngine, reqs []PortKey, out []MSearchRes
 	g.mu.Lock()
 	for _, i := range idxs {
 		out[i].Result = g.e.Search(reqs[i].Key)
+		erred = erred || out[i].Result.Erred
+	}
+	if erred {
+		g.raiseTo(c.evalHealth(g))
 	}
 	g.mu.Unlock()
 	g.em.ObserveBatch(metrics.OpMSearch, time.Since(start), uint64(len(idxs)), 0)

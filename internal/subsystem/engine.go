@@ -51,6 +51,7 @@ type SearchResult struct {
 	Record   match.Record
 	RowsRead int  // main-array rows; the parallel overflow adds none
 	FromOvfl bool // the winning record came from the overflow area
+	Erred    bool // a probed row was unavailable (ECC quarantine/read error)
 }
 
 // Insert places a record, diverting it to the overflow area when the
@@ -105,7 +106,7 @@ func (e *Engine) SearchTraced(key bitutil.Ternary, tr *trace.Trace) SearchResult
 	} else {
 		main = e.Main.LookupTraced(key, tr)
 	}
-	res := SearchResult{Found: main.Found, Record: main.Record, RowsRead: main.RowsRead}
+	res := SearchResult{Found: main.Found, Record: main.Record, RowsRead: main.RowsRead, Erred: main.Erred}
 	if e.Overflow == nil {
 		return res
 	}

@@ -1,0 +1,73 @@
+package subsystem
+
+import "errors"
+
+// Engine health. Error coding in the caram layer quarantines rows and
+// the overflow CAM fills under displaced records; past configurable
+// thresholds an engine is no longer trustworthy and the dispatch layer
+// degrades or fails it. Health is per engine and MONOTONE within an
+// episode: it only rises (Healthy → Degraded → Failed) between scrubs,
+// so concurrent observers never see a failed engine flap back to
+// healthy without an explicit recovery action. A scrub is the episode
+// boundary — it repairs the array from the shadow and re-evaluates
+// health from the post-repair state.
+//
+// A Failed engine trips the circuit breaker: Concurrent fails its
+// operations fast with ErrEngineUnavailable before touching the port
+// lock, so a broken engine cannot queue work or slow its neighbors.
+
+// Health is an engine's availability state.
+type Health int32
+
+const (
+	Healthy  Health = iota // full service
+	Degraded               // serving, but quarantined rows / overflow saturation observed
+	Failed                 // circuit broken: operations fail fast
+)
+
+// String names the state for wire replies and logs.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Failed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// HealthPolicy sets the thresholds the dispatch layer evaluates after
+// each write-side operation and each erred search.
+type HealthPolicy struct {
+	// DegradeQuarantined: this many quarantined rows (or more) degrades
+	// the engine. 0 disables the rule.
+	DegradeQuarantined int
+	// FailQuarantinedFrac: this fraction of all rows quarantined (or
+	// more) fails the engine. 0 disables the rule.
+	FailQuarantinedFrac float64
+	// DegradeOverflowFrac: overflow-CAM occupancy at or above this
+	// fraction of its capacity degrades the engine. 0 disables the rule.
+	DegradeOverflowFrac float64
+}
+
+// DefaultHealthPolicy is the policy NewConcurrent installs: one
+// quarantined row degrades, a quarter of the array failed fails, and a
+// 90%-full overflow CAM degrades.
+func DefaultHealthPolicy() HealthPolicy {
+	return HealthPolicy{
+		DegradeQuarantined:  1,
+		FailQuarantinedFrac: 0.25,
+		DegradeOverflowFrac: 0.9,
+	}
+}
+
+// Errors the dispatch layer returns for unavailable service.
+var (
+	// ErrClosed is returned by every operation after Close.
+	ErrClosed = errors.New("subsystem: closed")
+	// ErrEngineUnavailable is the circuit breaker's fast failure for a
+	// Failed engine.
+	ErrEngineUnavailable = errors.New("subsystem: engine unavailable")
+)

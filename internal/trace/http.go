@@ -83,7 +83,8 @@ func entryView(t *Trace) entryJSON {
 				Overflow:     ev.Overflow,
 				Hit:          ev.Hit,
 			})
-		case KindOverflow:
+		case KindOverflow, KindEcc:
+			// Positional, untimed events: render kind-only.
 			e.Spans = append(e.Spans, spanJSON{Kind: ev.Kind.String()})
 		default:
 			e.Spans = append(e.Spans, spanJSON{

@@ -54,6 +54,12 @@ const (
 	KindMatch
 	// KindEncode covers appending the reply to the output buffer.
 	KindEncode
+	// KindEcc is a per-row error-coding event on the probe path: the
+	// row's check word disagreed with its contents and the ECC layer
+	// either corrected a single-bit error in place (Matches = bits
+	// corrected) or quarantined the row as uncorrectable (Hit=true
+	// marks quarantine). Positional like KindProbe, not timed.
+	KindEcc
 )
 
 // String names the kind for logs and JSON.
@@ -71,6 +77,8 @@ func (k Kind) String() string {
 		return "match"
 	case KindEncode:
 		return "encode"
+	case KindEcc:
+		return "ecc"
 	}
 	return "unknown"
 }
@@ -169,6 +177,21 @@ func (t *Trace) Overflow(hit bool) {
 		return
 	}
 	t.Events = append(t.Events, Event{Kind: KindOverflow, Hit: hit})
+}
+
+// Ecc records a per-row error-coding event: correctedBits bits fixed
+// in place on bucket, or (quarantined=true) the row taken out of
+// service as uncorrectable.
+func (t *Trace) Ecc(bucket uint32, correctedBits int, quarantined bool) {
+	if t == nil {
+		return
+	}
+	t.Events = append(t.Events, Event{
+		Kind:    KindEcc,
+		Bucket:  bucket,
+		Matches: int32(correctedBits),
+		Hit:     quarantined,
+	})
 }
 
 // Match records the match kernel's aggregate work for the lookup.
