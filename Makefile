@@ -16,19 +16,25 @@
 #                       and HEALTH over the wire, graceful shutdown
 #   make chaos          fault-injection capstone under -race: mixed ops
 #                       against engines with live soft-error injectors,
-#                       exact ECC/injector counter reconciliation
+#                       exact ECC/injector counter reconciliation (incl.
+#                       the seqlock variant with concurrent scrubs)
+#   make seqlock-guard  wait-free search gate: torn-read/linearizability
+#                       suites under -race, the zero-alloc guards with
+#                       the seqlock read path compiled in, and the
+#                       byte-exact golden session
 #   make ci             the CI gate: check + race + alloc-guard +
-#                       trace-guard + chaos + metrics-smoke
+#                       trace-guard + seqlock-guard + chaos +
+#                       metrics-smoke
 #   make all            everything above, in that order
 
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check vet race stress fuzz bench bench-json alloc-guard trace-guard chaos metrics-smoke ci
+.PHONY: all check vet race stress fuzz bench bench-json alloc-guard trace-guard seqlock-guard chaos metrics-smoke ci
 
-all: check race stress fuzz bench trace-guard chaos metrics-smoke
+all: check race stress fuzz bench trace-guard seqlock-guard chaos metrics-smoke
 
-ci: check race alloc-guard trace-guard chaos metrics-smoke
+ci: check race alloc-guard trace-guard seqlock-guard chaos metrics-smoke
 
 check: vet
 	$(GO) build ./...
@@ -75,7 +81,20 @@ trace-guard:
 	$(GO) test -race -run 'Pipelined|Slowlog|Explain|SlowRequest|TracingOn' -count=1 ./internal/server
 	$(GO) test -run 'TracingOnSteadyStateAllocs|ZeroAlloc' -count=1 ./internal/server
 
+# Wait-free search gate: the torn-read/linearizability suites (caram
+# Reader and subsystem dispatch) under the race detector, the wait-free
+# code-level assertion and forced-retry telemetry, the zero-allocation
+# guards with the seqlock path compiled in, and the byte-exact golden
+# session (nothing on the wire may change).
+seqlock-guard:
+	$(GO) test -race -run 'TestReader' -count=1 ./internal/caram
+	$(GO) test -race -run 'SearchWaitFree|SearchTornReadStress|ForcedRetryTelemetry' -count=1 ./internal/subsystem
+	$(GO) test -run ZeroAlloc -count=1 ./internal/match ./internal/caram ./internal/server
+	$(GO) test -run GoldenSession -count=1 ./internal/server
+
 # Freeze the hot-path benchmarks into a versioned JSON artifact.
 bench-json:
 	$(GO) test -run '^$$' -bench 'RowMatch|ServerSearchZeroAlloc|ServerSearchInstrumented|MSearchBatched|SliceLookup$$' \
 		-benchmem . | $(GO) run ./cmd/bench2json > BENCH_PR3.json
+	$(GO) test -run '^$$' -bench SearchUnderWriteContention -benchmem \
+		./internal/subsystem | $(GO) run ./cmd/bench2json > BENCH_PR6.json

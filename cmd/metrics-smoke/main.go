@@ -150,6 +150,8 @@ func run() error {
 		metrics.FamEccUncorrect + `{engine="db"} 0`,
 		metrics.FamRowReadErrors + `{engine="db"} 0`,
 		metrics.FamScrubRepaired + `{engine="db"} 0`,
+		metrics.FamSearchRetries + `{engine="db"} 0`,
+		metrics.FamLockFallbacks + `{engine="db"} 0`,
 		metrics.FamUnknown + " 1",
 	} {
 		if !strings.Contains(body, want) {

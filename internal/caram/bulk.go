@@ -59,25 +59,27 @@ func (s *Slice) UpdateWhere(search bitutil.Ternary, fn func(match.Record) bituti
 			continue
 		}
 		// Quarantined rows are transformed in their shadow (row already
-		// aliases it); in-service rows go through the charged write port.
-		wrow := row
-		if !quar {
-			wrow = s.array.RowForUpdate(uint32(b))
-		}
-		for i := 0; i < s.layout.Slots(); i++ {
-			if res.Vector[i/64]>>uint(i%64)&1 == 0 {
-				continue
+		// aliases it); in-service rows publish through the charged
+		// seqlock write window.
+		rewrite := func(wrow []uint64) error {
+			for i := 0; i < s.layout.Slots(); i++ {
+				if res.Vector[i/64]>>uint(i%64)&1 == 0 {
+					continue
+				}
+				rec, _ := s.layout.ReadSlot(wrow, i)
+				rec.Data = fn(rec)
+				if err := s.layout.WriteSlot(wrow, i, rec); err != nil {
+					// Unreachable: the record came from this layout.
+					panic(fmt.Sprintf("caram: UpdateWhere rewrite: %v", err))
+				}
+				updated++
 			}
-			rec, _ := s.layout.ReadSlot(wrow, i)
-			rec.Data = fn(rec)
-			if err := s.layout.WriteSlot(wrow, i, rec); err != nil {
-				// Unreachable: the record came from this layout.
-				panic(fmt.Sprintf("caram: UpdateWhere rewrite: %v", err))
-			}
-			updated++
+			return nil
 		}
-		if !quar {
-			s.syncRow(uint32(b))
+		if quar {
+			rewrite(row)
+		} else {
+			s.updateRow(uint32(b), true, rewrite)
 		}
 	}
 	return updated
@@ -95,18 +97,19 @@ func (s *Slice) DeleteWhere(search bitutil.Ternary) int {
 		if res.Count == 0 {
 			continue
 		}
-		wrow := row
-		if !quar {
-			wrow = s.array.RowForUpdate(uint32(b))
-		}
-		for i := 0; i < s.layout.Slots(); i++ {
-			if res.Vector[i/64]>>uint(i%64)&1 == 1 {
-				s.layout.ClearSlot(wrow, i)
-				deleted++
+		clear := func(wrow []uint64) error {
+			for i := 0; i < s.layout.Slots(); i++ {
+				if res.Vector[i/64]>>uint(i%64)&1 == 1 {
+					s.layout.ClearSlot(wrow, i)
+					deleted++
+				}
 			}
+			return nil
 		}
-		if !quar {
-			s.syncRow(uint32(b))
+		if quar {
+			clear(row)
+		} else {
+			s.updateRow(uint32(b), true, clear)
 		}
 	}
 	if deleted > 0 {

@@ -2,6 +2,7 @@ package caram
 
 import (
 	"math/bits"
+	"sync/atomic"
 
 	"caram/internal/trace"
 )
@@ -35,14 +36,25 @@ import (
 // slice keeps its existing zero-allocation lookup path untouched
 // except for the one nil check fetchChecked adds.
 
-// eccState is a slice's error-coding sidecar.
+// eccState is a slice's error-coding sidecar. check and quar are the
+// two cells lock-free Readers consult (atomically; every store to them
+// happens on the serialized write side, check words inside their row's
+// seqlock window); everything else — shadow, quarBits, the counters —
+// is port-locked state the lock-free path never touches. A Reader that
+// sees a quarantined flag, or a snapshot whose recomputed check word
+// disagrees with the stored one, escalates to the locked path, which
+// performs the full detect/correct/quarantine protocol and its
+// accounting. That keeps PR 5's never-silently-wrong contract intact:
+// no corrupted row is ever *returned* by the lock-free path, and every
+// ECC decision is still made exactly once, under the lock.
 type eccState struct {
 	rowWords int
-	check    []uint64 // one check word per row
-	shadow   []uint64 // authoritative logical image, rowWords per row
-	quar     []bool   // rows out of service
-	quarBits []uint32 // corrupt-bit count recorded at quarantine time
+	check    []uint64      // one check word per row (atomic: readers verify against it)
+	shadow   []uint64      // authoritative logical image, rowWords per row
+	quar     []atomic.Bool // rows out of service
+	quarBits []uint32      // corrupt-bit count recorded at quarantine time
 	nQuar    int
+	scratch  []uint64 // correction buffer: fixes never mutate storage in place
 	st       EccStats
 }
 
@@ -94,16 +106,17 @@ func (s *Slice) EnableECC() {
 			rowWords: rw,
 			check:    make([]uint64, rows),
 			shadow:   make([]uint64, rw*rows),
-			quar:     make([]bool, rows),
+			quar:     make([]atomic.Bool, rows),
 			quarBits: make([]uint32, rows),
+			scratch:  make([]uint64, rw),
 		}
 		s.ecc = e
 	}
 	for i := 0; i < rows; i++ {
 		row := s.array.PeekRow(uint32(i))
 		copy(e.shadow[i*rw:(i+1)*rw], row)
-		e.check[i] = checkWord(row)
-		e.quar[i] = false
+		atomic.StoreUint64(&e.check[i], checkWord(row))
+		e.quar[i].Store(false)
 		e.quarBits[i] = 0
 	}
 	e.nQuar = 0
@@ -131,7 +144,7 @@ func (s *Slice) QuarantinedRows() int {
 
 // Quarantined reports whether one row is out of service.
 func (s *Slice) Quarantined(idx uint32) bool {
-	return s.ecc != nil && s.ecc.quar[idx]
+	return s.ecc != nil && s.ecc.quar[idx].Load()
 }
 
 // shadowRow returns the mutable shadow image of a row.
@@ -145,23 +158,10 @@ func (e *eccState) shadowRow(idx uint32) []uint64 {
 // otherwise. Maintenance (locate, Records, bulk scans) always sees the
 // true database even while a row is out of service.
 func (s *Slice) logicalRow(idx uint32, stored []uint64) []uint64 {
-	if s.ecc != nil && s.ecc.quar[idx] {
+	if s.ecc != nil && s.ecc.quar[idx].Load() {
 		return s.ecc.shadowRow(idx)
 	}
 	return stored
-}
-
-// syncRow records a legitimate write: the array row is authoritative,
-// so mirror it into the shadow and recompute its check word. Callers
-// never write to quarantined rows (probes skip them; reach maintenance
-// diverts to the shadow), so syncing cannot bless corruption.
-func (s *Slice) syncRow(idx uint32) {
-	if s.ecc == nil {
-		return
-	}
-	row := s.array.PeekRow(idx)
-	copy(s.ecc.shadowRow(idx), row)
-	s.ecc.check[idx] = checkWord(row)
 }
 
 // quarantine takes a row out of service, recording how many stored
@@ -170,7 +170,7 @@ func (s *Slice) syncRow(idx uint32) {
 // is quarantined widen the raw restore diff without being corruption,
 // which is why the count is taken now.)
 func (e *eccState) quarantine(idx uint32, row []uint64) {
-	if e.quar[idx] {
+	if e.quar[idx].Load() {
 		return
 	}
 	diff := 0
@@ -178,7 +178,7 @@ func (e *eccState) quarantine(idx uint32, row []uint64) {
 	for w := range row {
 		diff += bits.OnesCount64(row[w] ^ sh[w])
 	}
-	e.quar[idx] = true
+	e.quar[idx].Store(true)
 	e.quarBits[idx] = uint32(diff)
 	e.nQuar++
 	e.st.Uncorrectable++
@@ -198,7 +198,7 @@ func (s *Slice) fetchChecked(idx uint32, tr *trace.Trace) ([]uint64, bool) {
 		return row, true
 	}
 	e := s.ecc
-	if e.quar[idx] {
+	if e.quar[idx].Load() {
 		e.st.QuarantineSkips++
 		return nil, false
 	}
@@ -222,16 +222,20 @@ func (s *Slice) fetchChecked(idx uint32, tr *trace.Trace) ([]uint64, bool) {
 	dPar := delta >> 32 & 1
 	if dPar == 1 && dSyn != 0 {
 		// Odd flip count with a position-code syndrome: a single-bit
-		// error at position dSyn-1. Correct in place (scrub-on-read).
+		// error at position dSyn-1. Correct on the scratch copy and
+		// publish the fix through the row's seqlock window
+		// (scrub-on-read) — storage is never mutated with plain stores,
+		// so concurrent snapshot readers cannot see a half-fixed row.
 		pos := int(dSyn - 1)
 		if w := pos >> 6; w < len(row) {
-			row[w] ^= 1 << uint(pos&63)
-			if checkWord(row) == stored {
+			copy(e.scratch, row)
+			e.scratch[w] ^= 1 << uint(pos&63)
+			if checkWord(e.scratch) == stored {
 				e.st.CorrectedBits++
 				tr.Ecc(idx, 1, false)
-				return row, true
+				s.array.PublishRow(idx, e.scratch)
+				return e.scratch, true
 			}
-			row[w] ^= 1 << uint(pos&63) // not a clean single; undo
 		}
 	}
 	// Even flip count (or an aliased syndrome): detectable but not
@@ -251,11 +255,14 @@ type ScrubReport struct {
 // Scrub re-verifies every row against the insert-side shadow and
 // restores any divergence: quarantined rows get their true contents
 // back (and return to service), and every check word is recomputed.
-// It is maintenance — rows move via Peek/direct writes, no accesses
-// are charged and no faults injected — and it is the episode boundary
-// for the health state machine above: after a scrub the slice is
-// exactly its logical contents again. No-op (zero report) with ECC
-// off.
+// It is maintenance — no accesses are charged and no faults injected —
+// and it is the episode boundary for the health state machine above:
+// after a scrub the slice is exactly its logical contents again.
+// Restores publish through each row's seqlock window (check word
+// refreshed inside the window, quarantine released only after the
+// restored row is published), so lock-free readers running concurrently
+// with a scrub see every row either pre- or post-restore, never mid-
+// copy. No-op (zero report) with ECC off.
 func (s *Slice) Scrub() ScrubReport {
 	var rep ScrubReport
 	if s.ecc == nil {
@@ -265,25 +272,30 @@ func (s *Slice) Scrub() ScrubReport {
 	e.st.ScrubRuns++
 	rows := s.cfg.Rows()
 	for i := 0; i < rows; i++ {
-		row := s.array.PeekRow(uint32(i))
-		sh := e.shadowRow(uint32(i))
+		idx := uint32(i)
+		live := s.array.PeekRow(idx)
+		sh := e.shadowRow(idx)
 		diff := 0
-		for w := range row {
-			diff += bits.OnesCount64(row[w] ^ sh[w])
+		for w := range live {
+			diff += bits.OnesCount64(live[w] ^ sh[w])
 		}
 		if diff > 0 {
+			row := s.array.BeginRowMaint(idx)
 			copy(row, sh)
+			atomic.StoreUint64(&e.check[idx], checkWord(row))
+			s.array.CommitRowUpdate(idx)
 			rep.RepairedRows++
 			rep.RepairedBits += diff
+		} else {
+			atomic.StoreUint64(&e.check[idx], checkWord(live))
 		}
-		if e.quar[i] {
-			e.quar[i] = false
+		if e.quar[i].Load() {
+			e.quar[i].Store(false)
 			e.nQuar--
 			rep.Released++
 			e.st.ScrubRepairedBits += uint64(e.quarBits[i])
 			e.quarBits[i] = 0
 		}
-		e.check[i] = checkWord(row)
 	}
 	e.st.ScrubRepairedRows += uint64(rep.RepairedRows)
 	e.st.ScrubReleased += uint64(rep.Released)
@@ -302,8 +314,8 @@ func (s *Slice) resetECC() {
 		e.shadow[i] = 0
 	}
 	for i := range e.check {
-		e.check[i] = 0
-		e.quar[i] = false
+		atomic.StoreUint64(&e.check[i], 0)
+		e.quar[i].Store(false)
 		e.quarBits[i] = 0
 	}
 	e.nQuar = 0

@@ -128,8 +128,8 @@ func TestEccQuarantinesDoubleBit(t *testing.T) {
 	if !seen {
 		t.Fatal("Records lost the record during quarantine")
 	}
-	if s.stats.Erred != 2 {
-		t.Fatalf("Erred lookups = %d, want 2", s.stats.Erred)
+	if got := s.Stats().Erred; got != 2 {
+		t.Fatalf("Erred lookups = %d, want 2", got)
 	}
 }
 

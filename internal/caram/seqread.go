@@ -1,0 +1,222 @@
+package caram
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"caram/internal/bitutil"
+	"caram/internal/match"
+	"caram/internal/trace"
+)
+
+// maxSnapshotRetries bounds how many times a Reader re-attempts a
+// row snapshot torn by a concurrent writer before giving up and
+// escalating to the locked path. A seqlock read section is a handful
+// of word loads, so colliding this many consecutive times means the
+// writer side is saturated and waiting behind the lock is the better
+// strategy anyway.
+const maxSnapshotRetries = 16
+
+// Reader is a per-goroutine lock-free search port over one slice: the
+// software analogue of replicating §3.3's stateless comparator bank so
+// several search pipelines can stream rows concurrently. A Reader owns
+// its snapshot buffer, its private match kernel (match.Searcher) and
+// its result scratch, so Lookup/LookupBest/Contains allocate nothing
+// and share no mutable state with other Readers. Rows are observed
+// through the array's per-row seqlock (mem.Array.TrySnapshotRow): a
+// snapshot is only accepted when the row's version is even and
+// unchanged across the copy, so a Reader never sees a torn row —
+// every row it searches is exactly some state a writer published.
+//
+// Every method reports ok=false when the lock-free protocol cannot
+// certify an answer — a probed row is quarantined, its snapshot kept
+// tearing past maxSnapshotRetries, or (with ECC on) the snapshot's
+// recomputed check word disagrees with the stored one. The caller
+// falls back to the serialized locked path, which owns the full
+// detect/correct/quarantine protocol; the lock-free path itself never
+// corrects, never quarantines, and never returns unverified data, so
+// PR 5's never-silently-wrong contract is preserved.
+//
+// A Reader is single-owner (one goroutine at a time) but any number
+// of Readers may run concurrently with each other and with the one
+// serialized writer.
+type Reader struct {
+	s       *Slice
+	row     []uint64 // snapshot buffer, one row
+	sr      *match.Searcher
+	res     match.Result
+	retries int // torn snapshots observed since last TakeRetries
+}
+
+// NewReader builds a lock-free search port for this slice. The slice's
+// construction (including EnableECC and fault installation) must be
+// complete before the first Reader runs.
+func (s *Slice) NewReader() *Reader {
+	return &Reader{
+		s:   s,
+		row: make([]uint64, s.array.RowWords()),
+		sr:  match.NewSearcher(s.layout, s.cfg.MatchProcessors),
+	}
+}
+
+// TakeRetries returns how many torn snapshots this Reader re-read
+// since the last call, and resets the count. The subsystem layer
+// aggregates these into the caram_search_retries_total metric.
+func (r *Reader) TakeRetries() int {
+	n := r.retries
+	r.retries = 0
+	return n
+}
+
+// snapshot fills r.row with a version-consistent copy of one row.
+// charged selects the accounted read port (lookups) versus the free
+// diagnostic port (Contains). ok=false escalates: the row is
+// quarantined, kept tearing, or failed its check word.
+func (r *Reader) snapshot(idx uint32, charged bool) bool {
+	s := r.s
+	for attempt := 0; attempt < maxSnapshotRetries; attempt++ {
+		if s.ecc != nil && s.ecc.quar[idx].Load() {
+			return false
+		}
+		var ok bool
+		if charged {
+			ok = s.array.TrySnapshotRow(idx, r.row)
+		} else {
+			ok = s.array.TryPeekRow(idx, r.row)
+		}
+		if !ok {
+			// Torn by a concurrent writer: yield and re-read.
+			r.retries++
+			runtime.Gosched()
+			continue
+		}
+		if s.ecc != nil && checkWord(r.row) != atomic.LoadUint64(&s.ecc.check[idx]) {
+			// The snapshot is a legally published row (the version
+			// validated), so a mismatch means either real corruption or
+			// a benign row/check skew (e.g. the check was republished
+			// after our copy). Both escalate: the locked path re-reads
+			// and owns the correct/quarantine decision.
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// Lookup is the lock-free LookupTraced: the same probe chain, reach
+// rule, trace events and statistics, run entirely on seqlock
+// snapshots. ok=false means the protocol could not certify the
+// answer and the caller must retry on the locked path; no statistics
+// are recorded and the partial result is meaningless then.
+func (r *Reader) Lookup(search bitutil.Ternary, tr *trace.Trace) (LookupResult, bool) {
+	s := r.s
+	home := s.Index(search.Value)
+	res := LookupResult{HomeBucket: home}
+	rows := s.cfg.Rows()
+	reach := 0
+	slots, matches, passes := 0, 0, 0
+	for d := 0; d <= reach && d < rows; d++ {
+		idx := uint32((int(home) + d) % rows)
+		if !r.snapshot(idx, true) {
+			return LookupResult{}, false
+		}
+		res.RowsRead++
+		if d == 0 {
+			reach = int(s.layout.ReadAux(r.row))
+		}
+		r.sr.SearchInto(&r.res, r.row, search)
+		m := &r.res
+		if tr.Enabled() {
+			tr.Probe(idx, d, m.SlotsTested, m.Count, m.Matched())
+			slots += m.SlotsTested
+			matches += m.Count
+			passes += m.Passes
+		}
+		if m.Matched() {
+			res.Found = true
+			res.Record = m.Record
+			res.Multi = m.Multi()
+			break
+		}
+	}
+	if tr.Enabled() {
+		tr.Match(slots, matches, passes)
+		tr.Lookup(home, reach, res.RowsRead, res.Found)
+	}
+	s.recordLookup(res)
+	return res, true
+}
+
+// LookupBest is the lock-free LookupBestTraced: full-reach scan for
+// the best-scoring match, on seqlock snapshots, with the same
+// escalation contract as Lookup.
+func (r *Reader) LookupBest(search bitutil.Ternary, score func(match.Record) int, tr *trace.Trace) (LookupResult, bool) {
+	s := r.s
+	home := s.Index(search.Value)
+	res := LookupResult{HomeBucket: home}
+	rows := s.cfg.Rows()
+	reach := 0
+	bestScore := 0
+	slots, matches, passes := 0, 0, 0
+	for d := 0; d <= reach && d < rows; d++ {
+		idx := uint32((int(home) + d) % rows)
+		if !r.snapshot(idx, true) {
+			return LookupResult{}, false
+		}
+		res.RowsRead++
+		if d == 0 {
+			reach = int(s.layout.ReadAux(r.row))
+		}
+		r.sr.SearchInto(&r.res, r.row, search)
+		m := &r.res
+		if tr.Enabled() {
+			tr.Probe(idx, d, m.SlotsTested, m.Count, m.Count > 0)
+			slots += m.SlotsTested
+			matches += m.Count
+			passes += m.Passes
+		}
+		if m.Count == 0 {
+			continue
+		}
+		for i := 0; i < s.layout.Slots(); i++ {
+			if m.Vector[i/64]>>uint(i%64)&1 == 0 {
+				continue
+			}
+			rec, _ := s.layout.ReadSlot(r.row, i)
+			if sc := score(rec); !res.Found || sc > bestScore {
+				res.Found, res.Record, bestScore = true, rec, sc
+			}
+		}
+	}
+	if tr.Enabled() {
+		tr.Match(slots, matches, passes)
+		tr.Lookup(home, reach, res.RowsRead, res.Found)
+	}
+	s.recordLookup(res)
+	return res, true
+}
+
+// Contains is the lock-free exact-key membership test (the uncharged
+// diagnostic, like Slice.Contains). ok=false escalates as in Lookup.
+func (r *Reader) Contains(key bitutil.Ternary) (found, ok bool) {
+	s := r.s
+	home := s.Index(key.Value)
+	rows := s.cfg.Rows()
+	reach := 0
+	for d := 0; d <= reach && d < rows; d++ {
+		idx := uint32((int(home) + d) % rows)
+		if !r.snapshot(idx, false) {
+			return false, false
+		}
+		if d == 0 {
+			reach = int(s.layout.ReadAux(r.row))
+		}
+		for i := 0; i < s.layout.Slots(); i++ {
+			rec, valid := s.layout.ReadSlot(r.row, i)
+			if valid && rec.Key.Equal(key) {
+				return true, true
+			}
+		}
+	}
+	return false, true
+}

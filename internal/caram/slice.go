@@ -2,6 +2,7 @@ package caram
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"caram/internal/bitutil"
 	"caram/internal/match"
@@ -13,8 +14,14 @@ import (
 // match processors; higher-level structure (multiple slices, overflow
 // areas, request queues) lives in the subsystem package.
 //
-// A Slice is not safe for concurrent use; the subsystem serializes
-// access per slice, exactly as the hardware's single row port does.
+// Concurrency: all mutation (and the classic Lookup* methods, which
+// share the processor's scratch) must be serialized by the caller,
+// exactly as the hardware's single row port does. Lock-free lookups
+// are available through per-goroutine Readers (NewReader): every write
+// path publishes rows through the array's per-row seqlock, so any
+// number of Readers may search concurrently with the single
+// serialized writer. Construction — including the first EnableECC and
+// InstallFaults — must complete before Readers start.
 type Slice struct {
 	cfg    Config
 	layout match.Layout
@@ -26,7 +33,7 @@ type Slice struct {
 	overflow []bool  // buckets from which at least one record spilled
 	spilled  int     // records placed outside their home bucket
 	foreign  bool    // InsertAt was used with a home != Index(key)
-	stats    Stats
+	stats    sliceStats
 	ecc      *eccState // nil = unprotected memory (see ecc.go)
 }
 
@@ -142,18 +149,18 @@ func (s *Slice) Place(home uint32, rec match.Record) (displacement int, err erro
 		if !ok {
 			continue // quarantined or unreadable: never place records there
 		}
-		s.stats.InsertProbes++
+		s.stats.insertProbes.Add(1)
 		slot := s.freeSlot(row)
 		if slot < 0 {
 			continue
 		}
-		wrow := s.array.RowForUpdate(idx)
-		if err := s.layout.WriteSlot(wrow, slot, rec); err != nil {
+		if err := s.updateRow(idx, true, func(wrow []uint64) error {
+			return s.layout.WriteSlot(wrow, slot, rec)
+		}); err != nil {
 			return 0, err
 		}
-		s.syncRow(idx)
 		s.count++
-		s.stats.Inserts++
+		s.stats.inserts.Add(1)
 		if d > 0 {
 			s.spilled++
 			s.overflow[home] = true
@@ -163,6 +170,33 @@ func (s *Slice) Place(home uint32, rec match.Record) (displacement int, err erro
 	}
 	s.homeLoad[home]--
 	return 0, ErrFull
+}
+
+// updateRow is the slice's one write path to a stored row: the array
+// copies the live row into writer-owned scratch, fn mutates the
+// scratch, and the commit publishes every word atomically inside the
+// row's seqlock window — with the ECC shadow mirror and check word
+// refreshed inside the same window, so a lock-free Reader that
+// validates its snapshot's version always holds a fully published row
+// whose check word it can trust. charge selects whether the write is
+// priced as a row access (inserts/deletes) or is unpriced maintenance
+// (reach metadata). The caller holds the slice's port lock; callers
+// never write to quarantined rows (their mutations divert to the
+// shadow), so publishing here cannot bless corruption.
+func (s *Slice) updateRow(idx uint32, charge bool, fn func(row []uint64) error) error {
+	var row []uint64
+	if charge {
+		row = s.array.BeginRowUpdate(idx)
+	} else {
+		row = s.array.BeginRowMaint(idx)
+	}
+	err := fn(row)
+	if s.ecc != nil {
+		copy(s.ecc.shadowRow(idx), row)
+		atomic.StoreUint64(&s.ecc.check[idx], checkWord(row))
+	}
+	s.array.CommitRowUpdate(idx)
+	return err
 }
 
 // freeSlot returns the first invalid slot in the row, or -1.
@@ -182,7 +216,7 @@ func (s *Slice) raiseReach(home uint32, d uint64) {
 	if d > max {
 		d = max
 	}
-	if s.ecc != nil && s.ecc.quar[home] {
+	if s.ecc != nil && s.ecc.quar[home].Load() {
 		// The home row is out of service: the reach update lands in
 		// the authoritative shadow and reaches the array at scrub.
 		sh := s.ecc.shadowRow(home)
@@ -193,8 +227,10 @@ func (s *Slice) raiseReach(home uint32, d uint64) {
 	}
 	row := s.array.PeekRow(home) // metadata maintenance, not a charged access
 	if s.layout.ReadAux(row) < d {
-		s.layout.WriteAux(row, d)
-		s.syncRow(home)
+		s.updateRow(home, false, func(wrow []uint64) error {
+			s.layout.WriteAux(wrow, d)
+			return nil
+		})
 	}
 }
 
@@ -202,7 +238,7 @@ func (s *Slice) raiseReach(home uint32, d uint64) {
 // shadow when the bucket is quarantined — the stored aux bits are not
 // trustworthy then).
 func (s *Slice) Reach(bucket uint32) int {
-	if s.ecc != nil && s.ecc.quar[bucket] {
+	if s.ecc != nil && s.ecc.quar[bucket].Load() {
 		return int(s.layout.ReadAux(s.ecc.shadowRow(bucket)))
 	}
 	return int(s.layout.ReadAux(s.array.PeekRow(bucket)))
@@ -352,16 +388,18 @@ func (s *Slice) LookupBestTraced(search bitutil.Ternary, score func(match.Record
 	return res
 }
 
+// recordLookup accounts one finished lookup. Atomic adds: it is shared
+// by the port-locked Lookup* methods and lock-free Readers.
 func (s *Slice) recordLookup(res LookupResult) {
-	s.stats.Lookups++
-	s.stats.RowsAccessed += uint64(res.RowsRead)
+	s.stats.lookups.Add(1)
+	s.stats.rowsAccessed.Add(uint64(res.RowsRead))
 	if res.Found {
-		s.stats.Hits++
+		s.stats.hits.Add(1)
 	} else {
-		s.stats.Misses++
+		s.stats.misses.Add(1)
 	}
 	if res.Erred {
-		s.stats.Erred++
+		s.stats.erred.Add(1)
 	}
 }
 
@@ -404,17 +442,18 @@ func (s *Slice) DeleteAt(home uint32, key bitutil.Ternary) error {
 	if !found {
 		return ErrNotFound
 	}
-	if s.ecc != nil && s.ecc.quar[bucket] {
+	if s.ecc != nil && s.ecc.quar[bucket].Load() {
 		// The row is out of service: delete from the authoritative
 		// shadow, so the scrub restores the row without this record.
 		s.layout.ClearSlot(s.ecc.shadowRow(bucket), slot)
 	} else {
-		row := s.array.RowForUpdate(bucket)
-		s.layout.ClearSlot(row, slot)
-		s.syncRow(bucket)
+		s.updateRow(bucket, true, func(row []uint64) error {
+			s.layout.ClearSlot(row, slot)
+			return nil
+		})
 	}
 	s.count--
-	s.stats.Deletes++
+	s.stats.deletes.Add(1)
 	if s.homeLoad[home] > 0 {
 		s.homeLoad[home]--
 	}
@@ -429,20 +468,17 @@ func (s *Slice) Update(key bitutil.Ternary, data bitutil.Vec128) error {
 	if !found {
 		return ErrNotFound
 	}
-	if s.ecc != nil && s.ecc.quar[bucket] {
+	if s.ecc != nil && s.ecc.quar[bucket].Load() {
 		sh := s.ecc.shadowRow(bucket)
 		rec, _ := s.layout.ReadSlot(sh, slot)
 		rec.Data = data
 		return s.layout.WriteSlot(sh, slot, rec)
 	}
-	row := s.array.RowForUpdate(bucket)
-	rec, _ := s.layout.ReadSlot(row, slot)
-	rec.Data = data
-	if err := s.layout.WriteSlot(row, slot, rec); err != nil {
-		return err
-	}
-	s.syncRow(bucket)
-	return nil
+	return s.updateRow(bucket, true, func(row []uint64) error {
+		rec, _ := s.layout.ReadSlot(row, slot)
+		rec.Data = data
+		return s.layout.WriteSlot(row, slot, rec)
+	})
 }
 
 // Contains reports whether the exact key is stored, without touching

@@ -2,6 +2,7 @@ package caram
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"caram/internal/match"
 )
@@ -37,14 +38,47 @@ func (s Stats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Lookups)
 }
 
+// sliceStats is the internal atomic form of Stats: lock-free readers
+// (caram.Reader) record their lookups concurrently with the
+// port-locked write side, so every counter is an atomic cell. A
+// snapshot is monotone, not instantaneous.
+type sliceStats struct {
+	lookups      atomic.Uint64
+	rowsAccessed atomic.Uint64
+	hits         atomic.Uint64
+	misses       atomic.Uint64
+	inserts      atomic.Uint64
+	insertProbes atomic.Uint64
+	deletes      atomic.Uint64
+	erred        atomic.Uint64
+}
+
 // Stats returns a snapshot of the slice's activity counters.
-func (s *Slice) Stats() Stats { return s.stats }
+func (s *Slice) Stats() Stats {
+	return Stats{
+		Lookups:      s.stats.lookups.Load(),
+		RowsAccessed: s.stats.rowsAccessed.Load(),
+		Hits:         s.stats.hits.Load(),
+		Misses:       s.stats.misses.Load(),
+		Inserts:      s.stats.inserts.Load(),
+		InsertProbes: s.stats.insertProbes.Load(),
+		Deletes:      s.stats.deletes.Load(),
+		Erred:        s.stats.erred.Load(),
+	}
+}
 
 // ResetStats zeroes activity counters on the slice, its array and its
 // match processors (placement bookkeeping — load factor, spill counts —
 // is preserved, since it describes the stored database, not activity).
 func (s *Slice) ResetStats() {
-	s.stats = Stats{}
+	s.stats.lookups.Store(0)
+	s.stats.rowsAccessed.Store(0)
+	s.stats.hits.Store(0)
+	s.stats.misses.Store(0)
+	s.stats.inserts.Store(0)
+	s.stats.insertProbes.Store(0)
+	s.stats.deletes.Store(0)
+	s.stats.erred.Store(0)
 	s.array.ResetStats()
 	s.proc.ResetStats()
 }

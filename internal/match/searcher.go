@@ -1,0 +1,60 @@
+package match
+
+import (
+	"caram/internal/bitutil"
+)
+
+// Searcher is a private comparator bank for one concurrent reader: the
+// same compiled word-parallel kernel a Processor runs, minus every
+// piece of shared mutable state. A Processor's expansion cache, match
+// vector and statistics counters make it single-owner; the lock-free
+// search path (caram.Reader) instead gives each reader goroutine its
+// own Searcher, the software analogue of §3.3's observation that match
+// logic is stateless combinational hardware — replicating a comparator
+// bank costs area, never coherence.
+//
+// A Searcher keeps no statistics (the caram layer's atomic counters
+// account for lock-free lookups) and owns only its matcher's expansion
+// scratch, so distinct Searchers over one layout never share a written
+// word. It is still single-owner: one goroutine per Searcher.
+type Searcher struct {
+	layout Layout
+	p      int
+	m      *matcher
+}
+
+// NewSearcher compiles a comparator bank over the layout. p <= 0 means
+// one match processor per slot, as in NewProcessor.
+func NewSearcher(layout Layout, p int) *Searcher {
+	if p <= 0 {
+		p = layout.Slots()
+	}
+	return &Searcher{layout: layout, p: p, m: newMatcher(layout)}
+}
+
+// Layout returns the record layout the searcher decodes.
+func (sr *Searcher) Layout() Layout { return sr.layout }
+
+// SearchInto runs the match pipeline over one row, writing the match
+// vector into res.Vector's backing array (grown only when too small).
+// All other Result fields are overwritten. Identical results to
+// Processor.SearchInto; the row is typically a seqlock snapshot owned
+// by the same reader.
+func (sr *Searcher) SearchInto(res *Result, row []uint64, search bitutil.Ternary) {
+	need := (sr.layout.Slots() + 63) / 64
+	if cap(res.Vector) < need {
+		res.Vector = make([]uint64, need)
+	} else {
+		res.Vector = res.Vector[:need]
+	}
+	sr.m.expand(search)
+	first, count, valid := sr.m.matchRow(res.Vector, row)
+	res.First = first
+	res.Count = count
+	res.Passes = (sr.layout.Slots() + sr.p - 1) / sr.p
+	res.SlotsTested = valid
+	res.Record = Record{}
+	if first >= 0 {
+		res.Record, _ = sr.layout.ReadSlot(row, first)
+	}
+}

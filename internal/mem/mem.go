@@ -9,6 +9,7 @@ package mem
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"caram/internal/bitutil"
 )
@@ -71,6 +72,17 @@ type Stats struct {
 	Cycles     uint64
 }
 
+// counters is the internal atomic form of Stats: lock-free snapshot
+// reads (TrySnapshotRow) charge accesses concurrently with the
+// port-locked write side, so every counter must be an atomic cell.
+type counters struct {
+	rowReads   atomic.Uint64
+	rowWrites  atomic.Uint64
+	wordReads  atomic.Uint64
+	wordWrites atomic.Uint64
+	cycles     atomic.Uint64
+}
+
 // Accesses returns the total number of row-granularity accesses.
 func (s Stats) Accesses() uint64 { return s.RowReads + s.RowWrites }
 
@@ -86,16 +98,37 @@ type RowFaultInjector interface {
 	OnRowFetch(idx uint32, row []uint64) (ok bool, extraCycles int)
 }
 
-// Array is a behavioral memory array. It is not safe for concurrent
-// mutation; a CA-RAM slice owns exactly one array, matching the
-// hardware.
+// Array is a behavioral memory array. Mutation is single-writer: a
+// CA-RAM slice owns exactly one array and the subsystem serializes all
+// writes behind the slice's port lock, matching the hardware's single
+// row port. Reads come in two flavors:
+//
+//   - port-locked reads (ReadRow, FetchRow, PeekRow) return aliases
+//     into the storage and are safe only while the caller serializes
+//     against writers (the classic path);
+//   - lock-free snapshot reads (TrySnapshotRow) copy a row out under a
+//     per-row seqlock — a version counter that is odd while a writer
+//     is mutating the row and even once the new contents are
+//     published. Writers go through BeginRowUpdate/CommitRowUpdate
+//     (copy-mutate-publish on writer-owned scratch, every word stored
+//     atomically inside the odd window), so a snapshot whose version
+//     was even and unchanged across the copy is a complete published
+//     row — never a torn mix of two writes.
+//
+// InstallFaults and the seqlock write protocol itself remain
+// single-writer: only reads are wait-free.
 type Array struct {
 	cfg      Config
 	rowWords int
-	data     []uint64 // all rows, contiguous
-	stats    Stats
+	data     []uint64        // all rows, contiguous
+	seq      []atomic.Uint32 // per-row seqlock: odd = mutating, even = published
+	stats    counters
 	stuck    map[int][]stuckBit // installed stuck-at faults
 	inj      RowFaultInjector   // nil = perfect memory (the fast path)
+
+	updBuf   []uint64 // BeginRowUpdate scratch (writer-owned)
+	fetchBuf []uint64 // FetchRow scratch when an injector is installed
+	pending  int64    // row index+1 of the open update window, 0 = none
 }
 
 // New validates the configuration and allocates the array, zero-filled.
@@ -117,6 +150,9 @@ func New(cfg Config) (*Array, error) {
 		cfg:      cfg,
 		rowWords: rw,
 		data:     make([]uint64, rw*cfg.Rows),
+		seq:      make([]atomic.Uint32, cfg.Rows),
+		updBuf:   make([]uint64, rw),
+		fetchBuf: make([]uint64, rw),
 	}, nil
 }
 
@@ -144,10 +180,11 @@ func (a *Array) SizeBits() int64 { return int64(a.cfg.Rows) * int64(a.cfg.RowBit
 
 // ReadRow fetches one row, charging a read access. The returned slice
 // aliases the array's storage and must be treated as read-only; use
-// RowForUpdate to mutate.
+// RowForUpdate to mutate. Port-locked path: callers must serialize
+// against writers.
 func (a *Array) ReadRow(idx uint32) []uint64 {
-	a.stats.RowReads++
-	a.stats.Cycles += uint64(a.cfg.Timing.MinInterval)
+	a.stats.rowReads.Add(1)
+	a.stats.cycles.Add(uint64(a.cfg.Timing.MinInterval))
 	return a.row(idx)
 }
 
@@ -161,20 +198,31 @@ func (a *Array) InstallFaults(inj RowFaultInjector) { a.inj = inj }
 // read access, then gives an installed injector the chance to corrupt
 // the row, fail the fetch, or stretch its latency. ok=false is a
 // transient row-read error — the storage is intact, but this access
-// delivered nothing usable and the caller must retry or skip. The
-// returned slice aliases the array's storage (a corrupted fetch has
-// corrupted the stored bits; error-coding layers correct in place,
-// scrub-on-read style).
+// delivered nothing usable and the caller must retry or skip.
+//
+// Without an injector the returned slice aliases the array's storage
+// (zero-copy hot path). With one installed, the injector corrupts a
+// fetch-scratch copy and any flipped bits are published back into
+// storage through the row's seqlock window — the stored bits end up
+// corrupted exactly as before, but lock-free snapshot readers never
+// observe a half-applied strike. Port-locked path either way.
 func (a *Array) FetchRow(idx uint32) ([]uint64, bool) {
-	a.stats.RowReads++
-	a.stats.Cycles += uint64(a.cfg.Timing.MinInterval)
+	a.stats.rowReads.Add(1)
+	a.stats.cycles.Add(uint64(a.cfg.Timing.MinInterval))
 	row := a.row(idx)
 	if a.inj == nil {
 		return row, true
 	}
-	ok, extra := a.inj.OnRowFetch(idx, row)
-	a.stats.Cycles += uint64(extra)
-	return row, ok
+	copy(a.fetchBuf, row)
+	ok, extra := a.inj.OnRowFetch(idx, a.fetchBuf)
+	a.stats.cycles.Add(uint64(extra))
+	for w := range row {
+		if a.fetchBuf[w] != row[w] {
+			a.publishRow(idx, a.fetchBuf)
+			break
+		}
+	}
+	return a.fetchBuf, ok
 }
 
 // PeekRow returns a row without charging an access — for assertions,
@@ -184,11 +232,130 @@ func (a *Array) PeekRow(idx uint32) []uint64 { return a.row(idx) }
 // RowForUpdate returns a mutable view of a row and charges a write
 // access. Hardware performs read-modify-write on a row granularity, so
 // a single charge is the right model for an insert or delete.
+//
+// Legacy port-locked mutator: writes land in storage as plain stores,
+// invisible to the seqlock, so it must not be used on arrays that
+// serve lock-free snapshot readers — those writers go through
+// BeginRowUpdate/CommitRowUpdate instead.
 func (a *Array) RowForUpdate(idx uint32) []uint64 {
-	a.stats.RowWrites++
-	a.stats.Cycles += uint64(a.cfg.Timing.MinInterval)
+	a.stats.rowWrites.Add(1)
+	a.stats.cycles.Add(uint64(a.cfg.Timing.MinInterval))
 	return a.row(idx)
 }
+
+// BeginRowUpdate opens a row's seqlock write window, charging a write
+// access: the version counter goes odd and the live contents are
+// copied into writer-owned scratch, which is returned for mutation.
+// The caller mutates the scratch and then publishes it with
+// CommitRowUpdate; lock-free snapshot readers that observe the odd
+// version (or a version change) retry, so they never see the mutation
+// half-applied. Only one window may be open at a time (single-writer),
+// and the caller must already serialize against all other writers.
+func (a *Array) BeginRowUpdate(idx uint32) []uint64 {
+	a.stats.rowWrites.Add(1)
+	a.stats.cycles.Add(uint64(a.cfg.Timing.MinInterval))
+	return a.beginRow(idx)
+}
+
+// BeginRowMaint is BeginRowUpdate without the write charge, for
+// maintenance mutations the access model does not price (reach
+// metadata updates, scrub restores — the paper's out-of-band host
+// maintenance).
+func (a *Array) BeginRowMaint(idx uint32) []uint64 {
+	return a.beginRow(idx)
+}
+
+func (a *Array) beginRow(idx uint32) []uint64 {
+	if a.pending != 0 {
+		panic(fmt.Sprintf("mem: row update window already open on row %d", a.pending-1))
+	}
+	a.pending = int64(idx) + 1
+	a.seq[idx].Add(1) // even -> odd: readers now retry
+	copy(a.updBuf, a.row(idx))
+	return a.updBuf
+}
+
+// CommitRowUpdate publishes the scratch returned by BeginRowUpdate /
+// BeginRowMaint: every word is stored atomically, then the version
+// counter returns to even. A snapshot read that raced the window sees
+// a version change and retries; one that missed it entirely sees
+// either the old or the new row, never a mix.
+func (a *Array) CommitRowUpdate(idx uint32) {
+	if a.pending != int64(idx)+1 {
+		panic(fmt.Sprintf("mem: CommitRowUpdate(%d) without matching begin", idx))
+	}
+	a.pending = 0
+	row := a.row(idx)
+	for w := range row {
+		atomic.StoreUint64(&row[w], a.updBuf[w])
+	}
+	a.seq[idx].Add(1) // odd -> even: published
+}
+
+// PublishRow atomically replaces a row's contents inside a seqlock
+// window without charging an access — the in-place correction path of
+// scrub-on-read error coding (the "write" is the memory controller's,
+// not the application's). src must not alias the update scratch.
+func (a *Array) PublishRow(idx uint32, src []uint64) {
+	a.publishRow(idx, src)
+}
+
+func (a *Array) publishRow(idx uint32, src []uint64) {
+	row := a.row(idx)
+	a.seq[idx].Add(1)
+	for w := range row {
+		atomic.StoreUint64(&row[w], src[w])
+	}
+	a.seq[idx].Add(1)
+}
+
+// RowVersion returns a row's current seqlock version (odd while a
+// write window is open). Exposed for tests that pin the publication
+// protocol.
+func (a *Array) RowVersion(idx uint32) uint32 { return a.seq[idx].Load() }
+
+// TrySnapshotRow copies one row into dst (len >= the row's word count)
+// without taking any lock, charging a read access on success. It fails
+// — returning false, copying garbage at worst — when a writer's seqlock
+// window overlapped the copy; the caller retries or escalates to the
+// port-locked path. A true return guarantees dst is a complete
+// published row: the version was even before the copy and unchanged
+// after it.
+func (a *Array) TrySnapshotRow(idx uint32, dst []uint64) bool {
+	row := a.row(idx)
+	v1 := a.seq[idx].Load()
+	if v1&1 != 0 {
+		return false
+	}
+	for w := range row {
+		dst[w] = atomic.LoadUint64(&row[w])
+	}
+	if a.seq[idx].Load() != v1 {
+		return false
+	}
+	a.stats.rowReads.Add(1)
+	a.stats.cycles.Add(uint64(a.cfg.Timing.MinInterval))
+	return true
+}
+
+// TryPeekRow is TrySnapshotRow without the access charge — the
+// lock-free counterpart of PeekRow, for uncharged inspection paths
+// (Contains) that must still never observe a torn row.
+func (a *Array) TryPeekRow(idx uint32, dst []uint64) bool {
+	row := a.row(idx)
+	v1 := a.seq[idx].Load()
+	if v1&1 != 0 {
+		return false
+	}
+	for w := range row {
+		dst[w] = atomic.LoadUint64(&row[w])
+	}
+	return a.seq[idx].Load() == v1
+}
+
+// RowWords returns the number of 64-bit words per row — the minimum
+// buffer length for TrySnapshotRow.
+func (a *Array) RowWords() int { return a.rowWords }
 
 // WriteRow replaces a row's contents, charging a write access. Data
 // longer than the row is truncated; shorter data zero-fills the rest.
@@ -214,22 +381,28 @@ func (a *Array) ReadWord(addr int) uint64 {
 	if addr < 0 || addr >= len(a.data) {
 		panic(fmt.Sprintf("mem: word address %d out of range", addr))
 	}
-	a.stats.WordReads++
-	a.stats.Cycles += uint64(a.cfg.Timing.MinInterval)
+	a.stats.wordReads.Add(1)
+	a.stats.cycles.Add(uint64(a.cfg.Timing.MinInterval))
 	return a.data[addr]
 }
 
-// WriteWord implements RAM-mode word write.
+// WriteWord implements RAM-mode word write. The store goes through the
+// owning row's seqlock window, so a bulk image load interleaved with
+// lock-free snapshot readers yields per-row-consistent intermediate
+// states.
 func (a *Array) WriteWord(addr int, v uint64) {
 	if addr < 0 || addr >= len(a.data) {
 		panic(fmt.Sprintf("mem: word address %d out of range", addr))
 	}
-	a.stats.WordWrites++
-	a.stats.Cycles += uint64(a.cfg.Timing.MinInterval)
+	a.stats.wordWrites.Add(1)
+	a.stats.cycles.Add(uint64(a.cfg.Timing.MinInterval))
 	if faults, ok := a.stuck[addr]; ok {
 		v = applyStuck(v, faults)
 	}
-	a.data[addr] = v
+	idx := uint32(addr / a.rowWords)
+	a.seq[idx].Add(1)
+	atomic.StoreUint64(&a.data[addr], v)
+	a.seq[idx].Add(1)
 }
 
 // Words returns the flat word count of the array (RAM-mode address
@@ -237,15 +410,38 @@ func (a *Array) WriteWord(addr int, v uint64) {
 func (a *Array) Words() int { return len(a.data) }
 
 // Clear zeroes the entire array without charging accesses (models a
-// bulk initialization/DMA fill, §3.2).
+// bulk initialization/DMA fill, §3.2), row by row through the seqlock
+// so concurrent snapshot readers see each row either full or empty.
 func (a *Array) Clear() {
-	for i := range a.data {
-		a.data[i] = 0
+	for r := 0; r < a.cfg.Rows; r++ {
+		idx := uint32(r)
+		row := a.row(idx)
+		a.seq[idx].Add(1)
+		for w := range row {
+			atomic.StoreUint64(&row[w], 0)
+		}
+		a.seq[idx].Add(1)
 	}
 }
 
-// Stats returns a snapshot of accumulated activity.
-func (a *Array) Stats() Stats { return a.stats }
+// Stats returns a snapshot of accumulated activity. Counters are read
+// atomically, so a snapshot taken under concurrent lock-free reads is
+// monotone (never exceeds a later one) though not a single instant.
+func (a *Array) Stats() Stats {
+	return Stats{
+		RowReads:   a.stats.rowReads.Load(),
+		RowWrites:  a.stats.rowWrites.Load(),
+		WordReads:  a.stats.wordReads.Load(),
+		WordWrites: a.stats.wordWrites.Load(),
+		Cycles:     a.stats.cycles.Load(),
+	}
+}
 
 // ResetStats zeroes the activity counters.
-func (a *Array) ResetStats() { a.stats = Stats{} }
+func (a *Array) ResetStats() {
+	a.stats.rowReads.Store(0)
+	a.stats.rowWrites.Store(0)
+	a.stats.wordReads.Store(0)
+	a.stats.wordWrites.Store(0)
+	a.stats.cycles.Store(0)
+}

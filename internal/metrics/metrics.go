@@ -93,7 +93,9 @@ func equalFold(s, t string) bool {
 // fault-tolerance block mirrors the engine's availability state and
 // error-coding counters: Health is the subsystem.Health value
 // (0 healthy, 1 degraded, 2 failed), Quarantined the rows currently
-// out of service.
+// out of service. SearchRetries counts torn seqlock snapshots the
+// lock-free search path re-read; LockFallbacks counts searches that
+// escalated from the lock-free path to the serialized one.
 type Gauges struct {
 	Records      int
 	LoadFactor   float64
@@ -111,6 +113,9 @@ type Gauges struct {
 	EccUncorrectable  uint64
 	EccReadErrors     uint64
 	ScrubRepairedBits uint64
+
+	SearchRetries uint64
+	LockFallbacks uint64
 }
 
 // Registry holds the metrics of a fixed set of engines. The engine set

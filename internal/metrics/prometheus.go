@@ -32,6 +32,13 @@ const (
 	FamScrubRepaired = "caram_engine_scrub_repaired_bits_total"
 )
 
+// Lock-free search path families (PR 6): the seqlock read side's
+// contention telemetry.
+const (
+	FamSearchRetries = "caram_search_retries_total"
+	FamLockFallbacks = "caram_search_lock_fallbacks_total"
+)
+
 // WritePrometheus renders a snapshot in the Prometheus text exposition
 // format (version 0.0.4): counters for ops and errors, a cumulative
 // `le`-bucketed histogram per (engine, op) latency, and the live engine
@@ -54,7 +61,7 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		}
 	}
 
-	bw.printf("# HELP %s Wall-clock operation latency measured at the engine lock boundary.\n# TYPE %s histogram\n", FamOpLatency, FamOpLatency)
+	bw.printf("# HELP %s Wall-clock operation latency: lock-free searches are timed end to end, serialized ops at the engine lock boundary (writer lock wait included).\n# TYPE %s histogram\n", FamOpLatency, FamOpLatency)
 	for _, e := range s.Engines {
 		for op := Op(0); op < NumOps; op++ {
 			writeLatency(bw, e.Name, op, e.Ops[op].Latency)
@@ -100,6 +107,10 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.EccReadErrors) }, "counter")
 	gauge(FamScrubRepaired, "Corrupt bits restored from the insert-side shadow by scrub passes.",
 		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.ScrubRepairedBits) }, "counter")
+	gauge(FamSearchRetries, "Torn seqlock snapshots re-read by the lock-free search path.",
+		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.SearchRetries) }, "counter")
+	gauge(FamLockFallbacks, "Searches escalated from the lock-free path to the serialized engine lock.",
+		func(e EngineSnapshot) string { return fmt.Sprintf("%d", e.Gauges.LockFallbacks) }, "counter")
 
 	bw.printf("# HELP %s Requests addressed to no registered engine.\n# TYPE %s counter\n", FamUnknown, FamUnknown)
 	bw.printf("%s %d\n", FamUnknown, s.Unknown)

@@ -2,6 +2,7 @@ package subsystem
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -16,27 +17,42 @@ import (
 // Concurrent is the thread-safe dispatch layer over a fully-registered
 // Subsystem — the software counterpart of §3.2's observation that
 // "multiple lookup actions [can be] simultaneously in progress in
-// different CA-RAM slices". Each engine gets its own RWMutex:
+// different CA-RAM slices". Each engine gets its own mutex and, when
+// it has no overflow CAM, a pool of lock-free Readers:
 //
-//   - INSERT / SEARCH / DELETE on one engine serialize (a slice has a
-//     single row port, and even lookups update access statistics), but
-//     the same operations on distinct engines run fully in parallel;
-//   - read-only inspection (Contains, Info) takes the read lock and
-//     may overlap with other readers of the same engine, since those
-//     paths peek at rows without charging accesses.
+//   - INSERT / DELETE / Scrub on one engine serialize under the engine
+//     mutex (a slice has a single row port for writes), while the same
+//     operations on distinct engines run fully in parallel;
+//   - SEARCH / MSEARCH / Explain / Contains on an overflow-less engine
+//     are wait-free: they run on per-goroutine caram.Readers over the
+//     array's per-row seqlock, performing no mutex operations at all —
+//     any number may overlap with each other AND with the engine's one
+//     writer. A read the seqlock protocol cannot certify (torn past
+//     the retry budget, quarantined row, check-word mismatch) falls
+//     back to the serialized path, which owns the ECC protocol;
+//   - engines with an overflow CAM keep every search serialized (the
+//     CAM has mutable priority state);
+//   - read-only inspection (Info, HealthInfo) takes the mutex like a
+//     writer — it is off the hot path.
 //
 // Once a Subsystem is wrapped, all access must go through the
 // Concurrent layer; using the bare Subsystem or its engines directly
 // alongside it would bypass the locks.
 //
-// An optional metrics registry (Instrument) observes every op at the
-// lock boundary; without one the layer runs the original uncounted
-// paths.
+// An optional metrics registry (Instrument) observes every op; lock-
+// free searches are timed end to end, serialized ops at the lock
+// boundary (so writer latency still includes lock wait, the true
+// service latency under contention).
 type Concurrent struct {
 	order   []string
 	engines map[string]*guardedEngine
 	met     *metrics.Registry // nil when uninstrumented
 	policy  HealthPolicy
+
+	// lockedReads forces every search through the serialized path —
+	// the pre-seqlock behavior, kept for A/B benchmarks and as an
+	// escape hatch. Construction-time only (SetLockedReads).
+	lockedReads bool
 
 	// down gates every operation after Close: a single atomic load on
 	// the op path, so a closed layer fails fast instead of deadlocking
@@ -52,14 +68,29 @@ type Concurrent struct {
 }
 
 // guardedEngine pairs an engine with its port lock, the placement
-// stats the subsystem tracks for it, and the batch queue feeding its
-// persistent MSearch worker.
+// stats the subsystem tracks for it, the batch queue feeding its
+// persistent MSearch worker, and — when the engine qualifies — the
+// machinery of the lock-free read path.
 type guardedEngine struct {
 	mu    sync.RWMutex
 	e     *Engine
 	st    *EngineStats
 	em    *metrics.EngineMetrics // nil when uninstrumented
 	batch chan *msearchBatch
+
+	// seqRead marks the engine as eligible for lock-free searches
+	// (no overflow CAM). Fixed at construction.
+	seqRead bool
+	// readers caches per-goroutine caram.Readers; each carries its own
+	// snapshot buffer and match kernel, so a cached Reader is reused
+	// without any cross-goroutine shared mutable state.
+	readers *readerCache
+	// retries counts torn seqlock snapshots re-read by this engine's
+	// lock-free searches; fallbacks counts searches that escalated to
+	// the serialized path. Exported as caram_search_retries_total /
+	// caram_search_lock_fallbacks_total.
+	retries   atomic.Uint64
+	fallbacks atomic.Uint64
 
 	// health is the engine's availability state (a Health value). It is
 	// read lock-free by the circuit breaker and written only while the
@@ -77,6 +108,45 @@ func (g *guardedEngine) raiseTo(h Health) {
 			return
 		}
 		if g.health.CompareAndSwap(int32(cur), int32(h)) {
+			return
+		}
+	}
+}
+
+// readerCache is a tiny lock-free freelist of caram.Readers. It
+// stands in for sync.Pool on the search hot path because the pool
+// deliberately drops items under the race detector (to shake out
+// misuse), which would make the zero-allocation CI guards flaky under
+// `-race`; a fixed slot array is deterministic everywhere, costs one
+// atomic swap in the common case, and performs no mutex operations —
+// the property the wait-free search path is built on. Readers that
+// find every slot full on return are simply dropped (they are a few
+// hundred bytes of scratch), so the cache never grows.
+type readerCache struct {
+	newFn func() *caram.Reader
+	slots []atomic.Pointer[caram.Reader]
+}
+
+func newReaderCache(newFn func() *caram.Reader) *readerCache {
+	n := 2 * runtime.GOMAXPROCS(0)
+	if n < 8 {
+		n = 8
+	}
+	return &readerCache{newFn: newFn, slots: make([]atomic.Pointer[caram.Reader], n)}
+}
+
+func (p *readerCache) get() *caram.Reader {
+	for i := range p.slots {
+		if rd := p.slots[i].Swap(nil); rd != nil {
+			return rd
+		}
+	}
+	return p.newFn()
+}
+
+func (p *readerCache) put(rd *caram.Reader) {
+	for i := range p.slots {
+		if p.slots[i].CompareAndSwap(nil, rd) {
 			return
 		}
 	}
@@ -116,11 +186,65 @@ func NewConcurrent(sub *Subsystem) *Concurrent {
 			st:    sub.stats[name],
 			batch: make(chan *msearchBatch, msearchBatchDepth),
 		}
+		if g.e.Overflow == nil {
+			g.seqRead = true
+			main := g.e.Main
+			g.readers = newReaderCache(main.NewReader)
+		}
 		c.engines[name] = g
 		c.workers.Add(1)
 		go c.msearchWorker(g)
 	}
 	return c
+}
+
+// SetLockedReads forces (on=true) every search through the serialized
+// engine lock instead of the lock-free seqlock path — the escape hatch
+// and the A/B baseline for contention benchmarks. Like Instrument it
+// is part of construction: call it before the Concurrent is shared
+// across goroutines.
+func (c *Concurrent) SetLockedReads(on bool) *Concurrent {
+	c.lockedReads = on
+	return c
+}
+
+// searchSeq runs one search on a pooled lock-free Reader, folding its
+// torn-snapshot count into the engine's retry telemetry (and the
+// request trace). ok=false means the Reader could not certify an
+// answer; the caller escalates to the serialized path.
+func (c *Concurrent) searchSeq(g *guardedEngine, key bitutil.Ternary, tr *trace.Trace) (SearchResult, bool) {
+	mark := 0
+	if tr.Enabled() {
+		mark = len(tr.Events)
+	}
+	rd := g.readers.get()
+	sr, ok := g.e.SearchSeq(rd, key, tr)
+	n := rd.TakeRetries()
+	g.readers.put(rd)
+	if !ok && tr.Enabled() {
+		// Drop the abandoned attempt's partial probe chain; the
+		// serialized re-run records the authoritative one.
+		tr.Events = tr.Events[:mark]
+	}
+	if n > 0 {
+		g.retries.Add(uint64(n))
+		tr.Retries(n)
+	}
+	if !ok {
+		g.fallbacks.Add(1)
+	}
+	return sr, ok
+}
+
+// SearchRetries reports the engine's lock-free read telemetry: torn
+// seqlock snapshots re-read, and searches that escalated to the
+// serialized path.
+func (c *Concurrent) SearchRetries(port string) (retries, fallbacks uint64, err error) {
+	g, ok := c.engines[port]
+	if !ok {
+		return 0, 0, errNoEngine(port)
+	}
+	return g.retries.Load(), g.fallbacks.Load(), nil
 }
 
 // msearchWorker drains one engine's batch queue until Close.
@@ -207,6 +331,8 @@ func (c *Concurrent) sampleGauges(g *guardedEngine) metrics.Gauges {
 		EccUncorrectable:  est.Uncorrectable,
 		EccReadErrors:     est.ReadErrors,
 		ScrubRepairedBits: est.ScrubRepairedBits,
+		SearchRetries:     g.retries.Load(),
+		LockFallbacks:     g.fallbacks.Load(),
 	}
 }
 
@@ -340,20 +466,24 @@ func (c *Concurrent) Insert(port string, rec match.Record) error {
 	return err
 }
 
-// Search runs one lookup on the named engine. It takes the write lock:
-// a search occupies the slice's only row port and updates its access
-// statistics, so two searches of one engine cannot overlap — exactly
-// the hardware's constraint.
+// Search runs one lookup on the named engine. On an overflow-less
+// engine it is wait-free: the lookup runs on a pooled lock-free Reader
+// over the array's per-row seqlock, touching no mutex — concurrent
+// searches overlap with each other and with the engine's writer, the
+// software form of §3.3's replicated comparator banks. Engines with an
+// overflow CAM (and the rare search the seqlock protocol cannot
+// certify) serialize under the engine lock as before.
 func (c *Concurrent) Search(port string, key bitutil.Ternary) (SearchResult, error) {
 	return c.SearchTraced(port, key, nil)
 }
 
 // SearchTraced is Search recording into a request-scoped trace: the
-// wait for the engine's port lock becomes a lock_wait span (queueing
-// delay in front of the slice's single row port), and the engine layer
-// records the probe chain. A nil trace is the plain hot path — Search
-// delegates here, and with metrics also absent the clock is never
-// read.
+// engine layer records the probe chain, plus a retries event when the
+// lock-free read re-read torn snapshots. Only the serialized path
+// (overflow engines, escalations, SetLockedReads) records a lock_wait
+// span — a lock-free search never waits on the port lock, which is the
+// point. A nil trace is the plain hot path — Search delegates here,
+// and with metrics also absent the clock is never read.
 func (c *Concurrent) SearchTraced(port string, key bitutil.Ternary, tr *trace.Trace) (SearchResult, error) {
 	if c.down.Load() {
 		return SearchResult{}, ErrClosed
@@ -365,6 +495,21 @@ func (c *Concurrent) SearchTraced(port string, key bitutil.Ternary, tr *trace.Tr
 	}
 	if Health(g.health.Load()) == Failed {
 		return SearchResult{}, ErrEngineUnavailable
+	}
+	if g.seqRead && !c.lockedReads {
+		if g.em == nil && tr == nil {
+			if sr, ok := c.searchSeq(g, key, nil); ok {
+				return sr, nil
+			}
+		} else {
+			start := time.Now()
+			if sr, ok := c.searchSeq(g, key, tr); ok {
+				if g.em != nil {
+					g.em.Observe(metrics.OpSearch, time.Since(start), nil)
+				}
+				return sr, nil
+			}
+		}
 	}
 	if g.em == nil && tr == nil {
 		g.mu.Lock()
@@ -392,10 +537,11 @@ func (c *Concurrent) SearchTraced(port string, key bitutil.Ternary, tr *trace.Tr
 // Explain runs one lookup with tracing forced on (tr must be non-nil)
 // and also returns the engine's §3.4 analytic expectation of rows
 // accessed — mean(1 + displacement) over the records stored at the
-// moment of the lookup, computed under the same lock hold so model and
-// measurement describe the same contents. The lookup is real: it
-// charges access statistics and counts as a search in the metrics
-// layer, exactly like the request it explains.
+// moment of the lookup. On the lock-free path the lookup itself takes
+// no lock; the expectation scan then runs under the read lock (it
+// peeks every row, so it must not race the writer's plain reads). The
+// lookup is real: it charges access statistics and counts as a search
+// in the metrics layer, exactly like the request it explains.
 func (c *Concurrent) Explain(port string, key bitutil.Ternary, tr *trace.Trace) (SearchResult, float64, error) {
 	if c.down.Load() {
 		return SearchResult{}, 0, ErrClosed
@@ -409,6 +555,17 @@ func (c *Concurrent) Explain(port string, key bitutil.Ternary, tr *trace.Trace) 
 		return SearchResult{}, 0, ErrEngineUnavailable
 	}
 	start := time.Now()
+	if g.seqRead && !c.lockedReads {
+		if sr, ok := c.searchSeq(g, key, tr); ok {
+			g.mu.RLock()
+			expected := g.e.Main.ExpectedRows()
+			g.mu.RUnlock()
+			if g.em != nil {
+				g.em.Observe(metrics.OpSearch, time.Since(start), nil)
+			}
+			return sr, expected, nil
+		}
+	}
 	g.mu.Lock()
 	tr.Span(trace.KindLockWait, start)
 	sr := g.e.SearchTraced(key, tr)
@@ -450,13 +607,26 @@ func (c *Concurrent) Delete(port string, key bitutil.Ternary) error {
 	return err
 }
 
-// Contains reports whether the exact key is stored. It takes only the
-// read lock — the underlying scan peeks at rows and charges no
-// accesses, so concurrent readers are safe.
+// Contains reports whether the exact key is stored. On an overflow-
+// less engine it is lock-free (an uncharged seqlock scan on a pooled
+// Reader); otherwise — or when the protocol cannot certify the scan —
+// it takes the read lock and peeks rows as before.
 func (c *Concurrent) Contains(port string, key bitutil.Ternary) (bool, error) {
 	g, ok := c.engines[port]
 	if !ok {
 		return false, errNoEngine(port)
+	}
+	if g.seqRead && !c.lockedReads {
+		rd := g.readers.get()
+		found, ok := rd.Contains(key)
+		if n := rd.TakeRetries(); n > 0 {
+			g.retries.Add(uint64(n))
+		}
+		g.readers.put(rd)
+		if ok {
+			return found, nil
+		}
+		g.fallbacks.Add(1)
 	}
 	g.mu.RLock()
 	defer g.mu.RUnlock()
@@ -579,25 +749,55 @@ func (c *Concurrent) MSearch(reqs []PortKey) []MSearchResult {
 	return out
 }
 
-// runBatch executes one engine's share of an MSearch: the engine lock
-// is taken once for the whole share, and instrumentation measures the
-// share with one clock pair, attributing each key its per-item slice
-// of the duration.
+// runBatch executes one engine's share of an MSearch. On the lock-free
+// path the whole share runs on one pooled Reader with no mutex
+// operations; any keys the seqlock protocol could not certify are
+// re-run as a locked leftover batch. The serialized path takes the
+// engine lock once for the whole share. Either way instrumentation
+// measures the share with one clock pair, attributing each key its
+// per-item slice of the duration.
 func (c *Concurrent) runBatch(g *guardedEngine, reqs []PortKey, out []MSearchResult, idxs []int) {
-	erred := false
-	if g.em == nil {
-		g.mu.Lock()
+	if g.seqRead && !c.lockedReads {
+		var start time.Time
+		if g.em != nil {
+			start = time.Now()
+		}
+		rd := g.readers.get()
+		var rest []int
 		for _, i := range idxs {
-			out[i].Result = g.e.Search(reqs[i].Key)
-			erred = erred || out[i].Result.Erred
+			sr, ok := g.e.SearchSeq(rd, reqs[i].Key, nil)
+			if !ok {
+				rest = append(rest, i)
+				continue
+			}
+			out[i].Result = sr
 		}
-		if erred {
-			g.raiseTo(c.evalHealth(g))
+		if n := rd.TakeRetries(); n > 0 {
+			g.retries.Add(uint64(n))
 		}
-		g.mu.Unlock()
+		g.readers.put(rd)
+		if len(rest) > 0 {
+			g.fallbacks.Add(uint64(len(rest)))
+			c.runBatchLocked(g, reqs, out, rest)
+		}
+		if g.em != nil {
+			g.em.ObserveBatch(metrics.OpMSearch, time.Since(start), uint64(len(idxs)), 0)
+		}
+		return
+	}
+	if g.em == nil {
+		c.runBatchLocked(g, reqs, out, idxs)
 		return
 	}
 	start := time.Now()
+	c.runBatchLocked(g, reqs, out, idxs)
+	g.em.ObserveBatch(metrics.OpMSearch, time.Since(start), uint64(len(idxs)), 0)
+}
+
+// runBatchLocked is the serialized share runner: the engine lock held
+// once across the listed keys.
+func (c *Concurrent) runBatchLocked(g *guardedEngine, reqs []PortKey, out []MSearchResult, idxs []int) {
+	erred := false
 	g.mu.Lock()
 	for _, i := range idxs {
 		out[i].Result = g.e.Search(reqs[i].Key)
@@ -607,5 +807,4 @@ func (c *Concurrent) runBatch(g *guardedEngine, reqs []PortKey, out []MSearchRes
 		g.raiseTo(c.evalHealth(g))
 	}
 	g.mu.Unlock()
-	g.em.ObserveBatch(metrics.OpMSearch, time.Since(start), uint64(len(idxs)), 0)
 }

@@ -124,6 +124,30 @@ func (e *Engine) SearchTraced(key bitutil.Ternary, tr *trace.Trace) SearchResult
 	return res
 }
 
+// SearchSeq runs one lookup on the caller's lock-free Reader instead
+// of the engine's port lock. It serves engines without an overflow CAM
+// only (the Concurrent layer gates on that): the CAM has its own
+// mutable priority state, so overflow-equipped engines stay on the
+// serialized path. ok=false means the Reader could not certify the
+// answer (torn past its retry budget, quarantined row, or check-word
+// mismatch) and the caller must fall back to the locked SearchTraced;
+// the partial result is meaningless then. A certified result never
+// carries Erred — anything a locked search would flag erred escalates
+// here instead.
+func (e *Engine) SearchSeq(rd *caram.Reader, key bitutil.Ternary, tr *trace.Trace) (SearchResult, bool) {
+	var main caram.LookupResult
+	var ok bool
+	if e.Score != nil {
+		main, ok = rd.LookupBest(key, e.Score, tr)
+	} else {
+		main, ok = rd.Lookup(key, tr)
+	}
+	if !ok {
+		return SearchResult{}, false
+	}
+	return SearchResult{Found: main.Found, Record: main.Record, RowsRead: main.RowsRead, Erred: main.Erred}, true
+}
+
 // banks resolves the timing bank count.
 func (e *Engine) banks() int {
 	if e.Banks <= 0 {

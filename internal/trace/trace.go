@@ -60,6 +60,11 @@ const (
 	// corrected) or quarantined the row as uncorrectable (Hit=true
 	// marks quarantine). Positional like KindProbe, not timed.
 	KindEcc
+	// KindRetries reports how many seqlock snapshots the lock-free
+	// search path re-read after observing a concurrent writer mid-
+	// publish (Matches = torn snapshots retried). Emitted at most once
+	// per request, only when nonzero. Not timed.
+	KindRetries
 )
 
 // String names the kind for logs and JSON.
@@ -79,6 +84,8 @@ func (k Kind) String() string {
 		return "encode"
 	case KindEcc:
 		return "ecc"
+	case KindRetries:
+		return "retries"
 	}
 	return "unknown"
 }
@@ -192,6 +199,17 @@ func (t *Trace) Ecc(bucket uint32, correctedBits int, quarantined bool) {
 		Matches: int32(correctedBits),
 		Hit:     quarantined,
 	})
+}
+
+// Retries records how many torn seqlock snapshots the lock-free
+// search path re-read while serving this request. Zero retries emit
+// nothing, so uncontended requests trace identically with either
+// read path.
+func (t *Trace) Retries(n int) {
+	if t == nil || n == 0 {
+		return
+	}
+	t.Events = append(t.Events, Event{Kind: KindRetries, Matches: int32(n)})
 }
 
 // Match records the match kernel's aggregate work for the lookup.
