@@ -22,19 +22,25 @@
 #                       suites under -race, the zero-alloc guards with
 #                       the seqlock read path compiled in, and the
 #                       byte-exact golden session
+#   make typed-guard    typed-engine gate: the LPM/pktclass/trigram
+#                       differential oracle suites and lifecycle churn
+#                       under -race, the parser-hardening table, the
+#                       zero-alloc guard with typed engines registered,
+#                       and the byte-exact golden session serving all
+#                       four engine types in one process
 #   make ci             the CI gate: check + race + alloc-guard +
-#                       trace-guard + seqlock-guard + chaos +
-#                       metrics-smoke
+#                       trace-guard + seqlock-guard + typed-guard +
+#                       chaos + metrics-smoke
 #   make all            everything above, in that order
 
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check vet race stress fuzz bench bench-json alloc-guard trace-guard seqlock-guard chaos metrics-smoke ci
+.PHONY: all check vet race stress fuzz bench bench-json alloc-guard trace-guard seqlock-guard typed-guard chaos metrics-smoke ci
 
-all: check race stress fuzz bench trace-guard seqlock-guard chaos metrics-smoke
+all: check race stress fuzz bench trace-guard seqlock-guard typed-guard chaos metrics-smoke
 
-ci: check race alloc-guard trace-guard seqlock-guard chaos metrics-smoke
+ci: check race alloc-guard trace-guard seqlock-guard typed-guard chaos metrics-smoke
 
 check: vet
 	$(GO) build ./...
@@ -90,6 +96,18 @@ seqlock-guard:
 	$(GO) test -race -run 'TestReader' -count=1 ./internal/caram
 	$(GO) test -race -run 'SearchWaitFree|SearchTornReadStress|ForcedRetryTelemetry' -count=1 ./internal/subsystem
 	$(GO) test -run ZeroAlloc -count=1 ./internal/match ./internal/caram ./internal/server
+	$(GO) test -run GoldenSession -count=1 ./internal/server
+
+# Typed-engine gate: every differential oracle suite (wire answers vs
+# the simulation packages' trie / linear classifier / trigram slice),
+# the 16-goroutine mixed-ops churn variants, and engine lifecycle churn
+# all run under the race detector; then the typed parser-hardening
+# table, the zero-alloc guard with typed engines registered, and the
+# golden session that serves exact, lpm, pktclass, and trigram engines
+# from one server process.
+typed-guard:
+	$(GO) test -race -run 'Typed' -count=1 ./internal/server ./internal/subsystem
+	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/server
 	$(GO) test -run GoldenSession -count=1 ./internal/server
 
 # Freeze the hot-path benchmarks into a versioned JSON artifact.

@@ -1,10 +1,14 @@
 // Command caram-server exposes a CA-RAM subsystem over TCP with the
 // line protocol of internal/server — the accelerator as a lookup
-// service. It starts one empty general-purpose engine per name in
-// -engines (64-bit keys, 32-bit data); clients populate and query
-// them. Requests to distinct engines execute in parallel (the
-// per-engine locking model of internal/subsystem's Concurrent layer),
-// so pointing hot traffic at several engines scales with cores.
+// service. It starts one empty engine per element of -engines, where
+// each element is name or name:type — exact (the default: 64-bit
+// keys, 32-bit data), lpm (32-bit ternary longest-prefix match),
+// pktclass (104-bit ternary 5-tuple classification), or trigram
+// (128-bit text keys). Clients populate and query them, and can add
+// or remove engines at runtime with CREATE ENGINE / DROP ENGINE.
+// Requests to distinct engines execute in parallel (the per-engine
+// locking model of internal/subsystem's Concurrent layer), so
+// pointing hot traffic at several engines scales with cores.
 //
 // With -http the server also exposes its observability surface:
 // Prometheus-style metrics on /metrics, expvar on /debug/vars, pprof
@@ -38,7 +42,7 @@
 // Logging goes to stderr as structured log/slog lines; -log-level
 // picks the floor (debug adds connection lifecycle events).
 //
-//	caram-server -addr :7070 -http :9090 -engines db,ip,tri -slowlog-us 500 &
+//	caram-server -addr :7070 -http :9090 -engines db,ip:lpm,tri:trigram -slowlog-us 500 &
 //	printf 'INSERT db dead 42\nEXPLAIN SEARCH db dead\nSLOWLOG LEN\n' | nc localhost 7070
 //	curl -s localhost:9090/debug/traces | head
 //
@@ -73,7 +77,7 @@ func main() {
 		httpAddr = flag.String("http", "", "optional HTTP listen address for /metrics, /debug/vars, /debug/pprof, /debug/traces")
 		rbits    = flag.Int("indexbits", 12, "index bits per engine (2^n buckets)")
 		slots    = flag.Int("slots", 8, "keys per bucket")
-		engines  = flag.String("engines", "db", "comma-separated engine names; requests to distinct engines run in parallel")
+		engines  = flag.String("engines", "db", "comma-separated engines, each name or name:type (exact, lpm, pktclass, trigram); requests to distinct engines run in parallel")
 		logLevel = flag.String("log-level", "info", "log floor: debug, info, warn, error")
 		sampleN  = flag.Int("trace-sample", 0, "admit every Nth request into the sampled trace ring (0 = off)")
 		slowUs   = flag.Int64("slowlog-us", 10_000, "slowlog threshold in microseconds; requests slower than this are retained with their probe trace (-1 = off)")
@@ -108,9 +112,49 @@ func main() {
 	var rows, perRow int
 	for i, name := range names {
 		name = strings.TrimSpace(name)
+		// Each -engines element is name or name:type (exact, lpm,
+		// pktclass, trigram); a bare name keeps the historical exact
+		// engine. Typed engines share -indexbits / -slots / -ecc.
+		typ := subsystem.ExactEngine
+		if at := strings.IndexByte(name, ':'); at >= 0 {
+			var err error
+			if typ, err = subsystem.ParseEngineType(name[at+1:]); err != nil {
+				logger.Error("bad -engines element", "element", name, "err", err)
+				os.Exit(1)
+			}
+			name = name[:at]
+		}
 		if name == "" {
 			logger.Error("empty engine name in -engines")
 			os.Exit(1)
+		}
+		if typ != subsystem.ExactEngine {
+			e, err := subsystem.NewTypedEngine(name, typ, subsystem.TypedConfig{
+				IndexBits: *rbits,
+				Slots:     *slots,
+				ECC:       *eccOn,
+			})
+			if err != nil {
+				logger.Error("engine config", "engine", name, "err", err)
+				os.Exit(1)
+			}
+			if *faultSeed != 0 {
+				inj := fault.New(fault.Config{
+					Seed:     *faultSeed + int64(i),
+					PSingle:  *faultSingle,
+					PDouble:  *faultDouble,
+					PReadErr: *faultReadErr,
+					PSpike:   *faultSpike,
+				})
+				e.Main.Array().InstallFaults(inj)
+				inj.Enable()
+			}
+			if err := sub.AddEngine(e); err != nil {
+				logger.Error("add engine", "engine", name, "err", err)
+				os.Exit(1)
+			}
+			rows, perRow = e.Main.Config().Rows(), e.Main.Config().Slots()
+			continue
 		}
 		sl, err := caram.New(caram.Config{
 			IndexBits: *rbits,

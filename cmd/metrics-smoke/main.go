@@ -14,7 +14,12 @@
 //     threshold every request is retained, SLOWLOG LEN/GET/RESET see
 //     them over the wire, EXPLAIN prints a probe chain, and
 //     /debug/traces serves the slowlog JSON with per-request probe
-//     events, and
+//     events,
+//   - typed engines work over the wire: one lpm, pktclass, and trigram
+//     engine each is created with CREATE ENGINE and driven through a
+//     typed operation, the scrape carries their engine_type-labelled
+//     families, /debug/traces retains the typed requests, and DROP
+//     ENGINE removes the engine from the exposition, and
 //   - SIGINT shuts the server down cleanly (exit code 0).
 //
 // It exits non-zero with a diagnostic on the first failed assertion,
@@ -128,30 +133,30 @@ func run() error {
 	for _, want := range []string{
 		"# TYPE " + metrics.FamOps + " counter",
 		"# TYPE " + metrics.FamOpLatency + " histogram",
-		metrics.FamOps + `{engine="db",op="insert"} 1`,
-		metrics.FamOps + `{engine="db",op="search"} 2`,
-		metrics.FamOps + `{engine="db",op="delete"} 1`,
-		metrics.FamOps + `{engine="db",op="msearch"} 1`,
-		metrics.FamOps + `{engine="aux",op="msearch"} 1`,
-		metrics.FamOpLatency + `_count{engine="db",op="search"} 2`,
-		metrics.FamRecords + `{engine="db"} 0`,
-		metrics.FamRecords + `{engine="aux"} 1`,
-		metrics.FamLoadFactor + `{engine="db"} 0`,
-		metrics.FamAMAL + `{engine="db"}`,
-		metrics.FamLookups + `{engine="db"} 3`,
-		metrics.FamHits + `{engine="db"} 2`,
-		metrics.FamMisses + `{engine="db"} 1`,
-		metrics.FamRowsAccessed + `{engine="db"}`,
-		metrics.FamOverflow + `{engine="db"} 0`,
-		metrics.FamSpilled + `{engine="db"} 0`,
-		metrics.FamHealth + `{engine="db"} 0`,
-		metrics.FamQuarantined + `{engine="db"} 0`,
-		metrics.FamEccCorrected + `{engine="db"} 0`,
-		metrics.FamEccUncorrect + `{engine="db"} 0`,
-		metrics.FamRowReadErrors + `{engine="db"} 0`,
-		metrics.FamScrubRepaired + `{engine="db"} 0`,
-		metrics.FamSearchRetries + `{engine="db"} 0`,
-		metrics.FamLockFallbacks + `{engine="db"} 0`,
+		metrics.FamOps + `{engine="db",engine_type="exact",op="insert"} 1`,
+		metrics.FamOps + `{engine="db",engine_type="exact",op="search"} 2`,
+		metrics.FamOps + `{engine="db",engine_type="exact",op="delete"} 1`,
+		metrics.FamOps + `{engine="db",engine_type="exact",op="msearch"} 1`,
+		metrics.FamOps + `{engine="aux",engine_type="exact",op="msearch"} 1`,
+		metrics.FamOpLatency + `_count{engine="db",engine_type="exact",op="search"} 2`,
+		metrics.FamRecords + `{engine="db",engine_type="exact"} 0`,
+		metrics.FamRecords + `{engine="aux",engine_type="exact"} 1`,
+		metrics.FamLoadFactor + `{engine="db",engine_type="exact"} 0`,
+		metrics.FamAMAL + `{engine="db",engine_type="exact"}`,
+		metrics.FamLookups + `{engine="db",engine_type="exact"} 3`,
+		metrics.FamHits + `{engine="db",engine_type="exact"} 2`,
+		metrics.FamMisses + `{engine="db",engine_type="exact"} 1`,
+		metrics.FamRowsAccessed + `{engine="db",engine_type="exact"}`,
+		metrics.FamOverflow + `{engine="db",engine_type="exact"} 0`,
+		metrics.FamSpilled + `{engine="db",engine_type="exact"} 0`,
+		metrics.FamHealth + `{engine="db",engine_type="exact"} 0`,
+		metrics.FamQuarantined + `{engine="db",engine_type="exact"} 0`,
+		metrics.FamEccCorrected + `{engine="db",engine_type="exact"} 0`,
+		metrics.FamEccUncorrect + `{engine="db",engine_type="exact"} 0`,
+		metrics.FamRowReadErrors + `{engine="db",engine_type="exact"} 0`,
+		metrics.FamScrubRepaired + `{engine="db",engine_type="exact"} 0`,
+		metrics.FamSearchRetries + `{engine="db",engine_type="exact"} 0`,
+		metrics.FamLockFallbacks + `{engine="db",engine_type="exact"} 0`,
 		metrics.FamUnknown + " 1",
 	} {
 		if !strings.Contains(body, want) {
@@ -258,6 +263,81 @@ func run() error {
 		return err
 	} else if got != "SLOWLOG len=1" {
 		return fmt.Errorf("SLOWLOG LEN after RESET: got %q, want %q", got, "SLOWLOG len=1")
+	}
+
+	// Typed engines: create one of each type over the wire and drive
+	// one typed operation each — the same process now serves all four
+	// engine shapes.
+	for _, step := range []struct{ req, want string }{
+		{"CREATE ENGINE ip TYPE lpm INDEXBITS 8 SLOTS 8", "OK"},
+		{"CREATE ENGINE acl TYPE pktclass INDEXBITS 8 SLOTS 8", "OK"},
+		{"CREATE ENGINE tri TYPE trigram INDEXBITS 8", "OK"},
+		{"MINSERT ip a000000 ffffff 801", "OK"},
+		{"MINSERT ip a010000 ffff 1002", "OK"},
+		{"SEARCH ip a010101", "HIT 0:0000000000001002"}, // longest prefix, not first match
+		{"MINSERT acl a01010000:1bb000006 ffff:ffffff0000ffff00 0:1010064", "OK"},
+		{"SEARCH acl a010107c0:a8000101bb303906", "HIT 0:0000000001010064"},
+		{"TINSERT tri 2a the quick fox", "OK"},
+		{"TSEARCH tri the quick fox", "HIT 0:000000000000002a"},
+		{"TSEARCH tri missing text", "MISS"},
+	} {
+		got, err := ask(step.req)
+		if err != nil {
+			return err
+		}
+		if got != step.want {
+			return fmt.Errorf("%s: got %q, want %q", step.req, got, step.want)
+		}
+	}
+
+	// The scrape now carries engine_type-labelled families for every
+	// typed engine beside the exact ones.
+	body, err = get("http://" + httpAddr + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		metrics.FamOps + `{engine="ip",engine_type="lpm",op="insert"} 2`,
+		metrics.FamOps + `{engine="ip",engine_type="lpm",op="search"} 1`,
+		metrics.FamOps + `{engine="acl",engine_type="pktclass",op="insert"} 1`,
+		metrics.FamOps + `{engine="acl",engine_type="pktclass",op="search"} 1`,
+		metrics.FamOps + `{engine="tri",engine_type="trigram",op="insert"} 1`,
+		metrics.FamOps + `{engine="tri",engine_type="trigram",op="search"} 2`,
+		metrics.FamOpLatency + `_count{engine="tri",engine_type="trigram",op="search"} 2`,
+		metrics.FamRecords + `{engine="tri",engine_type="trigram"} 1`,
+		metrics.FamHits + `{engine="ip",engine_type="lpm"} 1`,
+		metrics.FamMisses + `{engine="tri",engine_type="trigram"} 1`,
+		metrics.FamHealth + `{engine="acl",engine_type="pktclass"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			return fmt.Errorf("/metrics missing %q after typed workload\n%s", want, body)
+		}
+	}
+
+	// /debug/traces retained the typed requests (the ring was reset
+	// just before the typed workload, so they dominate it).
+	traces, err = get("http://" + httpAddr + "/debug/traces")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{`"cmd": "TSEARCH"`, `"cmd": "MINSERT"`, `"engine": "ip"`} {
+		if !strings.Contains(traces, want) {
+			return fmt.Errorf("/debug/traces missing %q after typed workload\n%s", want, traces)
+		}
+	}
+
+	// DROP unregisters the engine from the exposition entirely.
+	if got, err := ask("DROP ENGINE acl"); err != nil {
+		return err
+	} else if got != "OK" {
+		return fmt.Errorf("DROP ENGINE acl: got %q, want OK", got)
+	}
+	body, err = get("http://" + httpAddr + "/metrics")
+	if err != nil {
+		return err
+	}
+	if strings.Contains(body, `engine="acl"`) {
+		return fmt.Errorf(`/metrics still exposes engine="acl" after DROP`)
 	}
 
 	vars, err := get("http://" + httpAddr + "/debug/vars")

@@ -166,9 +166,26 @@ type DJB struct {
 // keyBytes-byte keys.
 func NewDJB(r, keyBytes int) *DJB { return &DJB{R: r, KeyBytes: keyBytes} }
 
-// Index hashes the key bytes and keeps the low R bits.
+// Index hashes the key bytes and keeps the low R bits. It walks the
+// key's big-endian byte image in place — same values as
+// DJBBytes(key.Bytes(...)) without materializing the slice, keeping
+// trigram-engine searches allocation-free.
 func (d *DJB) Index(key bitutil.Vec128) uint32 {
-	return uint32(DJBBytes(key.Bytes(d.KeyBytes*8))) & (1<<uint(d.R) - 1)
+	n := d.KeyBytes
+	if n > 16 {
+		n = 16
+	}
+	h := uint64(djbSeed)
+	for i := n - 1; i >= 0; i-- { // i = byte position from the LSB; MSB first
+		var b byte
+		if i < 8 {
+			b = byte(key.Lo >> (8 * uint(i)))
+		} else {
+			b = byte(key.Hi >> (8 * uint(i-8)))
+		}
+		h = h<<5 + h + uint64(b)
+	}
+	return uint32(h) & (1<<uint(d.R) - 1)
 }
 
 // Bits returns the index width.

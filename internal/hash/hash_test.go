@@ -85,6 +85,22 @@ func TestDJBRecurrence(t *testing.T) {
 	}
 }
 
+// TestDJBIndexMatchesBytes pins the allocation-free Index walk to the
+// reference byte-slice recurrence for every key width.
+func TestDJBIndexMatchesBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for keyBytes := 1; keyBytes <= 16; keyBytes++ {
+		gen := NewDJB(14, keyBytes)
+		for i := 0; i < 200; i++ {
+			key := bitutil.FromParts(rng.Uint64(), rng.Uint64())
+			want := uint32(DJBBytes(key.Bytes(keyBytes*8))) & (1<<14 - 1)
+			if got := gen.Index(key); got != want {
+				t.Fatalf("keyBytes=%d key=%v: Index=%d, reference=%d", keyBytes, key, got, want)
+			}
+		}
+	}
+}
+
 func TestDJBIndexRange(t *testing.T) {
 	gen := NewDJB(14, 16)
 	rng := rand.New(rand.NewSource(1))

@@ -17,6 +17,7 @@ package metrics
 
 import (
 	"errors"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -118,30 +119,102 @@ type Gauges struct {
 	LockFallbacks uint64
 }
 
-// Registry holds the metrics of a fixed set of engines. The engine set
-// is frozen at construction (mirroring subsystem.Concurrent, whose
-// engine registration is complete before wrapping), so lookups by name
-// never take a lock.
+// Registry holds the metrics of the registered engines. The roster is
+// copy-on-write: lookups by name do one atomic load and index an
+// immutable map (the hot path never takes a lock), while Register and
+// Unregister — the CREATE ENGINE / DROP ENGINE path — serialize on a
+// mutex and swap in a fresh snapshot.
 type Registry struct {
-	order   []string
-	engines map[string]*EngineMetrics
+	mu      sync.Mutex // serializes roster writers
+	set     atomic.Pointer[registrySet]
 	unknown atomic.Uint64 // requests addressed to no registered engine
 }
 
-// NewRegistry builds a registry with one metrics slot per engine name.
+// registrySet is one immutable roster snapshot.
+type registrySet struct {
+	order   []string
+	engines map[string]*EngineMetrics
+}
+
+// newEngineMetrics builds one engine's slot.
+func newEngineMetrics(name, typ string) *EngineMetrics {
+	em := &EngineMetrics{name: name, typ: typ}
+	for op := Op(0); op < NumOps; op++ {
+		em.ops[op].lat.init()
+	}
+	return em
+}
+
+// NewRegistry builds a registry with one metrics slot per engine name,
+// each of the default "exact" engine type (SetType adjusts it during
+// instrumentation).
 func NewRegistry(names []string) *Registry {
-	r := &Registry{
+	set := &registrySet{
 		order:   append([]string(nil), names...),
 		engines: make(map[string]*EngineMetrics, len(names)),
 	}
-	for _, n := range r.order {
-		em := &EngineMetrics{name: n}
-		for op := Op(0); op < NumOps; op++ {
-			em.ops[op].lat.init()
-		}
-		r.engines[n] = em
+	for _, n := range set.order {
+		set.engines[n] = newEngineMetrics(n, "exact")
 	}
+	r := &Registry{}
+	r.set.Store(set)
 	return r
+}
+
+// Register adds an engine slot of the given type to a live registry
+// and returns it; registering an existing name returns the existing
+// slot unchanged.
+func (r *Registry) Register(name, typ string) *EngineMetrics {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.set.Load()
+	if em, ok := cur.engines[name]; ok {
+		return em
+	}
+	em := newEngineMetrics(name, typ)
+	next := &registrySet{
+		order:   append(append(make([]string, 0, len(cur.order)+1), cur.order...), name),
+		engines: make(map[string]*EngineMetrics, len(cur.engines)+1),
+	}
+	for k, v := range cur.engines {
+		next.engines[k] = v
+	}
+	next.engines[name] = em
+	r.set.Store(next)
+	return em
+}
+
+// Unregister removes an engine slot from a live registry; its counters
+// drop out of subsequent snapshots and expositions. Unknown names are
+// a no-op.
+func (r *Registry) Unregister(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur := r.set.Load()
+	if _, ok := cur.engines[name]; !ok {
+		return
+	}
+	next := &registrySet{
+		order:   make([]string, 0, len(cur.order)-1),
+		engines: make(map[string]*EngineMetrics, len(cur.engines)-1),
+	}
+	for _, n := range cur.order {
+		if n != name {
+			next.order = append(next.order, n)
+		}
+	}
+	for k, v := range cur.engines {
+		if k != name {
+			next.engines[k] = v
+		}
+	}
+	r.set.Store(next)
 }
 
 // Engine returns the named engine's metrics, or nil when unknown (or
@@ -150,7 +223,7 @@ func (r *Registry) Engine(name string) *EngineMetrics {
 	if r == nil {
 		return nil
 	}
-	return r.engines[name]
+	return r.set.Load().engines[name]
 }
 
 // Engines lists engine names in registration order.
@@ -158,7 +231,7 @@ func (r *Registry) Engines() []string {
 	if r == nil {
 		return nil
 	}
-	return append([]string(nil), r.order...)
+	return append([]string(nil), r.set.Load().order...)
 }
 
 // AddUnknown counts n requests that named no registered engine. Safe on
@@ -183,8 +256,9 @@ func (r *Registry) Totals() (ops, errs uint64) {
 	if r == nil {
 		return 0, 0
 	}
-	for _, name := range r.order {
-		em := r.engines[name]
+	set := r.set.Load()
+	for _, name := range set.order {
+		em := set.engines[name]
 		for op := Op(0); op < NumOps; op++ {
 			ops += em.ops[op].count.Load()
 			errs += em.ops[op].errs.Load()
@@ -199,6 +273,7 @@ func (r *Registry) Totals() (ops, errs uint64) {
 // across goroutines (it is part of instrumentation, not of serving).
 type EngineMetrics struct {
 	name   string
+	typ    string // engine_type label value ("exact", "lpm", ...)
 	ops    [NumOps]opMetrics
 	gauges func() Gauges
 }
@@ -211,6 +286,14 @@ type opMetrics struct {
 
 // Name returns the engine name the slot was registered under.
 func (m *EngineMetrics) Name() string { return m.name }
+
+// Type returns the engine's type label value.
+func (m *EngineMetrics) Type() string { return m.typ }
+
+// SetType sets the engine_type label. Like SetGaugeFunc it is part of
+// instrumentation: call it before the registry serves concurrent
+// traffic (Register sets it atomically for engines created live).
+func (m *EngineMetrics) SetType(t string) { m.typ = t }
 
 // Observe records one completed operation: its kind, wall-clock
 // duration, and outcome. The duration lands in the op's bounded
@@ -277,6 +360,7 @@ type OpSnapshot struct {
 // EngineSnapshot is one engine's counters and gauges at a point in time.
 type EngineSnapshot struct {
 	Name      string
+	Type      string
 	Ops       [NumOps]OpSnapshot
 	Gauges    Gauges
 	HasGauges bool
@@ -294,13 +378,14 @@ func (r *Registry) Snapshot() Snapshot {
 	if r == nil {
 		return Snapshot{}
 	}
+	set := r.set.Load()
 	s := Snapshot{
-		Engines: make([]EngineSnapshot, 0, len(r.order)),
+		Engines: make([]EngineSnapshot, 0, len(set.order)),
 		Unknown: r.unknown.Load(),
 	}
-	for _, name := range r.order {
-		em := r.engines[name]
-		es := EngineSnapshot{Name: name}
+	for _, name := range set.order {
+		em := set.engines[name]
+		es := EngineSnapshot{Name: name, Type: em.typ}
 		for op := Op(0); op < NumOps; op++ {
 			es.Ops[op] = OpSnapshot{
 				Op:      op,

@@ -231,14 +231,14 @@ func TestWritePrometheus(t *testing.T) {
 	}
 	out := sb.String()
 	for _, want := range []string{
-		FamOps + `{engine="db",op="search"} 2`,
-		FamOpErrors + `{engine="db",op="search"} 1`,
-		FamOpLatency + `_count{engine="db",op="search"} 2`,
-		FamOpLatency + `_bucket{engine="db",op="search",le="+Inf"} 2`,
-		FamOps + `{engine="db",op="insert"} 0`,
-		FamRecords + `{engine="db"} 3`,
-		FamLoadFactor + `{engine="db"} 0.25`,
-		FamAMAL + `{engine="db"} 1.5`,
+		FamOps + `{engine="db",engine_type="exact",op="search"} 2`,
+		FamOpErrors + `{engine="db",engine_type="exact",op="search"} 1`,
+		FamOpLatency + `_count{engine="db",engine_type="exact",op="search"} 2`,
+		FamOpLatency + `_bucket{engine="db",engine_type="exact",op="search",le="+Inf"} 2`,
+		FamOps + `{engine="db",engine_type="exact",op="insert"} 0`,
+		FamRecords + `{engine="db",engine_type="exact"} 3`,
+		FamLoadFactor + `{engine="db",engine_type="exact"} 0.25`,
+		FamAMAL + `{engine="db",engine_type="exact"} 1.5`,
 		FamUnknown + " 4",
 		"# TYPE " + FamOpLatency + " histogram",
 	} {

@@ -50,21 +50,21 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 	bw.printf("# HELP %s Operations processed, by engine and op.\n# TYPE %s counter\n", FamOps, FamOps)
 	for _, e := range s.Engines {
 		for op := Op(0); op < NumOps; op++ {
-			bw.printf("%s{engine=%q,op=%q} %d\n", FamOps, e.Name, op.String(), e.Ops[op].Count)
+			bw.printf("%s{engine=%q,engine_type=%q,op=%q} %d\n", FamOps, e.Name, e.Type, op.String(), e.Ops[op].Count)
 		}
 	}
 
 	bw.printf("# HELP %s Operations that returned an error, by engine and op.\n# TYPE %s counter\n", FamOpErrors, FamOpErrors)
 	for _, e := range s.Engines {
 		for op := Op(0); op < NumOps; op++ {
-			bw.printf("%s{engine=%q,op=%q} %d\n", FamOpErrors, e.Name, op.String(), e.Ops[op].Errors)
+			bw.printf("%s{engine=%q,engine_type=%q,op=%q} %d\n", FamOpErrors, e.Name, e.Type, op.String(), e.Ops[op].Errors)
 		}
 	}
 
 	bw.printf("# HELP %s Wall-clock operation latency: lock-free searches are timed end to end, serialized ops at the engine lock boundary (writer lock wait included).\n# TYPE %s histogram\n", FamOpLatency, FamOpLatency)
 	for _, e := range s.Engines {
 		for op := Op(0); op < NumOps; op++ {
-			writeLatency(bw, e.Name, op, e.Ops[op].Latency)
+			writeLatency(bw, e.Name, e.Type, op, e.Ops[op].Latency)
 		}
 	}
 
@@ -74,7 +74,7 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 			if !e.HasGauges {
 				continue
 			}
-			bw.printf("%s{engine=%q} %s\n", fam, e.Name, val(e))
+			bw.printf("%s{engine=%q,engine_type=%q} %s\n", fam, e.Name, e.Type, val(e))
 		}
 	}
 	gauge(FamRecords, "Records stored in the engine's main array.",
@@ -119,7 +119,7 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 
 // writeLatency emits one (engine, op) latency histogram with
 // cumulative buckets in seconds.
-func writeLatency(bw *errWriter, engine string, op Op, h HistSnapshot) {
+func writeLatency(bw *errWriter, engine, typ string, op Op, h HistSnapshot) {
 	var cum uint64
 	if h.N > 0 {
 		for i, c := range h.Counts {
@@ -130,13 +130,13 @@ func writeLatency(bw *errWriter, engine string, op Op, h HistSnapshot) {
 			if cum == h.N && c == 0 {
 				continue // skip trailing empty buckets (the +Inf line closes the series)
 			}
-			bw.printf("%s_bucket{engine=%q,op=%q,le=%q} %d\n",
-				FamOpLatency, engine, op.String(), formatSeconds(BucketEdgeNs(i)), cum)
+			bw.printf("%s_bucket{engine=%q,engine_type=%q,op=%q,le=%q} %d\n",
+				FamOpLatency, engine, typ, op.String(), formatSeconds(BucketEdgeNs(i)), cum)
 		}
 	}
-	bw.printf("%s_bucket{engine=%q,op=%q,le=\"+Inf\"} %d\n", FamOpLatency, engine, op.String(), h.N)
-	bw.printf("%s_sum{engine=%q,op=%q} %g\n", FamOpLatency, engine, op.String(), float64(h.SumNs)/1e9)
-	bw.printf("%s_count{engine=%q,op=%q} %d\n", FamOpLatency, engine, op.String(), h.N)
+	bw.printf("%s_bucket{engine=%q,engine_type=%q,op=%q,le=\"+Inf\"} %d\n", FamOpLatency, engine, typ, op.String(), h.N)
+	bw.printf("%s_sum{engine=%q,engine_type=%q,op=%q} %g\n", FamOpLatency, engine, typ, op.String(), float64(h.SumNs)/1e9)
+	bw.printf("%s_count{engine=%q,engine_type=%q,op=%q} %d\n", FamOpLatency, engine, typ, op.String(), h.N)
 }
 
 // formatSeconds renders a nanosecond edge as seconds for an `le` label.

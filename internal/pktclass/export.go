@@ -1,0 +1,34 @@
+package pktclass
+
+import "caram/internal/bitutil"
+
+// The serving stack (internal/subsystem's pktclass engine type) stores
+// classifier rules in a generic CA-RAM slice rather than through
+// NewCARAMClassifier, so the key/payload encodings and the classifier
+// hash geometry are exported here as thin wrappers over the package's
+// internal helpers.
+
+// HashPositions returns the bit-selection positions a pktclass engine
+// of n index bits hashes on: the low n bits of the destination IP's
+// host portion (dstIPOff+16 .. dstIPOff+16+n-1), the same choice
+// NewCARAMClassifier makes — rarely wildcarded by real ACLs, so ternary
+// duplication stays bounded.
+func HashPositions(n int) []int {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = dstIPOff + 16 + i
+	}
+	return pos
+}
+
+// TernaryKeys expands the rule into its ternary CA-RAM/TCAM keys: the
+// cross product of the two port-range prefix covers over the fixed
+// IP/proto fields, each normalized.
+func (r Rule) TernaryKeys() []bitutil.Ternary { return r.ternaryKeys() }
+
+// EncodeData encodes the rule's (ID, action, priority) into the 32-bit
+// record payload stored beside each expanded key.
+func EncodeData(r Rule) bitutil.Vec128 { return dataOf(r) }
+
+// DecodeData reverses EncodeData.
+func DecodeData(d bitutil.Vec128) (id int, action uint8, prio int) { return decode(d) }

@@ -53,3 +53,40 @@ func TestExecAppendSearchZeroAlloc(t *testing.T) {
 		})
 	}
 }
+
+// TestTypedExecAppendSearchZeroAlloc re-runs the zero-alloc guard on a
+// server also hosting wire-created typed engines: registering lpm /
+// pktclass / trigram engines must not add allocations to the exact
+// engine's SEARCH hot path (the COW engine roster keeps dispatch to
+// one atomic load), and the typed reads themselves stay allocation-free
+// too — LPM's ranked LookupBest and the trigram key fold included.
+func TestTypedExecAppendSearchZeroAlloc(t *testing.T) {
+	s := allocServer()
+	for _, req := range []string{
+		"CREATE ENGINE ip TYPE lpm INDEXBITS 6 SLOTS 8",
+		"CREATE ENGINE acl TYPE pktclass INDEXBITS 6 SLOTS 8",
+		"CREATE ENGINE tri TYPE trigram INDEXBITS 6",
+		"INSERT db dead 42",
+		"MINSERT ip a000000 ffffff 801",
+		"MINSERT ip a010000 ffff 1002",
+		"TINSERT tri 2a the quick fox",
+	} {
+		if got := s.Exec(req); got != "OK" {
+			t.Fatalf("%s: %q", req, got)
+		}
+	}
+	buf := make([]byte, 0, 64)
+	for _, tc := range []struct{ name, req string }{
+		{"exact", "SEARCH db dead"},
+		{"lpm", "SEARCH ip a010101"},
+		{"trigram", "TSEARCH tri the quick fox"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			if n := testing.AllocsPerRun(200, func() {
+				buf = s.ExecAppend(buf[:0], tc.req)
+			}); n != 0 {
+				t.Fatalf("%s ExecAppend allocated %.1f times per run, want 0", tc.req, n)
+			}
+		})
+	}
+}

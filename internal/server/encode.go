@@ -2,6 +2,7 @@ package server
 
 import (
 	"strconv"
+	"strings"
 	"unicode"
 	"unicode/utf8"
 )
@@ -102,6 +103,15 @@ func (f *fieldScanner) next() (field string, ok bool) {
 	}
 	f.i = i
 	return s[start:i], true
+}
+
+// rest returns everything left of the line with surrounding whitespace
+// trimmed, consuming the scanner — the free-text tail of a request
+// (trigram texts may contain spaces).
+func (f *fieldScanner) rest() string {
+	out := strings.TrimSpace(f.s[f.i:])
+	f.i = len(f.s)
+	return out
 }
 
 // countFields returns how many fields remain from the scanner's current

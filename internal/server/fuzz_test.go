@@ -70,6 +70,30 @@ func FuzzExec(f *testing.F) {
 		"HEALTH db BOGUS",
 		"HEALTH db SCRUB extra",
 		"health db",
+		"CREATE ENGINE z TYPE lpm INDEXBITS 4",
+		"CREATE ENGINE z TYPE trigram",
+		"CREATE ENGINE z TYPE pktclass SLOTS 4 ECC",
+		"CREATE ENGINE z TYPE wat",
+		"CREATE ENGINE z TYPE lpm INDEXBITS 99",
+		"CREATE ENGINE db TYPE exact", // duplicate of the fixture engine
+		"CREATE ENGINE",
+		"create engine y type lpm indexbits 4 slots 2",
+		"DROP ENGINE z",
+		"DROP ENGINE nope",
+		"DROP",
+		"MINSERT z 12 ff 1",
+		"MINSERT db 12 ff 1", // exact engine: type gate
+		"MINSERT z 12zz ff 1",
+		"MINSERT z 12 ff",
+		"MDELETE z 12 ff",
+		"MDELETE db 12 ff",
+		"TINSERT z 1 hello world",
+		"TINSERT db 1 hello",
+		"TINSERT z zz hello",
+		"TINSERT z 1",
+		"TSEARCH z hello world",
+		"TSEARCH db hello",
+		"TSEARCH z",
 		"BOGUS x y",
 		"insert db 1 2", // lowercase command
 		"INSERT db 1 2 3 4",

@@ -6,15 +6,33 @@
 // plain "<lo>" or wide "<hi>:<lo>"):
 //
 //	ENGINES
+//	CREATE  ENGINE <name> TYPE <type> [INDEXBITS <n>] [SLOTS <n>] [ECC]
+//	DROP    ENGINE <name>
 //	INSERT  <engine> <key> <data>
+//	MINSERT <engine> <key> <mask> <data>
 //	SEARCH  <engine> <key> [mask]
 //	MSEARCH <engine> <key> [<engine> <key> ...]
 //	DELETE  <engine> <key>
+//	MDELETE <engine> <key> <mask>
+//	TINSERT <engine> <score> <text...>
+//	TSEARCH <engine> <text...>
 //	STATS   <engine>
 //	METRICS [engine [LATENCY <op>]]
 //	SLOWLOG GET [n] | LEN | RESET
 //	EXPLAIN SEARCH <engine> <key> [mask]
 //	HEALTH  [engine [SCRUB]]
+//
+// CREATE ENGINE adds a typed engine to the live server (type one of
+// exact, lpm, pktclass, trigram); DROP ENGINE removes one. SEARCH on
+// an lpm engine answers the longest matching prefix, on a pktclass
+// engine the highest-priority matching rule — the type carries the
+// ranking, the request line stays the same. MINSERT/MDELETE are the
+// masked (ternary) writes of the lpm/pktclass engines: mask bits are
+// don't-cares, and the store duplicates each rule across its wildcard
+// hash buckets (§4's ternary duplication). TINSERT/TSEARCH are the
+// trigram engine's text-keyed forms — the text (rest of the line,
+// spaces allowed) folds into the 16-byte key image of §6's trigram
+// signatures, and a hit returns the stored score.
 //
 // Responses: "OK", "HIT <data>", "MISS", "STATS n=.. alpha=.. amal=..",
 // "ENGINES a b c", "MRESULTS r1 r2 ...", "METRICS ...", "SLOWLOG ...",
@@ -680,6 +698,18 @@ func (s *Server) execAppend(dst []byte, line string, tr *trace.Trace) []byte {
 			return appendErr(dst, err)
 		}
 		return append(dst, "OK"...)
+	case "CREATE":
+		return s.execCreateAppend(dst, &fs)
+	case "DROP":
+		return s.execDropAppend(dst, &fs)
+	case "MINSERT":
+		return s.execMInsertAppend(dst, &fs, tr)
+	case "MDELETE":
+		return s.execMDeleteAppend(dst, &fs, tr)
+	case "TINSERT":
+		return s.execTInsertAppend(dst, &fs, tr)
+	case "TSEARCH":
+		return s.execTSearchAppend(dst, &fs, tr)
 	case "METRICS":
 		return s.execMetricsAppend(dst, &fs)
 	case "SLOWLOG":

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Parser hardening for the typed-engine wire surface: every malformed
+// line draws a deterministic single-line ERR (mirroring the parseVec
+// discipline — trailing garbage, bad numbers, and type mismatches are
+// all rejected, never silently tolerated).
+func TestTypedCommandParsing(t *testing.T) {
+	s := typedServer(t)
+	mustOK(t, s, "CREATE ENGINE ip TYPE lpm INDEXBITS 6 SLOTS 8")
+	mustOK(t, s, "CREATE ENGINE tri TYPE trigram INDEXBITS 6")
+	mustOK(t, s, "CREATE ENGINE db TYPE exact INDEXBITS 6")
+
+	createUsage := "ERR usage: CREATE ENGINE <name> TYPE <type> [INDEXBITS <n>] [SLOTS <n>] [ECC]"
+	cases := []struct{ req, want string }{
+		// CREATE grammar.
+		{"CREATE", createUsage},
+		{"CREATE TABLE x TYPE lpm", createUsage},
+		{"CREATE ENGINE", createUsage},
+		{"CREATE ENGINE x", createUsage},
+		{"CREATE ENGINE x TYPE", createUsage},
+		{"CREATE ENGINE x KIND lpm", createUsage},
+		{"CREATE ENGINE x TYPE lpm INDEXBITS", createUsage},
+		{"CREATE ENGINE x TYPE lpm INDEXBITS four", createUsage},
+		{"CREATE ENGINE x TYPE lpm BOGUS 3", createUsage},
+		{"CREATE ENGINE x TYPE wat", `ERR subsystem: bad engine type "wat"`},
+		{"CREATE ENGINE x TYPE lpm INDEXBITS 0", "ERR indexbits out of range [1,12]"},
+		{"CREATE ENGINE x TYPE lpm INDEXBITS 13", "ERR indexbits out of range [1,12]"},
+		{"CREATE ENGINE x TYPE lpm SLOTS 0", "ERR slots out of range [1,64]"},
+		{"CREATE ENGINE x TYPE lpm SLOTS 65", "ERR slots out of range [1,64]"},
+		{"CREATE ENGINE bad name! TYPE lpm", createUsage}, // "name!" parses as a stray option
+		{"CREATE ENGINE a/b TYPE lpm", `ERR bad engine name "a/b"`},
+		{"CREATE ENGINE " + strings.Repeat("x", 33) + " TYPE lpm",
+			fmt.Sprintf("ERR bad engine name %q", strings.Repeat("x", 33))},
+		{"CREATE ENGINE ip TYPE lpm", `ERR subsystem: engine "ip" already registered`},
+		// DROP grammar.
+		{"DROP", "ERR usage: DROP ENGINE <name>"},
+		{"DROP ENGINE", "ERR usage: DROP ENGINE <name>"},
+		{"DROP ENGINE a b", "ERR usage: DROP ENGINE <name>"},
+		{"DROP TABLE ip", "ERR usage: DROP ENGINE <name>"},
+		{"DROP ENGINE nosuch", `ERR subsystem: no engine "nosuch"`},
+		// MINSERT / MDELETE grammar and type gates.
+		{"MINSERT", "ERR usage: MINSERT <engine> <key> <mask> <data>"},
+		{"MINSERT ip 1 2", "ERR usage: MINSERT <engine> <key> <mask> <data>"},
+		{"MINSERT ip 1 2 3 4", "ERR usage: MINSERT <engine> <key> <mask> <data>"},
+		{"MINSERT ip 1z 2 3", `ERR bad hex "1z"`},
+		{"MINSERT ip 1 0x2 3", `ERR bad hex "0x2"`},
+		{"MINSERT ip 1 2 -3", `ERR bad hex "-3"`},
+		{"MINSERT nosuch 1 2 3", `ERR subsystem: no engine "nosuch"`},
+		{"MINSERT db 1 2 3", "ERR minsert: engine type exact"},
+		{"MINSERT tri 1 2 3", "ERR minsert: engine type trigram"},
+		{"MDELETE", "ERR usage: MDELETE <engine> <key> <mask>"},
+		{"MDELETE ip 1 2 3", "ERR usage: MDELETE <engine> <key> <mask>"},
+		{"MDELETE ip zz 2", `ERR bad hex "zz"`},
+		{"MDELETE db 1 2", "ERR mdelete: engine type exact"},
+		// TINSERT / TSEARCH grammar and type gates.
+		{"TINSERT", "ERR usage: TINSERT <engine> <score> <text>"},
+		{"TINSERT tri 5", "ERR usage: TINSERT <engine> <score> <text>"},
+		{"TINSERT tri xyz hello", `ERR bad score "xyz"`},
+		{"TINSERT tri 10000 hello", `ERR bad score "10000"`}, // > 16 bits
+		{"TINSERT tri 5 " + strings.Repeat("a", 257), "ERR text too long"},
+		{"TINSERT ip 5 hello", "ERR tinsert: engine type lpm"},
+		{"TINSERT nosuch 5 hello", `ERR subsystem: no engine "nosuch"`},
+		{"TSEARCH", "ERR usage: TSEARCH <engine> <text>"},
+		{"TSEARCH tri", "ERR usage: TSEARCH <engine> <text>"},
+		{"TSEARCH tri " + strings.Repeat("a", 257), "ERR text too long"},
+		{"TSEARCH db hello", "ERR tsearch: engine type exact"},
+	}
+	for _, tc := range cases {
+		if got := s.Exec(tc.req); got != tc.want {
+			t.Errorf("%s\n  got  %q\n  want %q", tc.req, got, tc.want)
+		}
+	}
+
+	// Keyword case-insensitivity and idempotent round trips.
+	mustOK(t, s, "create engine Tmp TYPE lpm indexbits 4 slots 2 ecc")
+	mustOK(t, s, "drop engine Tmp")
+	if got := s.Exec("DROP ENGINE Tmp"); got != `ERR subsystem: no engine "Tmp"` {
+		t.Errorf("second drop => %q", got)
+	}
+}
+
+// TestTypedEngineLimit fills the process to maxEngines and checks the
+// protocol-level cap: the next CREATE draws a deterministic ERR and
+// registers nothing, and dropping one engine frees one slot.
+func TestTypedEngineLimit(t *testing.T) {
+	s := typedServer(t)
+	for i := 0; len(s.con.Engines()) < maxEngines; i++ {
+		mustOK(t, s, fmt.Sprintf("CREATE ENGINE e%d TYPE exact INDEXBITS 1 SLOTS 1", i))
+	}
+	if got := s.Exec("CREATE ENGINE over TYPE exact INDEXBITS 1 SLOTS 1"); got != "ERR engine limit reached" {
+		t.Fatalf("create past limit => %q", got)
+	}
+	mustOK(t, s, "DROP ENGINE e0")
+	mustOK(t, s, "CREATE ENGINE over TYPE exact INDEXBITS 1 SLOTS 1")
+	if n := len(s.con.Engines()); n != maxEngines {
+		t.Fatalf("engine count = %d, want %d", n, maxEngines)
+	}
+}

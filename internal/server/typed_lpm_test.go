@@ -1,0 +1,294 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"caram/internal/iproute"
+	"caram/internal/subsystem"
+	"caram/internal/swsearch"
+)
+
+// Differential oracle suite for the lpm engine type: every wire-path
+// answer is checked result-for-result against internal/swsearch's
+// unibit trie (the simulation package's software LPM baseline) over a
+// routing table from internal/iproute's generator.
+
+// lpmData packs a prefix's identity into the 32-bit payload so a HIT
+// is self-describing: length in the high byte, next hop in the low.
+func lpmData(p iproute.Prefix) uint64 {
+	return uint64(p.Len)<<8 | uint64(p.NextHop)
+}
+
+// lpmValue is the trie-side encoding of the same identity.
+func lpmValue(p iproute.Prefix) uint64 { return lpmData(p) }
+
+// parseHit decodes "HIT <hi>:<lo>" into the payload value; ok=false
+// for MISS. Any other reply fails the test.
+func parseHit(t *testing.T, reply string) (uint64, bool) {
+	t.Helper()
+	if reply == "MISS" {
+		return 0, false
+	}
+	var hi, lo uint64
+	if _, err := fmt.Sscanf(reply, "HIT %x:%x", &hi, &lo); err != nil || hi != 0 {
+		t.Fatalf("unexpected reply %q", reply)
+	}
+	return lo, true
+}
+
+// typedServer builds a server over an empty subsystem (every engine
+// arrives over the wire via CREATE ENGINE).
+func typedServer(t *testing.T) *Server {
+	t.Helper()
+	s := New(subsystem.New(0))
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// mustOK fails unless the request draws "OK".
+func mustOK(t *testing.T, s *Server, req string) {
+	t.Helper()
+	if got := s.Exec(req); got != "OK" {
+		t.Fatalf("%s => %q, want OK", req, got)
+	}
+}
+
+// lpmFixture creates an lpm engine over the wire and loads a generated
+// routing table into both the engine and the trie oracle, returning
+// the prefixes actually resident (a full engine skips the prefix on
+// both sides, keeping the two models identical).
+func lpmFixture(t *testing.T, s *Server, eng string, nPrefixes int, seed int64) ([]iproute.Prefix, *swsearch.Trie) {
+	t.Helper()
+	mustOK(t, s, "CREATE ENGINE "+eng+" TYPE lpm INDEXBITS 8 SLOTS 32")
+	gen := iproute.Generate(iproute.GenConfig{Prefixes: nPrefixes, Seed: seed})
+	trie := swsearch.NewTrie(32)
+	var kept []iproute.Prefix
+	seen := make(map[[2]uint32]bool, len(gen))
+	for _, p := range gen {
+		p = p.Canonical()
+		id := [2]uint32{p.Addr, uint32(p.Len)}
+		if seen[id] {
+			continue
+		}
+		seen[id] = true
+		reply := s.Exec(minsertLPM(eng, p))
+		if strings.HasPrefix(reply, "ERR subsystem: record fits") ||
+			strings.HasPrefix(reply, "ERR caram: slice full") {
+			continue // no slot within the probe limit: absent from both models
+		}
+		if reply != "OK" {
+			t.Fatalf("MINSERT %v => %q", p, reply)
+		}
+		trie.Insert(uint64(p.Addr), p.Len, lpmValue(p))
+		kept = append(kept, p)
+	}
+	if len(kept) < nPrefixes/2 {
+		t.Fatalf("only %d/%d prefixes resident; fixture too small to be meaningful", len(kept), nPrefixes)
+	}
+	return kept, trie
+}
+
+// minsertLPM renders a prefix as its masked wire insert.
+func minsertLPM(eng string, p iproute.Prefix) string {
+	k := p.Key()
+	return fmt.Sprintf("MINSERT %s %x %x %x", eng, k.Value.Uint64(), k.Mask.Uint64(), lpmData(p))
+}
+
+// lpmCheck compares one address's wire answer against the trie.
+func lpmCheck(t *testing.T, s *Server, eng string, trie *swsearch.Trie, addr uint32) {
+	t.Helper()
+	got, hit := parseHit(t, s.Exec("SEARCH "+eng+" "+strconv.FormatUint(uint64(addr), 16)))
+	want, _, ok := trie.Lookup(uint64(addr))
+	if hit != ok || (hit && got != want) {
+		t.Fatalf("addr %08x: wire (hit=%v val=%#x) vs trie (hit=%v val=%#x)", addr, hit, got, ok, want)
+	}
+}
+
+// lpmQueryMix yields n addresses biased toward hits: half sampled
+// inside resident prefixes, half uniform.
+func lpmQueryMix(prefixes []iproute.Prefix, n int, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]uint32, n)
+	for i := range out {
+		if i%2 == 0 && len(prefixes) > 0 {
+			p := prefixes[rng.Intn(len(prefixes))]
+			host := uint32(0)
+			if p.Len < 32 {
+				host = rng.Uint32() >> uint(p.Len)
+			}
+			out[i] = p.Addr | host
+		} else {
+			out[i] = rng.Uint32()
+		}
+	}
+	return out
+}
+
+// TestTypedLPMDifferential drives >=1k randomized lookups through the
+// wire path and checks each against the trie, then deletes a slab of
+// prefixes over the wire, rebuilds the oracle without them, and
+// re-checks — the delete path must remove every duplicated ternary
+// copy or the comparison diverges.
+func TestTypedLPMDifferential(t *testing.T) {
+	s := typedServer(t)
+	prefixes, trie := lpmFixture(t, s, "ip", 1000, 7)
+
+	for _, addr := range lpmQueryMix(prefixes, 1500, 11) {
+		lpmCheck(t, s, "ip", trie, addr)
+	}
+
+	// Delete every 5th prefix over the wire; the oracle is rebuilt
+	// from the survivors.
+	rebuilt := swsearch.NewTrie(32)
+	var survivors []iproute.Prefix
+	for i, p := range prefixes {
+		if i%5 == 0 {
+			k := p.Key()
+			req := fmt.Sprintf("MDELETE ip %x %x", k.Value.Uint64(), k.Mask.Uint64())
+			if got := s.Exec(req); got != "OK" {
+				t.Fatalf("%s => %q", req, got)
+			}
+			continue
+		}
+		rebuilt.Insert(uint64(p.Addr), p.Len, lpmValue(p))
+		survivors = append(survivors, p)
+	}
+	for _, addr := range lpmQueryMix(survivors, 800, 13) {
+		lpmCheck(t, s, "ip", rebuilt, addr)
+	}
+}
+
+// TestTypedLPMQuick is the testing/quick form of the same agreement:
+// for arbitrary addresses, the wire answer equals the trie answer.
+func TestTypedLPMQuick(t *testing.T) {
+	s := typedServer(t)
+	_, trie := lpmFixture(t, s, "ipq", 600, 21)
+	prop := func(addr uint32) bool {
+		got, hit := parseHit(t, s.Exec("SEARCH ipq "+strconv.FormatUint(uint64(addr), 16)))
+		want, _, ok := trie.Lookup(uint64(addr))
+		return hit == ok && (!hit || got == want)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTypedLPMChurn exercises the seqlock read path on masked rows: 16
+// goroutines of mixed wire ops — searchers validating every reply
+// against the full prefix universe, and writers churning disjoint
+// prefix sets through MDELETE/MINSERT. A stable core is never deleted,
+// so a search under a stable prefix must always answer with at least
+// that prefix's specificity. Run under -race by the typed-guard tier.
+func TestTypedLPMChurn(t *testing.T) {
+	const (
+		nSearchers = 12
+		nWriters   = 4
+		perWriter  = 8
+		iters      = 300
+	)
+	s := typedServer(t)
+	mustOK(t, s, "CREATE ENGINE ip TYPE lpm INDEXBITS 8 SLOTS 32")
+
+	// Stable core: disjoint /16s under 10.0.0.0, one per value of the
+	// second octet. Churn sets: per-writer disjoint /24s inside
+	// 172.16.0.0, never overlapping the stable space.
+	universe := make(map[uint64]iproute.Prefix) // lpmData -> prefix
+	var stable []iproute.Prefix
+	for i := 0; i < 16; i++ {
+		p := iproute.Prefix{Addr: 0x0A000000 | uint32(i)<<16, Len: 16, NextHop: uint8(i + 1)}
+		mustOK(t, s, minsertLPM("ip", p))
+		stable = append(stable, p)
+		universe[lpmData(p)] = p
+	}
+	churn := make([][]iproute.Prefix, nWriters)
+	for w := range churn {
+		for j := 0; j < perWriter; j++ {
+			p := iproute.Prefix{
+				Addr:    0xAC100000 | uint32(w)<<16 | uint32(j)<<8,
+				Len:     24,
+				NextHop: uint8(0x80 | w<<4 | j),
+			}
+			mustOK(t, s, minsertLPM("ip", p))
+			churn[w] = append(churn[w], p)
+			universe[lpmData(p)] = p
+		}
+	}
+
+	var wg sync.WaitGroup
+	var fail atomic.Value
+	record := func(format string, args ...any) {
+		fail.CompareAndSwap(nil, fmt.Sprintf(format, args...))
+	}
+	for w := 0; w < nWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				p := churn[w][i%perWriter]
+				k := p.Key()
+				del := fmt.Sprintf("MDELETE ip %x %x", k.Value.Uint64(), k.Mask.Uint64())
+				if got := s.Exec(del); got != "OK" {
+					record("%s => %q", del, got)
+					return
+				}
+				if got := s.Exec(minsertLPM("ip", p)); got != "OK" {
+					record("churn reinsert %v => %q", p, got)
+					return
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < nSearchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for i := 0; i < iters; i++ {
+				var addr uint32
+				wantStable := -1
+				if i%2 == 0 {
+					p := stable[rng.Intn(len(stable))]
+					addr = p.Addr | rng.Uint32()>>16
+					wantStable = p.Len
+				} else {
+					w := rng.Intn(nWriters)
+					p := churn[w][rng.Intn(perWriter)]
+					addr = p.Addr | rng.Uint32()>>24
+				}
+				reply := s.Exec("SEARCH ip " + strconv.FormatUint(uint64(addr), 16))
+				if reply == "MISS" {
+					if wantStable >= 0 {
+						record("addr %08x under stable prefix answered MISS", addr)
+						return
+					}
+					continue
+				}
+				var hi, lo uint64
+				if _, err := fmt.Sscanf(reply, "HIT %x:%x", &hi, &lo); err != nil {
+					record("addr %08x: unexpected reply %q", addr, reply)
+					return
+				}
+				p, ok := universe[lo]
+				if !ok || !p.Matches(addr) {
+					record("addr %08x: payload %#x names no matching prefix (torn read?)", addr, lo)
+					return
+				}
+				if wantStable >= 0 && p.Len < wantStable {
+					record("addr %08x: got /%d, stable /%d resident", addr, p.Len, wantStable)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if msg := fail.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+}

@@ -1,0 +1,297 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"caram/internal/bitutil"
+	"caram/internal/iproute"
+	"caram/internal/pktclass"
+)
+
+// Differential oracle suite for the pktclass engine type: the wire
+// path (range-to-prefix expanded rules inserted with MINSERT, packets
+// classified with SEARCH) is checked packet-for-packet against a
+// linear highest-priority scan over the very same rule structs — the
+// oracle internal/pktclass itself verifies its classifiers against.
+
+// vecWire renders a 128-bit vector in the wire's hi:lo hex form.
+func vecWire(v bitutil.Vec128) string {
+	return fmt.Sprintf("%x:%x", v.Hi, v.Lo)
+}
+
+// pktFixture creates a pktclass engine over the wire and loads a
+// synthetic ACL in priority order, expanding each rule to its ternary
+// keys. A key already claimed by a higher-priority rule is skipped on
+// the wire (the engine stores one row per distinct (value,mask) image
+// and the higher priority owns it); the oracle needs no such carve-out
+// because any packet matching the claimed key matches the owning rule
+// too, and the linear scan takes the higher priority. If the engine
+// runs out of slots mid-rule, the rule's rows are rolled back with
+// MDELETE and the whole rule is dropped from the oracle, keeping the
+// two models aligned.
+func pktFixture(t *testing.T, s *Server, eng string, nRules int, seed int64) []pktclass.Rule {
+	t.Helper()
+	mustOK(t, s, "CREATE ENGINE "+eng+" TYPE pktclass INDEXBITS 8 SLOTS 64")
+	rules := pktclass.GenerateRules(pktclass.GenRulesConfig{Rules: nRules, Seed: seed})
+	claimed := make(map[string]bool)
+	var kept []pktclass.Rule
+insert:
+	for _, r := range rules { // descending priority by construction
+		keys := r.TernaryKeys()
+		data := vecWire(pktclass.EncodeData(r))
+		var mine []bitutil.Ternary
+		for _, k := range keys {
+			id := vecWire(k.Value) + "/" + vecWire(k.Mask)
+			if claimed[id] {
+				continue
+			}
+			req := "MINSERT " + eng + " " + vecWire(k.Value) + " " + vecWire(k.Mask) + " " + data
+			reply := s.Exec(req)
+			if strings.HasPrefix(reply, "ERR subsystem: record fits") ||
+				strings.HasPrefix(reply, "ERR caram: slice full") {
+				for _, m := range mine {
+					mustOK(t, s, "MDELETE "+eng+" "+vecWire(m.Value)+" "+vecWire(m.Mask))
+				}
+				continue insert // rule dropped whole; oracle never sees it
+			}
+			if reply != "OK" {
+				t.Fatalf("%s => %q", req, reply)
+			}
+			mine = append(mine, k)
+		}
+		for _, m := range mine {
+			claimed[vecWire(m.Value)+"/"+vecWire(m.Mask)] = true
+		}
+		kept = append(kept, r)
+	}
+	if len(kept) < nRules/2 {
+		t.Fatalf("only %d/%d rules resident; fixture too small to be meaningful", len(kept), nRules)
+	}
+	return kept
+}
+
+// classifyOracle is the linear highest-priority scan.
+func classifyOracle(rules []pktclass.Rule, p pktclass.FiveTuple) (pktclass.Rule, bool) {
+	var best pktclass.Rule
+	found := false
+	for _, r := range rules {
+		if (!found || r.Priority > best.Priority) && r.Matches(p) {
+			best, found = r, true
+		}
+	}
+	return best, found
+}
+
+// pktCheck classifies one packet over the wire and compares the full
+// decoded (id, action, priority) against the oracle's winner.
+// Priorities are unique by construction, so a hit has exactly one
+// correct answer.
+func pktCheck(t *testing.T, s *Server, eng string, rules []pktclass.Rule, p pktclass.FiveTuple) {
+	t.Helper()
+	reply := s.Exec("SEARCH " + eng + " " + vecWire(p.Key()))
+	want, ok := classifyOracle(rules, p)
+	if reply == "MISS" {
+		if ok {
+			t.Fatalf("packet %+v: wire MISS, oracle rule id=%d prio=%d", p, want.ID, want.Priority)
+		}
+		return
+	}
+	var hi, lo uint64
+	if _, err := fmt.Sscanf(reply, "HIT %x:%x", &hi, &lo); err != nil {
+		t.Fatalf("packet %+v: unexpected reply %q", p, reply)
+	}
+	id, action, prio := pktclass.DecodeData(bitutil.FromParts(lo, hi))
+	if !ok {
+		t.Fatalf("packet %+v: wire HIT id=%d, oracle MISS", p, id)
+	}
+	if id != want.ID || action != want.Action || prio != int(uint16(want.Priority)) {
+		t.Fatalf("packet %+v: wire (id=%d act=%d prio=%d) vs oracle (id=%d act=%d prio=%d)",
+			p, id, action, prio, want.ID, want.Action, want.Priority)
+	}
+}
+
+// TestTypedPktClassDifferential loads a ~250-rule ACL and classifies a
+// ClassBench-style trace (70% rule-directed, 30% random) of >=1200
+// packets, each checked against the linear oracle.
+func TestTypedPktClassDifferential(t *testing.T) {
+	s := typedServer(t)
+	rules := pktFixture(t, s, "acl", 250, 3)
+	for _, p := range pktclass.GenerateTrace(rules, 1200, 0.3, 17) {
+		pktCheck(t, s, "acl", rules, p)
+	}
+}
+
+// TestTypedPktClassQuick is the testing/quick form: uniformly random
+// five-tuples (mostly misses, plus whatever lands in broad wildcard
+// rules) must agree with the oracle.
+func TestTypedPktClassQuick(t *testing.T) {
+	s := typedServer(t)
+	rules := pktFixture(t, s, "aclq", 150, 5)
+	prop := func(srcIP, dstIP uint32, srcPort, dstPort uint16, proto uint8) bool {
+		p := pktclass.FiveTuple{SrcIP: srcIP, DstIP: dstIP, SrcPort: srcPort, DstPort: dstPort, Proto: proto}
+		reply := s.Exec("SEARCH aclq " + vecWire(p.Key()))
+		want, ok := classifyOracle(rules, p)
+		if reply == "MISS" {
+			return !ok
+		}
+		var hi, lo uint64
+		if _, err := fmt.Sscanf(reply, "HIT %x:%x", &hi, &lo); err != nil {
+			return false
+		}
+		id, _, _ := pktclass.DecodeData(bitutil.FromParts(lo, hi))
+		return ok && id == want.ID
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTypedPktClassChurn runs 16 goroutines of mixed wire ops against
+// one pktclass engine: searchers classify packets aimed at a stable
+// rule core that is never deleted, writers churn disjoint
+// single-key rules through MDELETE/MINSERT. Every HIT must decode to a
+// universe rule that actually matches the packet, and a packet built
+// for a stable rule must never answer below that rule's priority.
+func TestTypedPktClassChurn(t *testing.T) {
+	const (
+		nSearchers = 12
+		nWriters   = 4
+		perWriter  = 6
+		iters      = 250
+	)
+	s := typedServer(t)
+	mustOK(t, s, "CREATE ENGINE acl TYPE pktclass INDEXBITS 8 SLOTS 64")
+
+	// Stable core: exact-port TCP rules pinned to distinct /24s —
+	// single ternary key each, priorities 1000+i. Churn rules live in
+	// a disjoint address block with lower priorities, so deleting them
+	// never changes a stable packet's answer.
+	universe := make(map[int]pktclass.Rule)
+	var stable []pktclass.Rule
+	insertRule := func(r pktclass.Rule) {
+		data := vecWire(pktclass.EncodeData(r))
+		for _, k := range r.TernaryKeys() {
+			mustOK(t, s, "MINSERT acl "+vecWire(k.Value)+" "+vecWire(k.Mask)+" "+data)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		r := pktclass.Rule{
+			ID:        i + 1,
+			DstPrefix: iproute.Prefix{Addr: 0x0A000000 | uint32(i)<<8, Len: 24},
+			SrcPorts:  pktclass.AnyPort(),
+			DstPorts:  pktclass.ExactPort(443),
+			Proto:     6,
+			Priority:  1000 + i,
+			Action:    1,
+		}
+		insertRule(r)
+		stable = append(stable, r)
+		universe[r.ID] = r
+	}
+	churn := make([][]pktclass.Rule, nWriters)
+	for w := range churn {
+		for j := 0; j < perWriter; j++ {
+			r := pktclass.Rule{
+				ID:        100 + w*perWriter + j,
+				DstPrefix: iproute.Prefix{Addr: 0xC0A80000 | uint32(w*perWriter+j)<<8, Len: 24},
+				SrcPorts:  pktclass.AnyPort(),
+				DstPorts:  pktclass.ExactPort(80),
+				Proto:     6,
+				Priority:  100 + w*perWriter + j,
+				Action:    2,
+			}
+			insertRule(r)
+			churn[w] = append(churn[w], r)
+			universe[r.ID] = r
+		}
+	}
+
+	var wg sync.WaitGroup
+	var fail atomic.Value
+	record := func(format string, args ...any) {
+		fail.CompareAndSwap(nil, fmt.Sprintf(format, args...))
+	}
+	for w := 0; w < nWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r := churn[w][i%perWriter]
+				for _, k := range r.TernaryKeys() {
+					del := "MDELETE acl " + vecWire(k.Value) + " " + vecWire(k.Mask)
+					if got := s.Exec(del); got != "OK" {
+						record("%s => %q", del, got)
+						return
+					}
+				}
+				data := vecWire(pktclass.EncodeData(r))
+				for _, k := range r.TernaryKeys() {
+					req := "MINSERT acl " + vecWire(k.Value) + " " + vecWire(k.Mask) + " " + data
+					if got := s.Exec(req); got != "OK" {
+						record("%s => %q", req, got)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < nSearchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(2000 + g)))
+			for i := 0; i < iters; i++ {
+				var p pktclass.FiveTuple
+				wantPrio := -1
+				if i%2 == 0 {
+					r := stable[rng.Intn(len(stable))]
+					p = pktclass.FiveTuple{
+						SrcIP: rng.Uint32(), DstIP: r.DstPrefix.Addr | uint32(rng.Intn(256)),
+						SrcPort: uint16(rng.Intn(1 << 16)), DstPort: 443, Proto: 6,
+					}
+					wantPrio = r.Priority
+				} else {
+					w := rng.Intn(nWriters)
+					r := churn[w][rng.Intn(perWriter)]
+					p = pktclass.FiveTuple{
+						SrcIP: rng.Uint32(), DstIP: r.DstPrefix.Addr | uint32(rng.Intn(256)),
+						SrcPort: uint16(rng.Intn(1 << 16)), DstPort: 80, Proto: 6,
+					}
+				}
+				reply := s.Exec("SEARCH acl " + vecWire(p.Key()))
+				if reply == "MISS" {
+					if wantPrio >= 0 {
+						record("stable packet %+v answered MISS", p)
+						return
+					}
+					continue
+				}
+				var hi, lo uint64
+				if _, err := fmt.Sscanf(reply, "HIT %x:%x", &hi, &lo); err != nil {
+					record("packet %+v: unexpected reply %q", p, reply)
+					return
+				}
+				id, _, prio := pktclass.DecodeData(bitutil.FromParts(lo, hi))
+				r, ok := universe[id]
+				if !ok || !r.Matches(p) || prio != int(uint16(r.Priority)) {
+					record("packet %+v: payload id=%d prio=%d names no matching rule (torn read?)", p, id, prio)
+					return
+				}
+				if wantPrio >= 0 && r.Priority < wantPrio {
+					record("packet %+v: got prio %d, stable prio %d resident", p, r.Priority, wantPrio)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if msg := fail.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+}

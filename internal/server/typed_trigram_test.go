@@ -1,0 +1,217 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"caram/internal/trigram"
+)
+
+// Differential oracle suite for the trigram engine type: the wire path
+// (TINSERT / TSEARCH, text-keyed) is checked query-for-query against
+// two independent oracles — a plain map[string]uint16, and the
+// simulation package's own CA-RAM slice built by trigram.Evaluate over
+// the identical database and read through trigram.Lookup. The second
+// oracle pins the wire path to the exact key folding (§6's 128-bit
+// trigram keys) the paper-replication code uses.
+
+// trigramFixture creates a trigram engine over the wire and loads a
+// generated trigram database, returning the entries resident in the
+// engine (full rows drop the entry from every model alike).
+func trigramFixture(t *testing.T, s *Server, eng string, nEntries int, seed int64) ([]trigram.Entry, map[string]uint16) {
+	t.Helper()
+	mustOK(t, s, "CREATE ENGINE "+eng+" TYPE trigram INDEXBITS 8 SLOTS 16")
+	db := trigram.Generate(trigram.GenConfig{Entries: nEntries, Seed: seed})
+	scores := make(map[string]uint16, len(db))
+	var kept []trigram.Entry
+	for _, e := range db {
+		req := fmt.Sprintf("TINSERT %s %x %s", eng, e.Score, e.Text)
+		reply := s.Exec(req)
+		if strings.HasPrefix(reply, "ERR subsystem: record fits") ||
+			strings.HasPrefix(reply, "ERR caram: slice full") {
+			continue
+		}
+		if reply != "OK" {
+			t.Fatalf("%s => %q", req, reply)
+		}
+		scores[e.Text] = e.Score
+		kept = append(kept, e)
+	}
+	if len(kept) < nEntries/2 {
+		t.Fatalf("only %d/%d entries resident; fixture too small to be meaningful", len(kept), nEntries)
+	}
+	return kept, scores
+}
+
+// trigramCheck compares one text's wire answer against the map oracle.
+func trigramCheck(t *testing.T, s *Server, eng, text string, scores map[string]uint16) {
+	t.Helper()
+	got, hit := parseHit(t, s.Exec("TSEARCH "+eng+" "+text))
+	want, ok := scores[text]
+	if hit != ok || (hit && got != uint64(want)) {
+		t.Fatalf("text %q: wire (hit=%v score=%#x) vs oracle (hit=%v score=%#x)", text, hit, got, ok, want)
+	}
+}
+
+// TestTypedTrigramDifferential inserts ~1200 trigrams and checks every
+// resident text plus misses against the map oracle, then replays the
+// same queries against the simulation package's slice (built from the
+// identical kept database) so the wire scores and the paper-model
+// scores are pinned to each other.
+func TestTypedTrigramDifferential(t *testing.T) {
+	s := typedServer(t)
+	kept, scores := trigramFixture(t, s, "tri", 1200, 9)
+
+	for _, e := range kept {
+		trigramCheck(t, s, "tri", e.Text, scores)
+	}
+	// Misses: perturbed texts that cannot be in the vocabulary-built
+	// database (the generator never emits '#').
+	for i, e := range kept {
+		if i%3 == 0 {
+			trigramCheck(t, s, "tri", e.Text+"#", scores)
+		}
+	}
+
+	// Second oracle: the simulation slice over the same database.
+	ev, err := trigram.Evaluate(kept, trigram.Design{Name: "oracle", R: 10, Slices: 1, Arr: trigram.Vertical})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Unplaced != 0 {
+		t.Fatalf("oracle slice left %d entries unplaced", ev.Unplaced)
+	}
+	for _, e := range kept {
+		got, hit := parseHit(t, s.Exec("TSEARCH tri "+e.Text))
+		score, _, ok := trigram.Lookup(ev.Slice, e.Text)
+		if !hit || !ok || got != uint64(score) {
+			t.Fatalf("text %q: wire (hit=%v %#x) vs simulation slice (hit=%v %#x)", e.Text, hit, got, ok, score)
+		}
+	}
+}
+
+// TestTypedTrigramQuick is the testing/quick form: an arbitrary index
+// and mutation flag pick either a resident text (must HIT with its
+// score) or a perturbed absent one (must MISS).
+func TestTypedTrigramQuick(t *testing.T) {
+	s := typedServer(t)
+	kept, scores := trigramFixture(t, s, "triq", 600, 15)
+	prop := func(i uint32, miss bool) bool {
+		text := kept[int(i)%len(kept)].Text
+		if miss {
+			text += "#"
+		}
+		got, hit := parseHit(t, s.Exec("TSEARCH triq "+text))
+		want, ok := scores[text]
+		return hit == ok && (!hit || got == uint64(want))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTypedTrigramChurn runs 16 goroutines of mixed wire ops on one
+// trigram engine: searchers read a stable core (always HIT, exact
+// score) and churned texts (HIT must carry the universe score — a
+// wrong score is a torn read), writers cycle disjoint text sets
+// through DELETE (by the folded 128-bit key) and TINSERT.
+func TestTypedTrigramChurn(t *testing.T) {
+	const (
+		nSearchers = 12
+		nWriters   = 4
+		perWriter  = 8
+		iters      = 300
+	)
+	s := typedServer(t)
+	mustOK(t, s, "CREATE ENGINE tri TYPE trigram INDEXBITS 8 SLOTS 16")
+
+	db := trigram.Generate(trigram.GenConfig{Entries: 64, Seed: 31})
+	if len(db) < 16+nWriters*perWriter {
+		t.Fatalf("generator yielded only %d entries", len(db))
+	}
+	scores := make(map[string]uint16, len(db))
+	tinsert := func(e trigram.Entry) string {
+		return fmt.Sprintf("TINSERT tri %x %s", e.Score, e.Text)
+	}
+	stable := db[:16]
+	for _, e := range stable {
+		mustOK(t, s, tinsert(e))
+		scores[e.Text] = e.Score
+	}
+	churn := make([][]trigram.Entry, nWriters)
+	for w := range churn {
+		churn[w] = db[16+w*perWriter : 16+(w+1)*perWriter]
+		for _, e := range churn[w] {
+			mustOK(t, s, tinsert(e))
+			scores[e.Text] = e.Score
+		}
+	}
+
+	var wg sync.WaitGroup
+	var fail atomic.Value
+	record := func(format string, args ...any) {
+		fail.CompareAndSwap(nil, fmt.Sprintf(format, args...))
+	}
+	for w := 0; w < nWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				e := churn[w][i%perWriter]
+				k := e.Key()
+				del := fmt.Sprintf("DELETE tri %x:%x", k.Hi, k.Lo)
+				if got := s.Exec(del); got != "OK" {
+					record("%s => %q", del, got)
+					return
+				}
+				if got := s.Exec(tinsert(e)); got != "OK" {
+					record("churn reinsert %q => %q", e.Text, got)
+					return
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < nSearchers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(3000 + g)))
+			for i := 0; i < iters; i++ {
+				var text string
+				stableRead := i%2 == 0
+				if stableRead {
+					text = stable[rng.Intn(len(stable))].Text
+				} else {
+					w := rng.Intn(nWriters)
+					text = churn[w][rng.Intn(perWriter)].Text
+				}
+				reply := s.Exec("TSEARCH tri " + text)
+				if reply == "MISS" {
+					if stableRead {
+						record("stable text %q answered MISS", text)
+						return
+					}
+					continue
+				}
+				var hi, lo uint64
+				if _, err := fmt.Sscanf(reply, "HIT %x:%x", &hi, &lo); err != nil || hi != 0 {
+					record("text %q: unexpected reply %q", text, reply)
+					return
+				}
+				if lo != uint64(scores[text]) {
+					record("text %q: score %#x, want %#x (torn read?)", text, lo, scores[text])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if msg := fail.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+}

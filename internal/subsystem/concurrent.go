@@ -44,10 +44,14 @@ import (
 // boundary (so writer latency still includes lock wait, the true
 // service latency under contention).
 type Concurrent struct {
-	order   []string
-	engines map[string]*guardedEngine
-	met     *metrics.Registry // nil when uninstrumented
-	policy  HealthPolicy
+	// set is the current engine roster, copy-on-write: op paths do one
+	// atomic load and index an immutable map, so the hot path stays
+	// exactly as cheap as the pre-dynamic frozen map. setMu serializes
+	// the writers (CreateEngine, DropEngine, Close).
+	set   atomic.Pointer[engineSet]
+	setMu sync.Mutex
+	met   *metrics.Registry // nil when uninstrumented
+	policy HealthPolicy
 
 	// lockedReads forces every search through the serialized path —
 	// the pre-seqlock behavior, kept for A/B benchmarks and as an
@@ -65,6 +69,19 @@ type Concurrent struct {
 	workers sync.WaitGroup
 	sendMu  sync.RWMutex
 	closed  bool
+}
+
+// engineSet is one immutable roster snapshot.
+type engineSet struct {
+	order []string
+	m     map[string]*guardedEngine
+}
+
+// engine resolves a port against the current roster: one atomic load,
+// no locks — the dispatch hot path.
+func (c *Concurrent) engine(port string) (*guardedEngine, bool) {
+	g, ok := c.set.Load().m[port]
+	return g, ok
 }
 
 // guardedEngine pairs an engine with its port lock, the placement
@@ -91,6 +108,12 @@ type guardedEngine struct {
 	// caram_search_lock_fallbacks_total.
 	retries   atomic.Uint64
 	fallbacks atomic.Uint64
+
+	// dropped is set (under sendMu's write lock) when DropEngine closes
+	// this engine's batch channel; in-flight MSearch senders check it
+	// under sendMu's read lock and run the share inline instead of
+	// sending, so a send on the closed channel is impossible.
+	dropped atomic.Bool
 
 	// health is the engine's availability state (a Health value). It is
 	// read lock-free by the circuit breaker and written only while the
@@ -175,27 +198,117 @@ const msearchBatchDepth = 16
 // the process lifetime is also fine — idle workers block on an empty
 // queue and cost nothing).
 func NewConcurrent(sub *Subsystem) *Concurrent {
-	c := &Concurrent{
-		order:   sub.Engines(),
-		engines: make(map[string]*guardedEngine, len(sub.engines)),
-		policy:  DefaultHealthPolicy(),
-	}
-	for _, name := range c.order {
-		g := &guardedEngine{
-			e:     sub.engines[name],
-			st:    sub.stats[name],
-			batch: make(chan *msearchBatch, msearchBatchDepth),
-		}
-		if g.e.Overflow == nil {
-			g.seqRead = true
-			main := g.e.Main
-			g.readers = newReaderCache(main.NewReader)
-		}
-		c.engines[name] = g
+	c := &Concurrent{policy: DefaultHealthPolicy()}
+	order := sub.Engines()
+	set := &engineSet{order: order, m: make(map[string]*guardedEngine, len(order))}
+	for _, name := range order {
+		g := newGuarded(sub.engines[name], sub.stats[name])
+		set.m[name] = g
 		c.workers.Add(1)
 		go c.msearchWorker(g)
 	}
+	c.set.Store(set)
 	return c
+}
+
+// newGuarded wraps one engine with its port lock, batch queue, and —
+// when it qualifies (no overflow CAM) — the lock-free read machinery.
+func newGuarded(e *Engine, st *EngineStats) *guardedEngine {
+	g := &guardedEngine{
+		e:     e,
+		st:    st,
+		batch: make(chan *msearchBatch, msearchBatchDepth),
+	}
+	if e.Overflow == nil {
+		g.seqRead = true
+		g.readers = newReaderCache(e.Main.NewReader)
+	}
+	return g
+}
+
+// CreateEngine adds a typed engine to a live layer: the engine is
+// built (NewTypedEngine), registered in the metrics registry when the
+// layer is instrumented, given its own MSearch worker, and published
+// by swapping in a new roster snapshot — concurrent operations on
+// other engines never block or even notice. The name must be new;
+// CreateEngine after Close fails with ErrClosed.
+func (c *Concurrent) CreateEngine(name string, typ EngineType, tc TypedConfig) error {
+	c.setMu.Lock()
+	defer c.setMu.Unlock()
+	if c.down.Load() {
+		return ErrClosed
+	}
+	cur := c.set.Load()
+	if _, dup := cur.m[name]; dup {
+		return fmt.Errorf("subsystem: engine %q already registered", name)
+	}
+	e, err := NewTypedEngine(name, typ, tc)
+	if err != nil {
+		return err
+	}
+	g := newGuarded(e, &EngineStats{})
+	if c.met != nil {
+		em := c.met.Register(name, typ.String())
+		g.em = em
+		em.SetGaugeFunc(func() metrics.Gauges { return c.sampleGauges(g) })
+	}
+	next := &engineSet{
+		order: append(append(make([]string, 0, len(cur.order)+1), cur.order...), name),
+		m:     make(map[string]*guardedEngine, len(cur.m)+1),
+	}
+	for k, v := range cur.m {
+		next.m[k] = v
+	}
+	next.m[name] = g
+	c.workers.Add(1)
+	go c.msearchWorker(g)
+	c.set.Store(next)
+	return nil
+}
+
+// DropEngine removes an engine from a live layer: it disappears from
+// the roster snapshot first (new requests get "no engine"), then its
+// batch worker is stopped. Operations that resolved the engine before
+// the swap complete normally on the retired snapshot — the engine's
+// locks and array stay intact, only unreachable. The metrics registry
+// entry is removed with it.
+func (c *Concurrent) DropEngine(name string) error {
+	c.setMu.Lock()
+	defer c.setMu.Unlock()
+	if c.down.Load() {
+		return ErrClosed
+	}
+	cur := c.set.Load()
+	g, ok := cur.m[name]
+	if !ok {
+		return errNoEngine(name)
+	}
+	next := &engineSet{
+		order: make([]string, 0, len(cur.order)-1),
+		m:     make(map[string]*guardedEngine, len(cur.m)-1),
+	}
+	for _, n := range cur.order {
+		if n != name {
+			next.order = append(next.order, n)
+		}
+	}
+	for k, v := range cur.m {
+		if k != name {
+			next.m[k] = v
+		}
+	}
+	c.set.Store(next)
+	if c.met != nil {
+		c.met.Unregister(name)
+	}
+	// Retire the worker. dropped flips under the write lock, so any
+	// MSearch sender that saw it unset still holds the read lock and
+	// completes its send before the close below can proceed.
+	c.sendMu.Lock()
+	g.dropped.Store(true)
+	close(g.batch)
+	c.sendMu.Unlock()
+	return nil
 }
 
 // SetLockedReads forces (on=true) every search through the serialized
@@ -240,7 +353,7 @@ func (c *Concurrent) searchSeq(g *guardedEngine, key bitutil.Ternary, tr *trace.
 // seqlock snapshots re-read, and searches that escalated to the
 // serialized path.
 func (c *Concurrent) SearchRetries(port string) (retries, fallbacks uint64, err error) {
-	g, ok := c.engines[port]
+	g, ok := c.engine(port)
 	if !ok {
 		return 0, 0, errNoEngine(port)
 	}
@@ -264,14 +377,20 @@ func (c *Concurrent) msearchWorker(g *guardedEngine) {
 // already passed the gate completes normally on its own goroutine.
 func (c *Concurrent) Close() {
 	c.down.Store(true)
+	// setMu excludes a racing CreateEngine: it either publishes its
+	// engine before we load the roster here (and we stop its worker),
+	// or it observes down under setMu and never starts one.
+	c.setMu.Lock()
 	c.sendMu.Lock()
 	if !c.closed {
 		c.closed = true
-		for _, name := range c.order {
-			close(c.engines[name].batch)
+		set := c.set.Load()
+		for _, name := range set.order {
+			close(set.m[name].batch)
 		}
 	}
 	c.sendMu.Unlock()
+	c.setMu.Unlock()
 	c.workers.Wait()
 }
 
@@ -288,11 +407,12 @@ func (c *Concurrent) Close() {
 // shared across goroutines.
 func (c *Concurrent) Instrument(reg *metrics.Registry) *Concurrent {
 	c.met = reg
-	for name, g := range c.engines {
+	for name, g := range c.set.Load().m {
 		em := reg.Engine(name)
 		if em == nil {
 			continue
 		}
+		em.SetType(g.e.Type.String())
 		g.em = em
 		g := g
 		em.SetGaugeFunc(func() metrics.Gauges { return c.sampleGauges(g) })
@@ -372,7 +492,7 @@ func (c *Concurrent) evalHealth(g *guardedEngine) Health {
 // Health returns the engine's current availability state (a lock-free
 // read of what the breaker sees).
 func (c *Concurrent) Health(port string) (Health, error) {
-	g, ok := c.engines[port]
+	g, ok := c.engine(port)
 	if !ok {
 		return Healthy, errNoEngine(port)
 	}
@@ -391,7 +511,7 @@ type HealthInfo struct {
 // HealthInfo snapshots an engine's availability state and the fault
 // counters behind it, under the read lock.
 func (c *Concurrent) HealthInfo(port string) (HealthInfo, error) {
-	g, ok := c.engines[port]
+	g, ok := c.engine(port)
 	if !ok {
 		return HealthInfo{}, errNoEngine(port)
 	}
@@ -416,7 +536,7 @@ func (c *Concurrent) Scrub(port string) (caram.ScrubReport, error) {
 	if c.down.Load() {
 		return caram.ScrubReport{}, ErrClosed
 	}
-	g, ok := c.engines[port]
+	g, ok := c.engine(port)
 	if !ok {
 		return caram.ScrubReport{}, errNoEngine(port)
 	}
@@ -432,8 +552,20 @@ func errNoEngine(port string) error {
 	return fmt.Errorf("subsystem: no engine %q", port)
 }
 
-// Engines lists engine names in registration order.
-func (c *Concurrent) Engines() []string { return append([]string(nil), c.order...) }
+// Engines lists engine names in registration order (a snapshot; a
+// concurrent CreateEngine/DropEngine may change the roster after).
+func (c *Concurrent) Engines() []string {
+	return append([]string(nil), c.set.Load().order...)
+}
+
+// EngineType reports the named engine's workload type.
+func (c *Concurrent) EngineType(port string) (EngineType, error) {
+	g, ok := c.engine(port)
+	if !ok {
+		return ExactEngine, errNoEngine(port)
+	}
+	return g.e.Type, nil
+}
 
 // Insert routes a record to the named engine under its write lock. A
 // Failed engine fails fast with ErrEngineUnavailable before the lock
@@ -442,7 +574,7 @@ func (c *Concurrent) Insert(port string, rec match.Record) error {
 	if c.down.Load() {
 		return ErrClosed
 	}
-	g, ok := c.engines[port]
+	g, ok := c.engine(port)
 	if !ok {
 		c.met.AddUnknown(1)
 		return errNoEngine(port)
@@ -488,7 +620,7 @@ func (c *Concurrent) SearchTraced(port string, key bitutil.Ternary, tr *trace.Tr
 	if c.down.Load() {
 		return SearchResult{}, ErrClosed
 	}
-	g, ok := c.engines[port]
+	g, ok := c.engine(port)
 	if !ok {
 		c.met.AddUnknown(1)
 		return SearchResult{}, errNoEngine(port)
@@ -546,7 +678,7 @@ func (c *Concurrent) Explain(port string, key bitutil.Ternary, tr *trace.Trace) 
 	if c.down.Load() {
 		return SearchResult{}, 0, ErrClosed
 	}
-	g, ok := c.engines[port]
+	g, ok := c.engine(port)
 	if !ok {
 		c.met.AddUnknown(1)
 		return SearchResult{}, 0, errNoEngine(port)
@@ -586,7 +718,7 @@ func (c *Concurrent) Delete(port string, key bitutil.Ternary) error {
 	if c.down.Load() {
 		return ErrClosed
 	}
-	g, ok := c.engines[port]
+	g, ok := c.engine(port)
 	if !ok {
 		c.met.AddUnknown(1)
 		return errNoEngine(port)
@@ -597,11 +729,11 @@ func (c *Concurrent) Delete(port string, key bitutil.Ternary) error {
 	if g.em == nil {
 		g.mu.Lock()
 		defer g.mu.Unlock()
-		return g.e.Main.Delete(key)
+		return g.e.Delete(key)
 	}
 	start := time.Now()
 	g.mu.Lock()
-	err := g.e.Main.Delete(key)
+	err := g.e.Delete(key)
 	g.mu.Unlock()
 	g.em.Observe(metrics.OpDelete, time.Since(start), err)
 	return err
@@ -612,7 +744,7 @@ func (c *Concurrent) Delete(port string, key bitutil.Ternary) error {
 // Reader); otherwise — or when the protocol cannot certify the scan —
 // it takes the read lock and peeks rows as before.
 func (c *Concurrent) Contains(port string, key bitutil.Ternary) (bool, error) {
-	g, ok := c.engines[port]
+	g, ok := c.engine(port)
 	if !ok {
 		return false, errNoEngine(port)
 	}
@@ -644,7 +776,7 @@ type EngineInfo struct {
 
 // Info snapshots an engine's counters under the read lock.
 func (c *Concurrent) Info(port string) (EngineInfo, error) {
-	g, ok := c.engines[port]
+	g, ok := c.engine(port)
 	if !ok {
 		return EngineInfo{}, errNoEngine(port)
 	}
@@ -700,7 +832,7 @@ func (c *Concurrent) MSearch(reqs []PortKey) []MSearchResult {
 	}
 	jobs := make([]mjob, 0, 4)
 	for i, r := range reqs {
-		g, ok := c.engines[r.Port]
+		g, ok := c.engine(r.Port)
 		if !ok {
 			c.met.AddUnknown(1)
 			out[i].Err = errNoEngine(r.Port)
@@ -730,6 +862,7 @@ func (c *Concurrent) MSearch(reqs []PortKey) []MSearchResult {
 		return out
 	}
 	var wg sync.WaitGroup
+	var inline []int // jobs whose engine was dropped mid-flight
 	c.sendMu.RLock()
 	if c.closed {
 		c.sendMu.RUnlock()
@@ -738,12 +871,22 @@ func (c *Concurrent) MSearch(reqs []PortKey) []MSearchResult {
 		}
 		return out
 	}
-	wg.Add(len(jobs) - 1)
 	for i := range jobs[1:] {
 		j := &jobs[1+i]
+		// A dropped engine's batch channel is closed; its share runs
+		// inline on the caller (the engine's array is still intact in
+		// the retired snapshot this MSearch resolved against).
+		if j.g.dropped.Load() {
+			inline = append(inline, 1+i)
+			continue
+		}
+		wg.Add(1)
 		j.g.batch <- &msearchBatch{reqs: reqs, out: out, idxs: j.idxs, wg: &wg}
 	}
 	c.sendMu.RUnlock()
+	for _, i := range inline {
+		c.runBatch(jobs[i].g, reqs, out, jobs[i].idxs)
+	}
 	c.runBatch(jobs[0].g, reqs, out, jobs[0].idxs)
 	wg.Wait()
 	return out

@@ -13,6 +13,7 @@ import (
 	"caram/internal/bitutil"
 	"caram/internal/cam"
 	"caram/internal/caram"
+	"caram/internal/hash"
 	"caram/internal/match"
 	"caram/internal/trace"
 )
@@ -33,6 +34,14 @@ type Engine struct {
 	// Score ranks multi-matches (e.g. prefix length for LPM); nil
 	// means first-match-wins exact search.
 	Score func(match.Record) int
+	// Type is the engine's workload shape (NewTypedEngine); the
+	// zero value is ExactEngine, so hand-built engines need no change.
+	Type EngineType
+	// Sel, when non-nil, is the bit-selection index generator of a
+	// ternary engine: inserts duplicate each record across
+	// Sel.TernaryIndices(key) (one copy per wildcard hash-bit combo,
+	// §4's ternary duplication) and deletes remove every copy.
+	Sel *hash.BitSelect
 }
 
 // EngineStats tracks engine-level placement.
@@ -55,8 +64,13 @@ type SearchResult struct {
 }
 
 // Insert places a record, diverting it to the overflow area when the
-// main array rejects it.
+// main array rejects it. On a ternary engine with a duplication
+// selector the record is instead placed once per wildcard home bucket
+// (all copies or none).
 func (e *Engine) Insert(rec match.Record, st *EngineStats) error {
+	if e.Sel != nil {
+		return e.insertDuplicated(rec, st)
+	}
 	err := e.Main.Insert(rec)
 	if err == nil {
 		if st != nil {
@@ -83,6 +97,62 @@ func (e *Engine) Insert(rec match.Record, st *EngineStats) error {
 	if st != nil {
 		st.Inserted++
 		st.ToOverflow++
+	}
+	return nil
+}
+
+// insertDuplicated places one copy of the record in every home bucket
+// its wildcard hash bits reach (hash.TernaryIndices). The slice runs
+// with AllowDuplicates (a copy spilled from one home may sit on
+// another home's probe chain), so whole-record duplicate rejection
+// happens here: TernaryIndices always includes Index(key.Value), the
+// bucket Contains scans, making the pre-check exact. Placement is
+// all-or-nothing — if any copy finds no slot, the already-placed
+// copies are rolled back and the insert fails.
+func (e *Engine) insertDuplicated(rec match.Record, st *EngineStats) error {
+	if e.Main.Contains(rec.Key) {
+		if st != nil {
+			st.FailedInsert++
+		}
+		return caram.ErrExists
+	}
+	homes := e.Sel.TernaryIndices(rec.Key)
+	for i, home := range homes {
+		if err := e.Main.InsertAt(home, rec); err != nil {
+			for _, h := range homes[:i] {
+				e.Main.DeleteAt(h, rec.Key) //nolint:errcheck // just placed there
+			}
+			if st != nil {
+				st.FailedInsert++
+			}
+			return err
+		}
+	}
+	if st != nil {
+		st.Inserted++
+	}
+	return nil
+}
+
+// Delete removes the exact (value, mask) key: every duplicated copy on
+// a ternary engine with a selector, the single copy otherwise. The
+// overflow CAM is not consulted — typed engines carry none, and the
+// exact engine's overflow path deletes through Main as before.
+func (e *Engine) Delete(key bitutil.Ternary) error {
+	if e.Sel == nil {
+		return e.Main.Delete(key)
+	}
+	found := false
+	for _, home := range e.Sel.TernaryIndices(key) {
+		switch err := e.Main.DeleteAt(home, key); {
+		case err == nil:
+			found = true
+		case !errors.Is(err, caram.ErrNotFound):
+			return err
+		}
+	}
+	if !found {
+		return caram.ErrNotFound
 	}
 	return nil
 }

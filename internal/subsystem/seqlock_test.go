@@ -76,7 +76,7 @@ func TestSearchWaitFreeUnderHeldEngineLock(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	g := c.engines["e0"]
+	g, _ := c.engine("e0")
 	g.mu.Lock()
 	done := make(chan error, 1)
 	go func() {
@@ -115,7 +115,7 @@ func TestSearchWaitFreeUnderHeldEngineLock(t *testing.T) {
 	if err := cl.Insert("e0", rec(9, 90)); err != nil {
 		t.Fatal(err)
 	}
-	gl := cl.engines["e0"]
+	gl, _ := cl.engine("e0")
 	gl.mu.Lock()
 	lockedDone := make(chan error, 1)
 	go func() {
@@ -295,8 +295,8 @@ func TestForcedRetryTelemetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	text := b.String()
-	wantRetries := metrics.FamSearchRetries + `{engine="e0"} `
-	wantFallbacks := metrics.FamLockFallbacks + `{engine="e0"} 1`
+	wantRetries := metrics.FamSearchRetries + `{engine="e0",engine_type="exact"} `
+	wantFallbacks := metrics.FamLockFallbacks + `{engine="e0",engine_type="exact"} 1`
 	if !strings.Contains(text, wantRetries) || strings.Contains(text, wantRetries+"0\n") {
 		t.Errorf("exposition missing nonzero %s:\n%s", metrics.FamSearchRetries, text)
 	}

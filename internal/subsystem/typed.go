@@ -1,0 +1,162 @@
+package subsystem
+
+import (
+	"fmt"
+
+	"caram/internal/caram"
+	"caram/internal/hash"
+	"caram/internal/iproute"
+	"caram/internal/match"
+	"caram/internal/mem"
+	"caram/internal/pktclass"
+)
+
+// trigramKeyBytes and trigramScoreBits mirror trigram.KeyBytes and
+// trigram.ScoreBits — the trigram package imports subsystem for its
+// partitioned database, so it cannot be imported here; the external
+// test package pins the pairs equal at compile time.
+const (
+	trigramKeyBytes  = 16
+	trigramScoreBits = 16
+)
+
+// EngineType selects an engine's key encoding and search semantics —
+// the four workload shapes of the paper's case studies served by one
+// substrate: exact match (§3), IP longest-prefix match over ternary
+// keys (§5), packet classification by highest-priority rule (§6.2 of
+// the classifier literature the paper cites), and trigram candidate
+// lookup (§6).
+type EngineType uint8
+
+const (
+	// ExactEngine is first-match exact search on 64-bit keys — the
+	// default workload every prior PR exercised.
+	ExactEngine EngineType = iota
+	// LPMEngine stores 32-bit ternary prefixes (value + don't-care
+	// mask) duplicated across their wildcard home buckets and answers
+	// SEARCH with the longest (most specific) matching prefix.
+	LPMEngine
+	// PktClassEngine stores 104-bit five-tuple ternary rules (expanded
+	// port ranges) and answers SEARCH with the highest-priority match;
+	// the payload encodes (ruleID, action, priority) per
+	// pktclass.EncodeData.
+	PktClassEngine
+	// TrigramEngine stores 128-bit signature keys derived from short
+	// texts (trigram.Entry.Key) under a byte-wise DJB index and answers
+	// exact candidate lookups.
+	TrigramEngine
+)
+
+// String returns the wire-level type name.
+func (t EngineType) String() string {
+	switch t {
+	case ExactEngine:
+		return "exact"
+	case LPMEngine:
+		return "lpm"
+	case PktClassEngine:
+		return "pktclass"
+	case TrigramEngine:
+		return "trigram"
+	}
+	return fmt.Sprintf("EngineType(%d)", uint8(t))
+}
+
+// ParseEngineType maps a wire-level type name (case-sensitive, the
+// canonical lower-case spelling) to its EngineType.
+func ParseEngineType(s string) (EngineType, error) {
+	switch s {
+	case "exact":
+		return ExactEngine, nil
+	case "lpm":
+		return LPMEngine, nil
+	case "pktclass":
+		return PktClassEngine, nil
+	case "trigram":
+		return TrigramEngine, nil
+	}
+	return ExactEngine, fmt.Errorf("subsystem: bad engine type %q", s)
+}
+
+// TypedConfig sizes a typed engine. The zero value gets a small
+// general-purpose geometry (256 rows of 8 slots).
+type TypedConfig struct {
+	IndexBits int  // 2^IndexBits rows; 0 = 8
+	Slots     int  // slots per row; 0 = 8
+	ECC       bool // per-row SEC-DED protection
+}
+
+func (c TypedConfig) withDefaults() TypedConfig {
+	if c.IndexBits == 0 {
+		c.IndexBits = 8
+	}
+	if c.Slots == 0 {
+		c.Slots = 8
+	}
+	return c
+}
+
+// lpmScore ranks LPM multi-matches by prefix specificity.
+func lpmScore(r match.Record) int { return r.Key.Specificity(32) }
+
+// pktclassScore ranks classifier multi-matches by rule priority (the
+// low 16 bits of the payload), offset so a zero-priority rule still
+// outranks "no match yet".
+func pktclassScore(r match.Record) int { return int(r.Data.Uint64()&0xffff) + 1 }
+
+// NewTypedEngine builds one engine of the given type: the per-type key
+// geometry, index generator, duplication selector, and match-ranking
+// score, mirroring the simulation packages' design points (iproute
+// hashes address bits 16.., pktclass hashes destination-IP host bits,
+// trigram uses the byte-wise DJB hash over its 16-byte signatures).
+// Typed engines carry no overflow CAM, so every search stays on the
+// wait-free seqlock read path; an insert that finds no slot within the
+// probe limit simply fails with caram.ErrFull.
+func NewTypedEngine(name string, typ EngineType, tc TypedConfig) (*Engine, error) {
+	tc = tc.withDefaults()
+	cfg := caram.Config{
+		IndexBits: tc.IndexBits,
+		AuxBits:   16,
+		Tech:      mem.DRAM,
+		ECC:       tc.ECC,
+	}
+	e := &Engine{Name: name, Type: typ}
+	switch typ {
+	case ExactEngine:
+		cfg.KeyBits, cfg.DataBits = 64, 32
+		cfg.RowBits = tc.Slots*(1+64+32) + 16
+		cfg.Index = hash.NewMultShift(tc.IndexBits)
+	case LPMEngine:
+		if tc.IndexBits > 16 {
+			return nil, fmt.Errorf("subsystem: lpm engine supports at most 16 index bits, got %d", tc.IndexBits)
+		}
+		cfg.KeyBits, cfg.DataBits = 32, 32
+		cfg.RowBits = tc.Slots*(1+32+32+32) + 16
+		cfg.Ternary, cfg.AllowDuplicates = true, true
+		sel := hash.NewBitSelect(iproute.HashPositions(tc.IndexBits))
+		cfg.Index = sel
+		e.Sel, e.Score = sel, lpmScore
+	case PktClassEngine:
+		if tc.IndexBits > 16 {
+			return nil, fmt.Errorf("subsystem: pktclass engine supports at most 16 index bits, got %d", tc.IndexBits)
+		}
+		cfg.KeyBits, cfg.DataBits = 104, 32
+		cfg.RowBits = tc.Slots*(1+104+104+32) + 16
+		cfg.Ternary, cfg.AllowDuplicates = true, true
+		sel := hash.NewBitSelect(pktclass.HashPositions(tc.IndexBits))
+		cfg.Index = sel
+		e.Sel, e.Score = sel, pktclassScore
+	case TrigramEngine:
+		cfg.KeyBits, cfg.DataBits = 128, trigramScoreBits
+		cfg.RowBits = tc.Slots*(1+128+trigramScoreBits) + 16
+		cfg.Index = hash.NewDJB(tc.IndexBits, trigramKeyBytes)
+	default:
+		return nil, fmt.Errorf("subsystem: bad engine type %q", typ)
+	}
+	slice, err := caram.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("subsystem: engine %q: %w", name, err)
+	}
+	e.Main = slice
+	return e, nil
+}

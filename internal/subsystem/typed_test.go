@@ -1,0 +1,244 @@
+package subsystem_test
+
+// External-package tests for the typed-engine factory. Living outside
+// package subsystem lets this file import internal/trigram (which
+// itself imports subsystem, so the factory cannot) and pin the
+// trigram geometry constants the factory mirrors locally.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"caram/internal/bitutil"
+	"caram/internal/caram"
+	"caram/internal/match"
+	"caram/internal/subsystem"
+	"caram/internal/trigram"
+)
+
+// matchRecord builds a record from a ternary key and a small payload.
+func matchRecord(key bitutil.Ternary, data uint64) match.Record {
+	return match.Record{Key: key, Data: bitutil.FromUint64(data)}
+}
+
+// TestTypedEngineGeometry checks each engine type's slice geometry
+// against the workload packages' own constants — in particular the
+// trigram row layout, whose KeyBytes/ScoreBits the factory duplicates
+// to avoid an import cycle. If the trigram package ever changes shape,
+// this is the test that breaks.
+func TestTypedEngineGeometry(t *testing.T) {
+	cases := []struct {
+		typ               subsystem.EngineType
+		keyBits, dataBits int
+		ternary           bool
+	}{
+		{subsystem.ExactEngine, 64, 32, false},
+		{subsystem.LPMEngine, 32, 32, true},
+		{subsystem.PktClassEngine, 104, 32, true},
+		{subsystem.TrigramEngine, trigram.KeyBytes * 8, trigram.ScoreBits, false},
+	}
+	for _, tc := range cases {
+		e, err := subsystem.NewTypedEngine("x", tc.typ, subsystem.TypedConfig{IndexBits: 6, Slots: 4})
+		if err != nil {
+			t.Fatalf("%v: %v", tc.typ, err)
+		}
+		cfg := e.Main.Config()
+		if cfg.KeyBits != tc.keyBits || cfg.DataBits != tc.dataBits || cfg.Ternary != tc.ternary {
+			t.Errorf("%v: KeyBits=%d DataBits=%d Ternary=%v, want %d/%d/%v",
+				tc.typ, cfg.KeyBits, cfg.DataBits, cfg.Ternary, tc.keyBits, tc.dataBits, tc.ternary)
+		}
+		if e.Type != tc.typ {
+			t.Errorf("%v: engine Type = %v", tc.typ, e.Type)
+		}
+		if tc.ternary != (e.Sel != nil) {
+			t.Errorf("%v: ternary engines and only they carry a bit-selection function", tc.typ)
+		}
+		if e.Overflow != nil {
+			t.Errorf("%v: typed engines must stay overflow-less (wait-free reads)", tc.typ)
+		}
+	}
+
+	// Type round trip and rejection.
+	for _, typ := range []subsystem.EngineType{subsystem.ExactEngine, subsystem.LPMEngine,
+		subsystem.PktClassEngine, subsystem.TrigramEngine} {
+		back, err := subsystem.ParseEngineType(typ.String())
+		if err != nil || back != typ {
+			t.Errorf("round trip %v: %v, %v", typ, back, err)
+		}
+	}
+	if _, err := subsystem.ParseEngineType("wat"); err == nil {
+		t.Error("ParseEngineType accepted garbage")
+	}
+	if _, err := subsystem.NewTypedEngine("x", subsystem.LPMEngine, subsystem.TypedConfig{IndexBits: 20}); err == nil {
+		t.Error("lpm engine accepted more index bits than the 32-bit key has selectable positions")
+	}
+}
+
+// TestTypedDuplicateInsert pins the duplicated-write contract at the
+// engine layer: reinserting an identical masked rule fails with
+// caram.ErrExists (no partial second copy), and deleting it removes
+// every duplicated home so a fresh insert succeeds again.
+func TestTypedDuplicateInsert(t *testing.T) {
+	e, err := subsystem.NewTypedEngine("ip", subsystem.LPMEngine, subsystem.TypedConfig{IndexBits: 6, Slots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A /4 prefix wildcards hash positions 16..21 entirely: 64 copies.
+	rule := bitutil.NewTernary(bitutil.FromUint64(0xA0000000), bitutil.FromUint64(0x0FFFFFFF))
+	rec := matchRecord(rule, 7)
+	if err := e.Insert(rec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Main.Count(); n != 64 {
+		t.Fatalf("duplicated copies = %d, want 64", n)
+	}
+	if err := e.Insert(rec, nil); !errors.Is(err, caram.ErrExists) {
+		t.Fatalf("reinsert = %v, want ErrExists", err)
+	}
+	if n := e.Main.Count(); n != 64 {
+		t.Fatalf("count after rejected reinsert = %d, want 64", n)
+	}
+	if err := e.Delete(rule); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.Main.Count(); n != 0 {
+		t.Fatalf("count after delete = %d, want 0 (stale duplicated copies)", n)
+	}
+	if err := e.Delete(rule); !errors.Is(err, caram.ErrNotFound) {
+		t.Fatalf("double delete = %v, want ErrNotFound", err)
+	}
+	if err := e.Insert(rec, nil); err != nil {
+		t.Fatalf("insert after full delete: %v", err)
+	}
+}
+
+// TestTypedCreateDropChurn hammers engine lifecycle against live
+// traffic: a stable exact engine serves Search/Insert/Delete/MSearch
+// from many goroutines while other goroutines create and drop typed
+// engines (own namespaces) in a loop, including searches aimed at
+// engines that may vanish mid-flight — those must answer a clean
+// no-engine error, never hang or panic. Run under -race by the
+// typed-guard tier.
+func TestTypedCreateDropChurn(t *testing.T) {
+	const (
+		nLifecycle = 4
+		nTraffic   = 8
+		nAimed     = 4
+		iters      = 150
+	)
+	c := subsystem.NewConcurrent(subsystem.New(0))
+	defer c.Close()
+	if err := c.CreateEngine("stable", subsystem.ExactEngine, subsystem.TypedConfig{IndexBits: 6, Slots: 8}); err != nil {
+		t.Fatal(err)
+	}
+	for k := uint64(0); k < 32; k++ {
+		rec := matchRecord(bitutil.Exact(bitutil.FromUint64(k)), 0x100+k)
+		if err := c.Insert("stable", rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var wg sync.WaitGroup
+	var fail atomic.Value
+	record := func(format string, args ...any) {
+		fail.CompareAndSwap(nil, fmt.Sprintf(format, args...))
+	}
+	types := []subsystem.EngineType{subsystem.ExactEngine, subsystem.LPMEngine,
+		subsystem.PktClassEngine, subsystem.TrigramEngine}
+	for g := 0; g < nLifecycle; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("churn%d", g)
+			for i := 0; i < iters; i++ {
+				typ := types[i%len(types)]
+				if err := c.CreateEngine(name, typ, subsystem.TypedConfig{IndexBits: 4, Slots: 2}); err != nil {
+					record("create %s: %v", name, err)
+					return
+				}
+				if got, err := c.EngineType(name); err != nil || got != typ {
+					record("engine type of %s = %v, %v", name, got, err)
+					return
+				}
+				if typ == subsystem.ExactEngine {
+					rec := matchRecord(bitutil.Exact(bitutil.FromUint64(uint64(i))), uint64(i))
+					if err := c.Insert(name, rec); err != nil {
+						record("insert into fresh %s: %v", name, err)
+						return
+					}
+				}
+				if err := c.DropEngine(name); err != nil {
+					record("drop %s: %v", name, err)
+					return
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < nTraffic; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(4000 + g)))
+			for i := 0; i < iters; i++ {
+				k := uint64(rng.Intn(32))
+				switch i % 3 {
+				case 0:
+					sr, err := c.Search("stable", bitutil.Exact(bitutil.FromUint64(k)))
+					if err != nil || !sr.Found || sr.Record.Data.Uint64() != 0x100+k {
+						record("stable search %d: %+v, %v", k, sr, err)
+						return
+					}
+				case 1:
+					if found, err := c.Contains("stable", bitutil.Exact(bitutil.FromUint64(k))); err != nil || !found {
+						record("stable contains %d: %v, %v", k, found, err)
+						return
+					}
+				default:
+					out := c.MSearch([]subsystem.PortKey{
+						{Port: "stable", Key: bitutil.Exact(bitutil.FromUint64(k))},
+						{Port: "stable", Key: bitutil.Exact(bitutil.FromUint64((k + 1) % 32))},
+					})
+					for _, r := range out {
+						if r.Err != nil || !r.Result.Found {
+							record("stable msearch: %+v", r)
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	// Searches aimed at engines that appear and disappear: any answer
+	// is legal except a hang, a panic, or a found-record from a
+	// just-created empty engine.
+	for g := 0; g < nAimed; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				name := fmt.Sprintf("churn%d", i%nLifecycle)
+				sr, err := c.Search(name, bitutil.Exact(bitutil.FromUint64(99)))
+				if err == nil && sr.Found {
+					record("search on churning empty engine %s found a record", name)
+					return
+				}
+				out := c.MSearch([]subsystem.PortKey{{Port: name, Key: bitutil.Exact(bitutil.FromUint64(99))}})
+				if out[0].Err == nil && out[0].Result.Found {
+					record("msearch on churning empty engine %s found a record", name)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if msg := fail.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	if got := c.Engines(); len(got) != 1 || got[0] != "stable" {
+		t.Fatalf("engines after churn = %v, want [stable]", got)
+	}
+}
