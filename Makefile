@@ -28,19 +28,26 @@
 #                       zero-alloc guard with typed engines registered,
 #                       and the byte-exact golden session serving all
 #                       four engine types in one process
+#   make cluster-guard  cluster-router gate: the whole router suite
+#                       under -race (ring determinism + rebalance,
+#                       pool FIFO/breaker semantics, scatter/gather,
+#                       the byte-exact golden session through a live
+#                       2-backend cluster, kill-a-backend failover
+#                       under stress) plus the forward-path
+#                       zero-alloc guard
 #   make ci             the CI gate: check + race + alloc-guard +
 #                       trace-guard + seqlock-guard + typed-guard +
-#                       chaos + metrics-smoke
+#                       cluster-guard + chaos + metrics-smoke
 #   make all            everything above, in that order
 
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check vet race stress fuzz bench bench-json alloc-guard trace-guard seqlock-guard typed-guard chaos metrics-smoke ci
+.PHONY: all check vet race stress fuzz bench bench-json alloc-guard trace-guard seqlock-guard typed-guard cluster-guard chaos metrics-smoke ci
 
-all: check race stress fuzz bench trace-guard seqlock-guard typed-guard chaos metrics-smoke
+all: check race stress fuzz bench trace-guard seqlock-guard typed-guard cluster-guard chaos metrics-smoke
 
-ci: check race alloc-guard trace-guard seqlock-guard typed-guard chaos metrics-smoke
+ci: check race alloc-guard trace-guard seqlock-guard typed-guard cluster-guard chaos metrics-smoke
 
 check: vet
 	$(GO) build ./...
@@ -110,9 +117,22 @@ typed-guard:
 	$(GO) test -run 'ZeroAlloc' -count=1 ./internal/server
 	$(GO) test -run GoldenSession -count=1 ./internal/server
 
+# Cluster-router gate: everything in internal/cluster under the race
+# detector — ring determinism and the rebalance property, pool FIFO
+# reply matching and breaker/probe recovery, the transparency
+# differential, scatter/gather merges, the byte-exact golden session
+# through a live two-backend cluster, and the kill-a-backend failover
+# storm — then the forward-path zero-alloc guard without -race (the
+# race runtime allocates).
+cluster-guard:
+	$(GO) test -race -count=1 ./internal/cluster
+	$(GO) test -run ForwardPathAllocs -count=1 ./internal/cluster
+
 # Freeze the hot-path benchmarks into a versioned JSON artifact.
 bench-json:
 	$(GO) test -run '^$$' -bench 'RowMatch|ServerSearchZeroAlloc|ServerSearchInstrumented|MSearchBatched|SliceLookup$$' \
 		-benchmem . | $(GO) run ./cmd/bench2json > BENCH_PR3.json
 	$(GO) test -run '^$$' -bench SearchUnderWriteContention -benchmem \
 		./internal/subsystem | $(GO) run ./cmd/bench2json > BENCH_PR6.json
+	$(GO) test -run '^$$' -bench 'RouterPipelinedSearch|UnpipelinedProxySearch|DirectServerSearch|RouterForwardPath$$' \
+		-benchmem ./internal/cluster | $(GO) run ./cmd/bench2json > BENCH_PR8.json

@@ -1,0 +1,168 @@
+// Command caram-router puts N caram-server backends behind one
+// endpoint speaking the same line protocol (internal/server) on both
+// sides — the cluster tier of the CA-RAM lookup service. Exact-engine
+// keys shard onto backends by consistent hashing over <engine, key>
+// (a deterministic virtual-node ring, internal/cluster.Ring); typed
+// engines (lpm, pktclass, trigram) and anything listed in -pin live
+// wholly on their home backend, because prefix/priority/ranking
+// semantics are only correct over the whole rule set. MSEARCH fans
+// out scatter/gather: the pair list splits by ring owner, one
+// pipelined MSEARCH goes to each involved backend concurrently, and
+// the slots reassemble in the caller's original order.
+//
+// Each backend is reached over a pipelined connection pool (-conns
+// persistent connections): concurrently arriving requests coalesce
+// into one buffered write burst with a single flush — the network
+// form of the server's own batch pipeline — and replies match waiting
+// calls in FIFO pipeline order. The forward path allocates nothing in
+// steady state.
+//
+// Failures degrade loudly, never wrongly: a dead backend trips its
+// circuit breaker (-breaker-threshold consecutive failures, open for
+// -breaker-backoff), requests shed fast with "ERR unavailable"
+// (MSEARCH slots: "ERR:unavailable"), idempotent reads that died
+// in-flight retry up to -retries times on a fresh connection, and the
+// health watcher probes HEALTH every -health-interval to detect death
+// and recovery ahead of client traffic.
+//
+// With -http the router exposes its per-backend observability on
+// /metrics (ops, errors, retries, breaker state, pipeline depth, and
+// the burst-size histogram that shows coalescing at work) plus the
+// standard pprof endpoints.
+//
+//	caram-server -addr 127.0.0.1:7071 &
+//	caram-server -addr 127.0.0.1:7072 &
+//	caram-router -addr :7070 -backends 127.0.0.1:7071,127.0.0.1:7072 -http :9091 &
+//	printf 'INSERT db dead 42\nSEARCH db dead\nMSEARCH db dead db beef\n' | nc localhost 7070
+//
+// SIGINT/SIGTERM shut down gracefully: listeners close, in-flight
+// requests settle, pools drain, and the process exits 0.
+package main
+
+import (
+	"errors"
+	"flag"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"caram/internal/cluster"
+	"caram/internal/metrics"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		backends = flag.String("backends", "", "comma-separated backend addresses (host:port), required; also their ring labels")
+		replicas = flag.Int("replicas", cluster.DefaultReplicas, "virtual nodes per backend on the hash ring")
+		pin      = flag.String("pin", "", "comma-separated engine names pinned whole to their home backend (typed engines created through the router pin automatically)")
+		conns    = flag.Int("conns", 4, "pipelined connections per backend")
+		httpAddr = flag.String("http", "", "optional HTTP listen address for /metrics and /debug/pprof")
+		logLevel = flag.String("log-level", "info", "log floor: debug, info, warn, error")
+
+		retries      = flag.Int("retries", 2, "resubmissions for idempotent reads whose connection died in-flight")
+		retryBackoff = flag.Duration("retry-backoff", 2*time.Millisecond, "first retry delay (doubles per attempt)")
+
+		breakerThreshold = flag.Int("breaker-threshold", 3, "consecutive transport failures that open a backend's circuit breaker")
+		breakerBackoff   = flag.Duration("breaker-backoff", 250*time.Millisecond, "how long an open breaker sheds before the next half-open attempt")
+		dialTimeout      = flag.Duration("dial-timeout", 2*time.Second, "per-connection dial bound")
+		healthInterval   = flag.Duration("health-interval", time.Second, "HEALTH probe period per backend (0 = watcher off)")
+		healthTimeout    = flag.Duration("health-timeout", time.Second, "per-probe deadline")
+	)
+	flag.Parse()
+
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		slog.Error("bad -log-level", "value", *logLevel, "err", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+	slog.SetDefault(logger)
+
+	bks, err := cluster.ParseBackends(*backends)
+	if err != nil {
+		logger.Error("bad -backends", "err", err)
+		os.Exit(2)
+	}
+	labels := make([]string, len(bks))
+	for i, b := range bks {
+		labels[i] = b.Label
+	}
+	var pins []string
+	if *pin != "" {
+		for _, name := range strings.Split(*pin, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				pins = append(pins, name)
+			}
+		}
+	}
+
+	rm := metrics.NewRouterMetrics(labels)
+	rt, err := cluster.NewRouter(cluster.RouterConfig{
+		Backends:         bks,
+		Replicas:         *replicas,
+		Pin:              pins,
+		Conns:            *conns,
+		BreakerThreshold: *breakerThreshold,
+		BreakerBackoff:   *breakerBackoff,
+		DialTimeout:      *dialTimeout,
+		Retries:          *retries,
+		RetryBackoff:     *retryBackoff,
+		HealthInterval:   *healthInterval,
+		HealthTimeout:    *healthTimeout,
+		Metrics:          rm,
+		Logger:           logger,
+	})
+	if err != nil {
+		logger.Error("router config", "err", err)
+		os.Exit(2)
+	}
+
+	if *httpAddr != "" {
+		hl, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			logger.Error("http listen", "addr", *httpAddr, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("http endpoints up", "metrics", "http://"+hl.Addr().String()+"/metrics")
+		go func() {
+			if err := http.Serve(hl, metrics.RouterHandler(rm)); err != nil {
+				logger.Error("http serve", "err", err)
+			}
+		}()
+	}
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("listen", "addr", *addr, "err", err)
+		os.Exit(1)
+	}
+	logger.Info("routing",
+		"addr", l.Addr().String(),
+		"backends", strings.Join(labels, ","),
+		"replicas", *replicas,
+		"conns", *conns,
+		"pinned", strings.Join(pins, ","),
+		"health_interval", healthInterval.String())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		logger.Info("shutting down", "signal", s.String())
+		if err := rt.Close(); err != nil {
+			logger.Error("close", "err", err)
+		}
+	}()
+
+	if err := rt.Serve(l); err != nil && !errors.Is(err, cluster.ErrRouterClosed) {
+		logger.Error("serve", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("bye")
+}

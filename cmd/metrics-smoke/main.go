@@ -22,6 +22,14 @@
 //     ENGINE removes the engine from the exposition, and
 //   - SIGINT shuts the server down cleanly (exit code 0).
 //
+// It then repeats the exercise one tier up: cmd/caram-router is built
+// and started in front of two caram-server backends, a sharded
+// workload is driven through the router's wire port, and the router's
+// own /metrics scrape must carry every caram_router_* family with
+// per-backend labels, ops spread across both shards, closed breakers,
+// and a populated burst histogram; SIGINT must stop the router with
+// exit code 0 too.
+//
 // It exits non-zero with a diagnostic on the first failed assertion,
 // so it works as a CI gate without a test framework.
 package main
@@ -48,6 +56,9 @@ func main() {
 	log.SetPrefix("metrics-smoke: ")
 	if err := run(); err != nil {
 		log.Fatal(err)
+	}
+	if err := runCluster(); err != nil {
+		log.Fatal(fmt.Errorf("cluster: %w", err))
 	}
 	log.Print("PASS")
 }
@@ -374,6 +385,173 @@ func run() error {
 		return fmt.Errorf("server did not exit within 10s of SIGINT")
 	}
 	return nil
+}
+
+// runCluster is the router-tier smoke: caram-router in front of two
+// caram-server backends, a sharded workload, and the router's own
+// Prometheus exposition.
+func runCluster() error {
+	dir, err := os.MkdirTemp("", "metrics-smoke-cluster")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	srvBin := filepath.Join(dir, "caram-server")
+	rtBin := filepath.Join(dir, "caram-router")
+	for _, b := range []struct{ bin, pkg string }{{srvBin, "./cmd/caram-server"}, {rtBin, "./cmd/caram-router"}} {
+		build := exec.Command("go", "build", "-o", b.bin, b.pkg)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("build %s: %w", b.pkg, err)
+		}
+	}
+
+	// Two backends, then the router in front of them. The health
+	// watcher stays off so the op counters below are exactly the
+	// workload's.
+	var bkAddrs [2]string
+	var bkProcs [2]*exec.Cmd
+	for i := range bkAddrs {
+		addr, _, err := freeAddrs()
+		if err != nil {
+			return err
+		}
+		bk := exec.Command(srvBin, "-addr", addr, "-engines", "db", "-indexbits", "8", "-log-level", "error")
+		bk.Stderr = os.Stderr
+		if err := bk.Start(); err != nil {
+			return fmt.Errorf("start backend %d: %w", i, err)
+		}
+		defer bk.Process.Kill() //nolint:errcheck
+		bkAddrs[i], bkProcs[i] = addr, bk
+	}
+	for _, addr := range bkAddrs {
+		c, err := dialRetry(addr, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		c.Close()
+	}
+	wireAddr, httpAddr, err := freeAddrs()
+	if err != nil {
+		return err
+	}
+	rt := exec.Command(rtBin, "-addr", wireAddr, "-http", httpAddr,
+		"-backends", bkAddrs[0]+","+bkAddrs[1], "-health-interval", "0", "-log-level", "error")
+	rt.Stderr = os.Stderr
+	if err := rt.Start(); err != nil {
+		return fmt.Errorf("start caram-router: %w", err)
+	}
+	defer rt.Process.Kill() //nolint:errcheck
+
+	conn, err := dialRetry(wireAddr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	rd := bufio.NewReader(conn)
+	ask := func(req string) (string, error) {
+		if _, err := fmt.Fprintln(conn, req); err != nil {
+			return "", fmt.Errorf("%s: %w", req, err)
+		}
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", req, err)
+		}
+		return strings.TrimSpace(line), nil
+	}
+
+	// 64 keys shard across both backends; every reply is
+	// self-validating, and the router-local METRICS line counts the
+	// 128 forwarded ops exactly.
+	const n = 64
+	for i := 1; i <= n; i++ {
+		if got, err := ask(fmt.Sprintf("INSERT db %x %x", i, i)); err != nil {
+			return err
+		} else if got != "OK" {
+			return fmt.Errorf("INSERT %x through router: got %q", i, got)
+		}
+	}
+	for i := 1; i <= n; i++ {
+		want := fmt.Sprintf("HIT 0:%016x", i)
+		if got, err := ask(fmt.Sprintf("SEARCH db %x", i)); err != nil {
+			return err
+		} else if got != want {
+			return fmt.Errorf("SEARCH %x through router: got %q, want %q", i, got, want)
+		}
+	}
+	if got, err := ask("METRICS"); err != nil {
+		return err
+	} else if got != fmt.Sprintf("METRICS backends=2 ops=%d errors=0", 2*n) {
+		return fmt.Errorf("router METRICS: got %q", got)
+	}
+
+	// The router's scrape: every caram_router_* family, per-backend
+	// labels, traffic on both shards, breakers closed, bursts seen.
+	body, err := get("http://" + httpAddr + "/metrics")
+	if err != nil {
+		return err
+	}
+	for _, fam := range []string{
+		metrics.FamRouterOps, metrics.FamRouterErrors, metrics.FamRouterRetries,
+		metrics.FamRouterBreakerTrips, metrics.FamRouterBreakerOpen,
+		metrics.FamRouterInflight, metrics.FamRouterBurst,
+	} {
+		if !strings.Contains(body, "# TYPE "+fam+" ") {
+			return fmt.Errorf("router /metrics missing family %s\n%s", fam, body)
+		}
+	}
+	for _, addr := range bkAddrs {
+		ops, ok := scrapeValue(body, fmt.Sprintf("%s{backend=%q} ", metrics.FamRouterOps, addr))
+		if !ok || ops <= 0 {
+			return fmt.Errorf("router /metrics: backend %s absorbed no ops (sharding broken?)\n%s", addr, body)
+		}
+		if !strings.Contains(body, fmt.Sprintf("%s{backend=%q} 0", metrics.FamRouterBreakerOpen, addr)) {
+			return fmt.Errorf("router /metrics: breaker not closed for %s\n%s", addr, body)
+		}
+		if cnt, ok := scrapeValue(body, fmt.Sprintf("%s_count{backend=%q} ", metrics.FamRouterBurst, addr)); !ok || cnt <= 0 {
+			return fmt.Errorf("router /metrics: no bursts recorded for %s\n%s", addr, body)
+		}
+	}
+
+	// Graceful shutdown, router first, then the backends.
+	if err := rt.Process.Signal(os.Interrupt); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- rt.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("router exited non-zero after SIGINT: %w", err)
+		}
+	case <-time.After(10 * time.Second):
+		rt.Process.Kill() //nolint:errcheck
+		return fmt.Errorf("router did not exit within 10s of SIGINT")
+	}
+	for i, bk := range bkProcs {
+		if err := bk.Process.Signal(os.Interrupt); err != nil {
+			return err
+		}
+		if err := bk.Wait(); err != nil {
+			return fmt.Errorf("backend %d exited non-zero after SIGINT: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// scrapeValue finds the sample whose line starts with prefix and
+// returns its value.
+func scrapeValue(body, prefix string) (float64, bool) {
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, prefix); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err == nil {
+				return v, true
+			}
+		}
+	}
+	return 0, false
 }
 
 // freeAddrs reserves two distinct loopback ports by listening and

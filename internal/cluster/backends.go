@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"strings"
+)
+
+// Backend is one routed-to caram-server: the label that places it on
+// the ring (routing identity — stable across redeploys) and the
+// address the pool dials. ParseBackends sets Label == Addr, the right
+// default for a static -backends list; tests pin labels independently
+// of their ephemeral listen ports.
+type Backend struct {
+	Label string
+	Addr  string
+}
+
+// ParseBackends parses the -backends flag value: a comma-separated
+// list of host:port addresses. It is strict the way the server's
+// parseVec is strict about keys — empty elements (including the
+// trailing comma's), duplicates, and addresses that do not split into
+// host:port are errors with the offending element quoted, never
+// something the router quietly dials garbage from. Whitespace around
+// elements is trimmed (flag values often arrive from shell
+// interpolation); at least one backend is required.
+func ParseBackends(list string) ([]Backend, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, fmt.Errorf("cluster: -backends is empty")
+	}
+	parts := strings.Split(list, ",")
+	out := make([]Backend, 0, len(parts))
+	seen := make(map[string]struct{}, len(parts))
+	for _, raw := range parts {
+		addr := strings.TrimSpace(raw)
+		if addr == "" {
+			return nil, fmt.Errorf("cluster: empty backend element in -backends %q", list)
+		}
+		host, port, err := net.SplitHostPort(addr)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: bad backend address %q: %v", addr, err)
+		}
+		if host == "" {
+			return nil, fmt.Errorf("cluster: backend address %q has no host", addr)
+		}
+		if port == "" {
+			return nil, fmt.Errorf("cluster: backend address %q has no port", addr)
+		}
+		if _, dup := seen[addr]; dup {
+			return nil, fmt.Errorf("cluster: duplicate backend address %q", addr)
+		}
+		seen[addr] = struct{}{}
+		out = append(out, Backend{Label: addr, Addr: addr})
+	}
+	return out, nil
+}

@@ -1,0 +1,56 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBackends(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []string // expected addrs, nil means error
+		errPart string   // substring the error must carry
+	}{
+		{in: "127.0.0.1:7071", want: []string{"127.0.0.1:7071"}},
+		{in: "127.0.0.1:7071,127.0.0.1:7072", want: []string{"127.0.0.1:7071", "127.0.0.1:7072"}},
+		{in: " 127.0.0.1:7071 ,\thost:1 ", want: []string{"127.0.0.1:7071", "host:1"}},
+		{in: "[::1]:7071,[::1]:7072", want: []string{"[::1]:7071", "[::1]:7072"}},
+
+		{in: "", errPart: "empty"},
+		{in: "   ", errPart: "empty"},
+		{in: "127.0.0.1:7071,", errPart: "empty backend element"},
+		{in: ",127.0.0.1:7071", errPart: "empty backend element"},
+		{in: "127.0.0.1:7071,,127.0.0.1:7072", errPart: "empty backend element"},
+		{in: "127.0.0.1", errPart: "bad backend address"},
+		{in: "localhost", errPart: "bad backend address"},
+		{in: ":7071", errPart: "no host"},
+		{in: "host:", errPart: "no port"},
+		{in: "a:1,a:1", errPart: "duplicate"},
+		{in: "a:1,b:2,a:1", errPart: "duplicate"},
+	}
+	for _, tc := range cases {
+		got, err := ParseBackends(tc.in)
+		if tc.want == nil {
+			if err == nil {
+				t.Errorf("ParseBackends(%q) = %v, want error containing %q", tc.in, got, tc.errPart)
+			} else if !strings.Contains(err.Error(), tc.errPart) {
+				t.Errorf("ParseBackends(%q) error %q, want substring %q", tc.in, err, tc.errPart)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseBackends(%q): %v", tc.in, err)
+			continue
+		}
+		if len(got) != len(tc.want) {
+			t.Errorf("ParseBackends(%q) = %d backends, want %d", tc.in, len(got), len(tc.want))
+			continue
+		}
+		for i, b := range got {
+			if b.Addr != tc.want[i] || b.Label != tc.want[i] {
+				t.Errorf("ParseBackends(%q)[%d] = {%q %q}, want addr=label=%q",
+					tc.in, i, b.Label, b.Addr, tc.want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,480 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"caram/internal/metrics"
+	"caram/internal/server"
+)
+
+// Pool errors. ErrBackendUnavailable is the router-side shed: the
+// backend's circuit breaker is open (or the backend shed us with ERR
+// BUSY), so the request failed fast without touching the wire.
+// ErrBackendDown is a transport failure on an in-flight request — the
+// connection died between write and reply, so the request's fate on
+// the backend is unknown (safe to retry only for idempotent reads).
+var (
+	ErrBackendUnavailable = errors.New("cluster: backend unavailable")
+	ErrBackendDown        = errors.New("cluster: backend connection failed")
+	ErrPoolClosed         = errors.New("cluster: pool closed")
+)
+
+// busyReply is the backend's accept-time load-shed line (one per shed
+// connection, then close). Seeing it as a "reply" means the
+// connection never entered service: everything pipelined on it fails
+// unavailable and the breaker trips.
+var busyReply = []byte("ERR BUSY")
+
+const (
+	// maxBurst caps how many queued requests one write burst coalesces;
+	// with the submit queue it bounds a connection's pipeline depth.
+	maxBurst = 256
+	// submitQueue is each connection's submit-channel capacity;
+	// submitters beyond it block (backpressure toward the client).
+	submitQueue = 1024
+)
+
+// Call is one in-flight forwarded request. Calls are pooled: Submit
+// hands one out with the request line copied in, Wait blocks until the
+// reply (or error) lands, Release returns it for reuse — steady-state
+// forwarding allocates nothing.
+type Call struct {
+	req     []byte // request line, '\n'-terminated, owned by the call
+	resp    []byte // reply line without the trailing '\n'
+	err     error
+	done    chan struct{} // cap 1; signalled exactly once per flight
+	settled bool          // the done token was consumed (Wait is idempotent)
+	met     *metrics.RouterBackend
+}
+
+// Wait blocks until the call completes and returns the reply line
+// (without its trailing newline) or the transport error. Idempotent —
+// scatter merges re-read settled calls freely — but single-consumer:
+// only the goroutine settling the client burst may call it. The
+// returned slice is owned by the call; copy it out before Release.
+func (c *Call) Wait() ([]byte, error) {
+	if !c.settled {
+		<-c.done
+		c.settled = true
+	}
+	return c.resp, c.err
+}
+
+// finish delivers the outcome. Exactly one of the pool's goroutines
+// calls it per flight (each call is popped from the pending queue
+// once), so the cap-1 channel never blocks.
+func (c *Call) finish(resp []byte, err error) {
+	c.resp = append(c.resp[:0], resp...)
+	c.err = err
+	if err != nil {
+		c.met.IncErrs()
+	}
+	c.met.DepthAdd(-1)
+	c.done <- struct{}{}
+}
+
+var callPool = sync.Pool{
+	New: func() any {
+		return &Call{
+			req:  make([]byte, 0, 256),
+			resp: make([]byte, 0, 256),
+			done: make(chan struct{}, 1),
+		}
+	},
+}
+
+// Release returns a completed call to the pool. The caller must be
+// done with the slices Wait returned.
+func (c *Call) Release() {
+	c.err = nil
+	c.met = nil
+	c.settled = false
+	callPool.Put(c)
+}
+
+// Pool is one backend's pipelined connection pool: K persistent
+// connections, each with a writer goroutine that coalesces
+// concurrently arriving requests into a single buffered flush per
+// burst (the network form of PR 3's ExecAppend burst flush) and a
+// reader goroutine that matches reply lines to waiting calls in FIFO
+// pipeline order. A per-backend circuit breaker fails submissions
+// fast while the backend is unreachable; the router's health watcher
+// probes it back to closed.
+type Pool struct {
+	backend Backend
+	met     *metrics.RouterBackend // nil-safe
+	conns   []*pconn
+	next    atomic.Uint64 // round-robin connection pick
+
+	// Circuit breaker: consecutive transport failures at or beyond the
+	// threshold open it until the deadline; any success closes it.
+	failures  atomic.Int32
+	openUntil atomic.Int64 // unix nanos; 0 = closed
+	threshold int32
+	backoff   time.Duration
+
+	dialTimeout time.Duration
+	done        chan struct{}
+	closeOnce   sync.Once
+	wg          sync.WaitGroup
+}
+
+// PoolConfig tunes a backend pool; the zero value of any field picks
+// the default.
+type PoolConfig struct {
+	Conns            int           // persistent connections (default 4)
+	BreakerThreshold int           // consecutive failures to open (default 3)
+	BreakerBackoff   time.Duration // open duration (default 250ms)
+	DialTimeout      time.Duration // per-dial bound (default 2s)
+	Metrics          *metrics.RouterBackend
+}
+
+// NewPool builds the pool and starts its connection workers.
+// Connections dial lazily on first use, so building a pool against a
+// dead backend succeeds — the breaker does the failing.
+func NewPool(b Backend, cfg PoolConfig) *Pool {
+	if cfg.Conns <= 0 {
+		cfg.Conns = 4
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerBackoff <= 0 {
+		cfg.BreakerBackoff = 250 * time.Millisecond
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	p := &Pool{
+		backend:     b,
+		met:         cfg.Metrics,
+		threshold:   int32(cfg.BreakerThreshold),
+		backoff:     cfg.BreakerBackoff,
+		dialTimeout: cfg.DialTimeout,
+		done:        make(chan struct{}),
+	}
+	p.conns = make([]*pconn, cfg.Conns)
+	for i := range p.conns {
+		pc := &pconn{p: p, ch: make(chan *Call, submitQueue)}
+		p.conns[i] = pc
+		p.wg.Add(1)
+		go pc.run()
+	}
+	return p
+}
+
+// Backend returns the pool's backend.
+func (p *Pool) Backend() Backend { return p.backend }
+
+// Submit enqueues one request line on the next connection round-robin
+// — for callers with no ordering needs across their own submissions.
+// Callers that pipeline ordered requests (the router's per-client
+// streams) must use SubmitLane with a stable lane instead.
+func (p *Pool) Submit(line []byte) *Call {
+	return p.SubmitLane(line, p.next.Add(1))
+}
+
+// SubmitLane enqueues one request line (with or without its trailing
+// newline) on the lane's pipelined connection and returns the
+// in-flight call. All submissions sharing a lane reach the backend in
+// submission order (one connection, FIFO pipeline) — this is what
+// preserves a client's own request ordering through the router while
+// different lanes still coalesce onto the pool's connections. It
+// fails fast — without queueing — while the breaker is open or the
+// pool is closed. The line is copied; the caller's buffer is free
+// immediately.
+func (p *Pool) SubmitLane(line []byte, lane uint64) *Call {
+	c := callPool.Get().(*Call)
+	c.met = p.met
+	c.req = append(c.req[:0], line...)
+	if n := len(c.req); n == 0 || c.req[n-1] != '\n' {
+		c.req = append(c.req, '\n')
+	}
+	c.met.IncOps()
+	c.met.DepthAdd(1)
+	if p.breakerOpen() {
+		c.finish(nil, ErrBackendUnavailable)
+		return c
+	}
+	pc := p.conns[lane%uint64(len(p.conns))]
+	select {
+	case pc.ch <- c:
+	case <-p.done:
+		c.finish(nil, ErrPoolClosed)
+	}
+	return c
+}
+
+// Close tears the pool down: workers exit, connections close, queued
+// and in-flight calls fail with ErrPoolClosed/ErrBackendDown.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() { close(p.done) })
+	p.wg.Wait()
+}
+
+// breakerOpen reports whether submissions should fail fast.
+func (p *Pool) breakerOpen() bool {
+	u := p.openUntil.Load()
+	return u != 0 && time.Now().UnixNano() < u
+}
+
+// BreakerOpen reports the breaker state (for tests and HEALTH-style
+// introspection).
+func (p *Pool) BreakerOpen() bool { return p.breakerOpen() }
+
+// noteFailure records one transport failure; at the threshold the
+// breaker opens for the backoff window. Past the threshold the counter
+// keeps the breaker primed: in the half-open window after expiry, a
+// single further failure re-opens it immediately.
+func (p *Pool) noteFailure() {
+	if p.failures.Add(1) >= p.threshold {
+		p.openUntil.Store(time.Now().Add(p.backoff).UnixNano())
+		p.met.SetBreaker(true)
+	}
+}
+
+// noteSuccess closes the breaker and clears the failure streak.
+func (p *Pool) noteSuccess() {
+	if p.failures.Load() != 0 {
+		p.failures.Store(0)
+	}
+	if p.openUntil.Load() != 0 {
+		p.openUntil.Store(0)
+	}
+	p.met.SetBreaker(false)
+}
+
+// MarkHealthy is the health watcher's success hook: a HEALTH probe
+// answered, so the breaker closes and traffic flows again.
+func (p *Pool) MarkHealthy() { p.noteSuccess() }
+
+// MarkUnhealthy is the health watcher's failure hook.
+func (p *Pool) MarkUnhealthy() { p.noteFailure() }
+
+// pconn is one persistent pipelined connection: a submit queue its
+// writer goroutine drains in bursts, and a per-dial reader goroutine
+// that matches replies to calls in FIFO order.
+type pconn struct {
+	p  *Pool
+	ch chan *Call
+}
+
+// gen is one dial generation: the live connection, the FIFO of calls
+// written but not yet answered, and the dead flag its reader raises so
+// the writer stops using a half-closed conn.
+type gen struct {
+	conn    net.Conn
+	pending chan *Call
+	dead    atomic.Bool
+}
+
+// run is the writer loop: collect a burst, hand the calls to the
+// reader's FIFO, write the whole burst with one flush.
+func (pc *pconn) run() {
+	defer pc.p.wg.Done()
+	var g *gen
+	burst := make([]*Call, 0, maxBurst)
+	wbuf := make([]byte, 0, 8*1024)
+	teardown := func() {
+		if g != nil {
+			g.conn.Close() // reader fails the pending FIFO
+			g = nil
+		}
+		// Fail whatever is still queued, then keep draining until Close
+		// finishes so late submitters never hang.
+		for {
+			select {
+			case c := <-pc.ch:
+				c.finish(nil, ErrPoolClosed)
+			default:
+				return
+			}
+		}
+	}
+	for {
+		var first *Call
+		select {
+		case first = <-pc.ch:
+		case <-pc.p.done:
+			teardown()
+			return
+		}
+		// Coalesce everything that arrived while we slept into one
+		// burst — concurrently submitting clients share one flush.
+		burst = append(burst[:0], first)
+	drain:
+		for len(burst) < maxBurst {
+			select {
+			case c := <-pc.ch:
+				burst = append(burst, c)
+			default:
+				break drain
+			}
+		}
+		if pc.p.breakerOpen() {
+			failBurst(burst, ErrBackendUnavailable)
+			continue
+		}
+		if g != nil && g.dead.Load() {
+			g.conn.Close()
+			g = nil
+		}
+		if g == nil {
+			conn, err := net.DialTimeout("tcp", pc.p.backend.Addr, pc.p.dialTimeout)
+			if err != nil {
+				pc.p.noteFailure()
+				failBurst(burst, ErrBackendDown)
+				continue
+			}
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true) // bursts are already coalesced; don't let Nagle re-delay them
+			}
+			g = &gen{conn: conn, pending: make(chan *Call, submitQueue+maxBurst)}
+			pc.p.wg.Add(1)
+			go pc.read(g)
+		}
+		wbuf = wbuf[:0]
+		for _, c := range burst {
+			wbuf = append(wbuf, c.req...)
+		}
+		// FIFO hand-off before the bytes go out: replies arrive in
+		// pipeline order, and the reader must never see a reply whose
+		// call it cannot pop.
+		for _, c := range burst {
+			g.pending <- c
+		}
+		pc.p.met.ObserveBurst(len(burst))
+		_, err := g.conn.Write(wbuf)
+		if err != nil || g.dead.Load() {
+			// Write failed, or the reader died underneath us after its
+			// final drain: close, fail what remains, and start fresh
+			// next burst. Both sides may drain pending concurrently;
+			// each call is popped exactly once either way.
+			g.conn.Close()
+			drainPending(g, ErrBackendDown)
+			if err != nil {
+				pc.p.noteFailure()
+			}
+			g = nil
+		}
+	}
+}
+
+// read is one generation's reader: match reply lines to pending calls
+// in FIFO order until the connection dies, then fail everything left.
+func (pc *pconn) read(g *gen) {
+	defer pc.p.wg.Done()
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(g.conn)
+	defer func() {
+		br.Reset(nil)
+		readerPool.Put(br)
+	}()
+	for {
+		line, err := br.ReadSlice('\n')
+		if err != nil {
+			// Transport or framing failure (a reply over MaxLineBytes is
+			// ErrBufferFull — unrecoverable mid-stream, same as the
+			// server's own line bound). Raise dead first, then drain:
+			// the writer re-checks dead after its own enqueues, so no
+			// call is left stranded between the two drains.
+			g.dead.Store(true)
+			g.conn.Close()
+			pc.p.noteFailure()
+			drainPending(g, ErrBackendDown)
+			return
+		}
+		line = trimEOL(line)
+		if bytes.Equal(line, busyReply) {
+			// Accept-time shed: this connection never entered service.
+			g.dead.Store(true)
+			g.conn.Close()
+			pc.p.noteFailure()
+			drainPending(g, ErrBackendUnavailable)
+			return
+		}
+		select {
+		case c := <-g.pending:
+			c.finish(line, nil)
+			pc.p.noteSuccess()
+		default:
+			// A reply with no awaiting call: protocol desync. Kill the
+			// connection rather than mismatch replies.
+			g.dead.Store(true)
+			g.conn.Close()
+			pc.p.noteFailure()
+			drainPending(g, ErrBackendDown)
+			return
+		}
+	}
+}
+
+// drainPending fails every call still in the generation's FIFO.
+func drainPending(g *gen, err error) {
+	for {
+		select {
+		case c := <-g.pending:
+			c.finish(nil, err)
+		default:
+			return
+		}
+	}
+}
+
+// failBurst fails a burst that never reached a connection.
+func failBurst(burst []*Call, err error) {
+	for _, c := range burst {
+		c.finish(nil, err)
+	}
+}
+
+// trimEOL strips the line terminator (and a final "\r").
+func trimEOL(line []byte) []byte {
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line
+}
+
+// readerPool recycles the per-dial reply readers; sized to the
+// server's own line bound so an oversized reply is a framing error,
+// not a silent truncation.
+var readerPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, server.MaxLineBytes) },
+}
+
+// Probe dials the backend directly — outside the pool and its breaker
+// gate — sends one HEALTH line, and reports whether a reply came back.
+// The router's health watcher uses it to detect recovery while the
+// breaker is open (the half-open probe) and to trip the breaker early
+// when a quiet backend dies.
+func (p *Pool) Probe(timeout time.Duration) bool {
+	conn, err := net.DialTimeout("tcp", p.backend.Addr, timeout)
+	if err != nil {
+		p.noteFailure()
+		return false
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write([]byte("HEALTH\n")); err != nil {
+		p.noteFailure()
+		return false
+	}
+	buf := make([]byte, 512)
+	n, err := conn.Read(buf)
+	if err != nil || n == 0 || bytes.HasPrefix(buf[:n], busyReply) {
+		p.noteFailure()
+		return false
+	}
+	p.noteSuccess()
+	return true
+}

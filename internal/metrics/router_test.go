@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestRouterBackendCounters(t *testing.T) {
+	rm := NewRouterMetrics([]string{"b0", "b1"})
+	b := rm.Backend(0)
+	if b.Name() != "b0" || rm.Backend(1).Name() != "b1" {
+		t.Fatalf("names: %q %q", b.Name(), rm.Backend(1).Name())
+	}
+	for i := 0; i < 5; i++ {
+		b.IncOps()
+	}
+	b.IncErrs()
+	b.IncRetries()
+	b.IncRetries()
+	b.DepthAdd(3)
+	b.DepthAdd(-1)
+	if b.Ops() != 5 || b.Errs() != 1 || b.Retries() != 2 || b.Inflight() != 2 {
+		t.Errorf("counters: ops=%d errs=%d retries=%d inflight=%d",
+			b.Ops(), b.Errs(), b.Retries(), b.Inflight())
+	}
+	if ops, errs := rm.Totals(); ops != 5 || errs != 1 {
+		t.Errorf("totals: %d %d", ops, errs)
+	}
+	if rm.Backends() != 2 {
+		t.Errorf("backends: %d", rm.Backends())
+	}
+	if got := rm.String(); got != "backends=2 ops=5 errors=1" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestRouterBreakerGauge(t *testing.T) {
+	rm := NewRouterMetrics([]string{"b0"})
+	b := rm.Backend(0)
+	if b.BreakerOpen() {
+		t.Fatal("breaker starts open")
+	}
+	b.SetBreaker(true)
+	b.SetBreaker(true) // already open: no second trip
+	if !b.BreakerOpen() {
+		t.Error("breaker not open after SetBreaker(true)")
+	}
+	b.SetBreaker(false)
+	b.SetBreaker(true) // second real trip
+	out := routerProm(t, rm)
+	if !strings.Contains(out, FamRouterBreakerTrips+`{backend="b0"} 2`) {
+		t.Errorf("trip counter wrong:\n%s", out)
+	}
+	if !strings.Contains(out, FamRouterBreakerOpen+`{backend="b0"} 1`) {
+		t.Errorf("open gauge wrong:\n%s", out)
+	}
+}
+
+// TestRouterBurstHistogram pins the power-of-two bucketing: bucket le=2^i
+// counts bursts of size in (2^(i-1), 2^i], cumulatively rendered.
+func TestRouterBurstHistogram(t *testing.T) {
+	rm := NewRouterMetrics([]string{"b0"})
+	b := rm.Backend(0)
+	b.ObserveBurst(0) // ignored
+	b.ObserveBurst(1) // le=1
+	b.ObserveBurst(2) // le=2
+	b.ObserveBurst(3) // le=4
+	b.ObserveBurst(4) // le=4
+	b.ObserveBurst(5000) // clamps into the last bucket
+	if n, mean := b.Bursts(); n != 5 || mean != float64(1+2+3+4+5000)/5 {
+		t.Errorf("bursts: n=%d mean=%g", n, mean)
+	}
+	out := routerProm(t, rm)
+	for _, want := range []string{
+		FamRouterBurst + `_bucket{backend="b0",le="1"} 1`,
+		FamRouterBurst + `_bucket{backend="b0",le="2"} 2`,
+		FamRouterBurst + `_bucket{backend="b0",le="4"} 4`,
+		FamRouterBurst + `_bucket{backend="b0",le="2048"} 5`,
+		FamRouterBurst + `_bucket{backend="b0",le="+Inf"} 5`,
+		FamRouterBurst + `_sum{backend="b0"} 5010`,
+		FamRouterBurst + `_count{backend="b0"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRouterPrometheusFamilies(t *testing.T) {
+	rm := NewRouterMetrics([]string{"alpha", "beta"})
+	rm.Backend(1).IncOps()
+	out := routerProm(t, rm)
+	for _, fam := range []string{
+		FamRouterOps, FamRouterErrors, FamRouterRetries,
+		FamRouterBreakerTrips, FamRouterBreakerOpen, FamRouterInflight, FamRouterBurst,
+	} {
+		if !strings.Contains(out, "# TYPE "+fam+" ") {
+			t.Errorf("family %s not exported", fam)
+		}
+	}
+	if !strings.Contains(out, FamRouterOps+`{backend="alpha"} 0`) ||
+		!strings.Contains(out, FamRouterOps+`{backend="beta"} 1`) {
+		t.Errorf("per-backend labels wrong:\n%s", out)
+	}
+}
+
+// TestRouterMetricsNilSafe: an unmetered router passes nil all the way
+// down; every recorder must be a no-op, not a panic.
+func TestRouterMetricsNilSafe(t *testing.T) {
+	var rm *RouterMetrics
+	b := rm.Backend(3)
+	b.IncOps()
+	b.IncErrs()
+	b.IncRetries()
+	b.DepthAdd(1)
+	b.SetBreaker(true)
+	b.ObserveBurst(8)
+	if rm.Backends() != 0 {
+		t.Error("nil registry has backends")
+	}
+	if ops, errs := rm.Totals(); ops != 0 || errs != 0 {
+		t.Error("nil registry has totals")
+	}
+}
+
+func routerProm(t *testing.T, rm *RouterMetrics) string {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	RouterHandler(rm).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("GET /metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	return rec.Body.String()
+}

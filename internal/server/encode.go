@@ -56,17 +56,17 @@ func appendErr(dst []byte, err error) []byte {
 // fast path of the field scanner.
 var asciiSpace = [256]uint8{'\t': 1, '\n': 1, '\v': 1, '\f': 1, '\r': 1, ' ': 1}
 
-// fieldScanner iterates the whitespace-separated fields of a request
+// FieldScanner iterates the whitespace-separated fields of a request
 // line without allocating — the streaming equivalent of strings.Fields
 // (same unicode.IsSpace separator set), yielding substrings of the
 // input.
-type fieldScanner struct {
+type FieldScanner struct {
 	s string
 	i int
 }
 
 // next returns the next field, or ok=false at end of line.
-func (f *fieldScanner) next() (field string, ok bool) {
+func (f *FieldScanner) next() (field string, ok bool) {
 	s, i := f.s, f.i
 	for i < len(s) {
 		if c := s[i]; c < utf8.RuneSelf {
@@ -108,7 +108,7 @@ func (f *fieldScanner) next() (field string, ok bool) {
 // rest returns everything left of the line with surrounding whitespace
 // trimmed, consuming the scanner — the free-text tail of a request
 // (trigram texts may contain spaces).
-func (f *fieldScanner) rest() string {
+func (f *FieldScanner) rest() string {
 	out := strings.TrimSpace(f.s[f.i:])
 	f.i = len(f.s)
 	return out
@@ -116,7 +116,7 @@ func (f *fieldScanner) rest() string {
 
 // countFields returns how many fields remain from the scanner's current
 // position without advancing it.
-func (f *fieldScanner) countFields() int {
+func (f *FieldScanner) countFields() int {
 	c := *f
 	n := 0
 	for {

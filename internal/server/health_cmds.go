@@ -16,7 +16,7 @@ import "strings"
 //	HEALTH                  one "name=state" pair per engine
 //	HEALTH <engine>         state plus the error-coding counters
 //	HEALTH <engine> SCRUB   run the scrub pass, report repairs
-func (s *Server) execHealthAppend(dst []byte, fs *fieldScanner) []byte {
+func (s *Server) execHealthAppend(dst []byte, fs *FieldScanner) []byte {
 	const usage = "ERR usage: HEALTH [engine [SCRUB]]"
 	eng, hasEng := fs.next()
 	if !hasEng {

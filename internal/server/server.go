@@ -558,7 +558,7 @@ func (s *Server) execAppend(dst []byte, line string, tr *trace.Trace) []byte {
 	if s.panicLine != "" && line == s.panicLine {
 		panic("injected handler panic: " + line)
 	}
-	fs := fieldScanner{s: line}
+	fs := FieldScanner{s: line}
 	cmd, ok := fs.next()
 	if !ok {
 		return append(dst, "ERR empty request"...)
@@ -749,7 +749,7 @@ func (s *Server) execAppend(dst []byte, line string, tr *trace.Trace) []byte {
 // what lets the golden-session test cover them byte-exactly. The
 // LATENCY form adds wall-clock quantiles and is therefore excluded
 // from golden coverage.
-func (s *Server) execMetricsAppend(dst []byte, fs *fieldScanner) []byte {
+func (s *Server) execMetricsAppend(dst []byte, fs *FieldScanner) []byte {
 	const usage = "ERR usage: METRICS [engine [LATENCY <op>]]"
 	var args [3]string
 	n := 0

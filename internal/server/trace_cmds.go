@@ -62,7 +62,7 @@ const maxSlowlogGet = 1 << 20
 // execSlowlogAppend answers the SLOWLOG command against the slowlog
 // ring. GET prints the newest entries (optionally capped at n) on one
 // line, newest first; LEN the retained count; RESET clears the ring.
-func (s *Server) execSlowlogAppend(dst []byte, fs *fieldScanner) []byte {
+func (s *Server) execSlowlogAppend(dst []byte, fs *FieldScanner) []byte {
 	const usage = "ERR usage: SLOWLOG GET [n] | SLOWLOG LEN | SLOWLOG RESET"
 	sub, ok := fs.next()
 	if !ok {
@@ -147,7 +147,7 @@ func (s *Server) execSlowlogAppend(dst []byte, fs *fieldScanner) []byte {
 // (mean(1 + displacement)); rows= is what this lookup measured. The
 // lookup is real — it charges access statistics and counts as a search
 // in the metrics layer, exactly like the request it explains.
-func (s *Server) execExplainAppend(dst []byte, fs *fieldScanner) []byte {
+func (s *Server) execExplainAppend(dst []byte, fs *FieldScanner) []byte {
 	const usage = "ERR usage: EXPLAIN SEARCH <engine> <key> [mask]"
 	sub, ok0 := fs.next()
 	eng, ok1 := fs.next()

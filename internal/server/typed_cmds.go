@@ -58,7 +58,7 @@ func validEngineName(s string) bool {
 
 // execCreateAppend answers CREATE ENGINE <name> TYPE <type>
 // [INDEXBITS <n>] [SLOTS <n>] [ECC].
-func (s *Server) execCreateAppend(dst []byte, fs *fieldScanner) []byte {
+func (s *Server) execCreateAppend(dst []byte, fs *FieldScanner) []byte {
 	const usage = "ERR usage: CREATE ENGINE <name> TYPE <type> [INDEXBITS <n>] [SLOTS <n>] [ECC]"
 	kw, ok := fs.next()
 	if !ok || !asciiEqualFold(kw, "ENGINE") {
@@ -121,7 +121,7 @@ func (s *Server) execCreateAppend(dst []byte, fs *fieldScanner) []byte {
 }
 
 // execDropAppend answers DROP ENGINE <name>.
-func (s *Server) execDropAppend(dst []byte, fs *fieldScanner) []byte {
+func (s *Server) execDropAppend(dst []byte, fs *FieldScanner) []byte {
 	const usage = "ERR usage: DROP ENGINE <name>"
 	kw, ok := fs.next()
 	name, ok1 := fs.next()
@@ -145,7 +145,7 @@ func ternaryWritable(t subsystem.EngineType) bool {
 // masked (ternary) insert for lpm/pktclass engines. Mask bits are
 // don't-cares; value bits under the mask are zeroed on storage, so
 // equal rules have equal row images.
-func (s *Server) execMInsertAppend(dst []byte, fs *fieldScanner, tr *trace.Trace) []byte {
+func (s *Server) execMInsertAppend(dst []byte, fs *FieldScanner, tr *trace.Trace) []byte {
 	eng, ok1 := fs.next()
 	keyS, ok2 := fs.next()
 	maskS, ok3 := fs.next()
@@ -183,7 +183,7 @@ func (s *Server) execMInsertAppend(dst []byte, fs *fieldScanner, tr *trace.Trace
 
 // execMDeleteAppend answers MDELETE <engine> <key> <mask> — removes the
 // exact (key, mask) rule, every duplicated copy included.
-func (s *Server) execMDeleteAppend(dst []byte, fs *fieldScanner, tr *trace.Trace) []byte {
+func (s *Server) execMDeleteAppend(dst []byte, fs *FieldScanner, tr *trace.Trace) []byte {
 	eng, ok1 := fs.next()
 	keyS, ok2 := fs.next()
 	maskS, ok3 := fs.next()
@@ -232,7 +232,7 @@ func (s *Server) trigramEngineOf(dst []byte, cmd, eng string) ([]byte, bool) {
 // execTInsertAppend answers TINSERT <engine> <score> <text...>: the
 // text (rest of the line, spaces allowed) is folded into the trigram
 // key image and stored with the 16-bit hex score.
-func (s *Server) execTInsertAppend(dst []byte, fs *fieldScanner, tr *trace.Trace) []byte {
+func (s *Server) execTInsertAppend(dst []byte, fs *FieldScanner, tr *trace.Trace) []byte {
 	const usage = "ERR usage: TINSERT <engine> <score> <text>"
 	eng, ok1 := fs.next()
 	scoreS, ok2 := fs.next()
@@ -266,7 +266,7 @@ func (s *Server) execTInsertAppend(dst []byte, fs *fieldScanner, tr *trace.Trace
 // execTSearchAppend answers TSEARCH <engine> <text...> with the same
 // HIT/MISS/MISS! shapes as SEARCH; a hit's payload is the entry's
 // score.
-func (s *Server) execTSearchAppend(dst []byte, fs *fieldScanner, tr *trace.Trace) []byte {
+func (s *Server) execTSearchAppend(dst []byte, fs *FieldScanner, tr *trace.Trace) []byte {
 	eng, ok1 := fs.next()
 	text := fs.rest()
 	if !ok1 || text == "" {

@@ -1,0 +1,58 @@
+package server
+
+// Wire-shape helpers shared with the cluster router (internal/cluster).
+//
+// The router speaks this package's protocol on both of its sides: it
+// parses just enough of each request line to pick a backend, forwards
+// the raw bytes, and reassembles multi-backend replies (MSEARCH
+// scatter/gather, STATS aggregation) out of single-backend ones. The
+// exported surface below is what reassembly needs — the field scanner
+// and key parser the server itself routes with, and the reply tokens
+// whose exact spelling is the compatibility contract — so the router
+// can never drift from the server's own grammar.
+
+// Reply tokens of the wire protocol. MRESULTS slots use the Slot*
+// spellings; single SEARCH replies use the bare forms. The router's
+// reassembly code compares against these constants instead of
+// respelling them.
+const (
+	ReplyOK       = "OK"
+	ReplyMiss     = "MISS"
+	ReplyMissErr  = "MISS!" // explicit miss-with-error (quarantined/unreadable row)
+	ReplyMResults = "MRESULTS"
+
+	SlotHitPrefix   = "HIT:"
+	SlotNoEngine    = "ERR:no-engine"
+	SlotUnavailable = "ERR:unavailable"
+)
+
+// Next returns the next whitespace-separated field of the line, or
+// ok=false at end of line. The exported form of the scanner the
+// protocol engine itself uses; fields are substrings of the input and
+// never allocate.
+func (f *FieldScanner) Next() (field string, ok bool) { return f.next() }
+
+// Rest returns everything left of the line with surrounding whitespace
+// trimmed, consuming the scanner — the free-text tail of a request.
+func (f *FieldScanner) Rest() string { return f.rest() }
+
+// CountFields returns how many fields remain without advancing the
+// scanner.
+func (f *FieldScanner) CountFields() int { return f.countFields() }
+
+// NewFieldScanner returns a scanner over one request (or reply) line.
+func NewFieldScanner(line string) FieldScanner { return FieldScanner{s: line} }
+
+// ParseVec parses a wire key — "hi:lo" or plain hex, each part 1-16
+// hex digits with nothing else — exactly as the protocol engine does
+// (trailing garbage, signs, and "0x" prefixes are all rejected). The
+// router canonicalizes keys through this before hashing them onto the
+// ring, so "dead", "0:dead" and "0:000000000000dead" route to the same
+// backend the server would treat as the same key.
+func ParseVec(s string) (v [2]uint64, err error) {
+	vec, err := parseVec(s)
+	if err != nil {
+		return v, err
+	}
+	return [2]uint64{vec.Lo, vec.Hi}, nil
+}
