@@ -81,17 +81,23 @@ bench:
 	$(GO) test -run '^$$' -bench ServerParallelSearch -benchmem .
 
 # Zero-allocation regression guard: testing.AllocsPerRun == 0 on the
-# core search paths (row match kernel, slice lookup, server SEARCH).
+# core search paths (row match kernel, slice lookup, server SEARCH) and
+# on the router forward path with an idle trace collector attached.
 alloc-guard:
 	$(GO) test -run ZeroAlloc -count=1 ./internal/match ./internal/caram ./internal/server
+	$(GO) test -run 'ForwardPathAllocs|RouterUntracedZeroAlloc' -count=1 ./internal/cluster
 
 # Tracing-layer gate: the lock-free ring under the race detector, the
 # slowlog admission property (admitted exactly when latency exceeds the
-# threshold), the per-command pipelined-burst attribution, and the
+# threshold), the per-command pipelined-burst attribution, the wire
+# *TID annotation / TRACE GET suites, the cluster tracing suites (the
+# stitched end-to-end trace through a live router, fleet SLOWLOG /
+# METRICS / TRACE merges, traced-vs-untraced transparency), and the
 # steady-state zero-alloc guarantee with tracing compiled in.
 trace-guard:
 	$(GO) test -race -count=1 ./internal/trace
-	$(GO) test -race -run 'Pipelined|Slowlog|Explain|SlowRequest|TracingOn' -count=1 ./internal/server
+	$(GO) test -race -run 'Pipelined|Slowlog|Explain|SlowRequest|TracingOn|WireAnnotation|TraceGet' -count=1 ./internal/server
+	$(GO) test -race -run 'ClusterTracing|RouterSlowlog|RouterMetricsAggregation|RouterTraceGet|RouterTracedTransparency|RouterHealthMergeOrder|RouterUntraced' -count=1 ./internal/cluster
 	$(GO) test -run 'TracingOnSteadyStateAllocs|ZeroAlloc' -count=1 ./internal/server
 
 # Wait-free search gate: the torn-read/linearizability suites (caram
@@ -134,5 +140,7 @@ bench-json:
 		-benchmem . | $(GO) run ./cmd/bench2json > BENCH_PR3.json
 	$(GO) test -run '^$$' -bench SearchUnderWriteContention -benchmem \
 		./internal/subsystem | $(GO) run ./cmd/bench2json > BENCH_PR6.json
-	$(GO) test -run '^$$' -bench 'RouterPipelinedSearch|UnpipelinedProxySearch|DirectServerSearch|RouterForwardPath$$' \
+	$(GO) test -run '^$$' -bench 'RouterPipelinedSearch$$|UnpipelinedProxySearch|DirectServerSearch|RouterForwardPath$$' \
 		-benchmem ./internal/cluster | $(GO) run ./cmd/bench2json > BENCH_PR8.json
+	$(GO) test -run '^$$' -bench 'RouterForwardPath|RouterPipelinedSearch/depth8' \
+		-benchmem ./internal/cluster | $(GO) run ./cmd/bench2json > BENCH_PR9.json

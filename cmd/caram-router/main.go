@@ -30,6 +30,16 @@
 // the burst-size histogram that shows coalescing at work) plus the
 // standard pprof endpoints.
 //
+// The router traces every proxied request (-trace-sample, -slowlog-us,
+// -trace-ring mirror the server flags): eligible requests tag their
+// forwarded commands with a *TID annotation so backend traces become
+// children, /debug/traces serves retained traces stitched with their
+// backend child spans (router queue wait and RTT next to backend lock
+// wait and probe chains), and the SLOWLOG / METRICS / TRACE wire
+// commands answer fleet-wide — slowlogs scatter/gather-merge by
+// latency with node= provenance, counters sum, latency histograms
+// merge bucket-wise.
+//
 //	caram-server -addr 127.0.0.1:7071 &
 //	caram-server -addr 127.0.0.1:7072 &
 //	caram-router -addr :7070 -backends 127.0.0.1:7071,127.0.0.1:7072 -http :9091 &
@@ -53,6 +63,7 @@ import (
 
 	"caram/internal/cluster"
 	"caram/internal/metrics"
+	"caram/internal/trace"
 )
 
 func main() {
@@ -73,6 +84,10 @@ func main() {
 		dialTimeout      = flag.Duration("dial-timeout", 2*time.Second, "per-connection dial bound")
 		healthInterval   = flag.Duration("health-interval", time.Second, "HEALTH probe period per backend (0 = watcher off)")
 		healthTimeout    = flag.Duration("health-timeout", time.Second, "per-probe deadline")
+
+		traceSample = flag.Int("trace-sample", 0, "trace 1 in N proxied requests (0 = off)")
+		slowlogUs   = flag.Int64("slowlog-us", 10_000, "router slowlog threshold in microseconds (-1 = off)")
+		traceRing   = flag.Int("trace-ring", trace.DefaultRing, "retained traces per policy ring")
 	)
 	flag.Parse()
 
@@ -103,6 +118,17 @@ func main() {
 	}
 
 	rm := metrics.NewRouterMetrics(labels)
+	// The collector always exists (TRACE GET and /debug/traces work even
+	// with both admission policies off); policies come from the flags.
+	slowlog := time.Duration(-1)
+	if *slowlogUs >= 0 {
+		slowlog = time.Duration(*slowlogUs) * time.Microsecond
+	}
+	col := trace.NewCollector(trace.Config{
+		SampleN: *traceSample,
+		Slowlog: slowlog,
+		Ring:    *traceRing,
+	})
 	rt, err := cluster.NewRouter(cluster.RouterConfig{
 		Backends:         bks,
 		Replicas:         *replicas,
@@ -117,6 +143,7 @@ func main() {
 		HealthTimeout:    *healthTimeout,
 		Metrics:          rm,
 		Logger:           logger,
+		Tracing:          col,
 	})
 	if err != nil {
 		logger.Error("router config", "err", err)
@@ -129,9 +156,12 @@ func main() {
 			logger.Error("http listen", "addr", *httpAddr, "err", err)
 			os.Exit(1)
 		}
-		logger.Info("http endpoints up", "metrics", "http://"+hl.Addr().String()+"/metrics")
+		logger.Info("http endpoints up",
+			"metrics", "http://"+hl.Addr().String()+"/metrics",
+			"traces", "http://"+hl.Addr().String()+"/debug/traces")
 		go func() {
-			if err := http.Serve(hl, metrics.RouterHandler(rm)); err != nil {
+			h := metrics.RouterHandler(rm, metrics.WithHandler("/debug/traces", rt.TraceHandler()))
+			if err := http.Serve(hl, h); err != nil {
 				logger.Error("http serve", "err", err)
 			}
 		}()

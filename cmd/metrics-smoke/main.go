@@ -23,12 +23,24 @@
 //   - SIGINT shuts the server down cleanly (exit code 0).
 //
 // It then repeats the exercise one tier up: cmd/caram-router is built
-// and started in front of two caram-server backends, a sharded
-// workload is driven through the router's wire port, and the router's
-// own /metrics scrape must carry every caram_router_* family with
-// per-backend labels, ops spread across both shards, closed breakers,
-// and a populated burst histogram; SIGINT must stop the router with
-// exit code 0 too.
+// and started in front of two caram-server backends (both tiers with a
+// zero slowlog threshold, so every request is traced), a sharded
+// workload is driven through the router's wire port, and
+//
+//   - the router's own /metrics scrape must carry every caram_router_*
+//     family with per-backend labels, ops spread across both shards,
+//     closed breakers, and a populated burst histogram,
+//   - both tiers' scrapes must carry the caram_build_info /
+//     caram_uptime_seconds process-identity families,
+//   - the fleet commands answer over the router's wire port: METRICS
+//     sums backend counters next to the router's own, SLOWLOG GET
+//     k-way merges backend slowlogs with node= provenance,
+//   - the router's /debug/traces serves stitched traces: each retained
+//     router trace carries its queue-wait/RTT spans plus the backend
+//     child trace fetched lazily via TRACE GET, and the child's wire
+//     id is fetchable directly with TRACE GET <id>/<span>,
+//
+// and SIGINT must stop the router with exit code 0 too.
 //
 // It exits non-zero with a diagnostic on the first failed assertion,
 // so it works as a CI gate without a test framework.
@@ -169,6 +181,11 @@ func run() error {
 		metrics.FamSearchRetries + `{engine="db",engine_type="exact"} 0`,
 		metrics.FamLockFallbacks + `{engine="db",engine_type="exact"} 0`,
 		metrics.FamUnknown + " 1",
+		// Process identity rides along on every scrape.
+		"# TYPE " + metrics.FamBuildInfo + " gauge",
+		metrics.FamBuildInfo + `{version=`,
+		"# TYPE " + metrics.FamUptime + " gauge",
+		metrics.FamUptime + " ",
 	} {
 		if !strings.Contains(body, want) {
 			return fmt.Errorf("/metrics missing %q\n%s", want, body)
@@ -417,7 +434,8 @@ func runCluster() error {
 		if err != nil {
 			return err
 		}
-		bk := exec.Command(srvBin, "-addr", addr, "-engines", "db", "-indexbits", "8", "-log-level", "error")
+		bk := exec.Command(srvBin, "-addr", addr, "-engines", "db", "-indexbits", "8",
+			"-slowlog-us", "0", "-log-level", "error")
 		bk.Stderr = os.Stderr
 		if err := bk.Start(); err != nil {
 			return fmt.Errorf("start backend %d: %w", i, err)
@@ -437,7 +455,8 @@ func runCluster() error {
 		return err
 	}
 	rt := exec.Command(rtBin, "-addr", wireAddr, "-http", httpAddr,
-		"-backends", bkAddrs[0]+","+bkAddrs[1], "-health-interval", "0", "-log-level", "error")
+		"-backends", bkAddrs[0]+","+bkAddrs[1], "-health-interval", "0",
+		"-slowlog-us", "0", "-log-level", "error")
 	rt.Stderr = os.Stderr
 	if err := rt.Start(); err != nil {
 		return fmt.Errorf("start caram-router: %w", err)
@@ -480,10 +499,86 @@ func runCluster() error {
 			return fmt.Errorf("SEARCH %x through router: got %q, want %q", i, got, want)
 		}
 	}
+	// The traced router answers METRICS fleet-wide: backend counters
+	// summed, the router's own forward totals alongside.
 	if got, err := ask("METRICS"); err != nil {
 		return err
-	} else if got != fmt.Sprintf("METRICS backends=2 ops=%d errors=0", 2*n) {
-		return fmt.Errorf("router METRICS: got %q", got)
+	} else if !strings.HasPrefix(got, fmt.Sprintf("METRICS backends=2 ops=%d errors=0 unknown=0 router_ops=", 2*n)) ||
+		!strings.Contains(got, " router_errors=0") {
+		return fmt.Errorf("router fleet METRICS: got %q", got)
+	}
+	if got, err := ask("METRICS db"); err != nil {
+		return err
+	} else if !strings.HasPrefix(got, "METRICS engine=db ") ||
+		!strings.Contains(got, fmt.Sprintf(" insert=%d ", n)) ||
+		!strings.Contains(got, fmt.Sprintf(" search=%d ", n)) {
+		return fmt.Errorf("router fleet METRICS db: got %q", got)
+	}
+	if got, err := ask("METRICS db LATENCY search"); err != nil {
+		return err
+	} else if !strings.HasPrefix(got, fmt.Sprintf("METRICS engine=db op=search n=%d ", n)) ||
+		!strings.Contains(got, " p99_us=") {
+		return fmt.Errorf("router fleet LATENCY: got %q", got)
+	}
+
+	// The fleet slowlog merges both backends' rings with the router's
+	// own, every entry stamped with where it was measured.
+	if got, err := ask("SLOWLOG GET 5"); err != nil {
+		return err
+	} else if !strings.HasPrefix(got, "SLOWLOG n=5 ") || !strings.Contains(got, " node=") {
+		return fmt.Errorf("router fleet SLOWLOG: got %q", got)
+	}
+
+	// /debug/traces on the router serves stitched traces: router spans
+	// plus backend child traces fetched over the wire with TRACE GET.
+	stitched, err := get("http://" + httpAddr + "/debug/traces")
+	if err != nil {
+		return err
+	}
+	var sv struct {
+		Slowlog []struct {
+			Router struct {
+				Cmd  string `json:"cmd"`
+				TID  string `json:"tid"`
+				Hops []struct {
+					Kind string `json:"kind"`
+				} `json:"hops"`
+			} `json:"router"`
+			Children []struct {
+				Backend string          `json:"backend"`
+				Span    uint32          `json:"span"`
+				Trace   json.RawMessage `json:"trace"`
+				Error   string          `json:"error"`
+			} `json:"children"`
+		} `json:"slowlog"`
+	}
+	if err := json.Unmarshal([]byte(stitched), &sv); err != nil {
+		return fmt.Errorf("router /debug/traces not JSON: %w", err)
+	}
+	childTID := ""
+	for _, e := range sv.Slowlog {
+		if e.Router.Cmd != "SEARCH" || len(e.Children) == 0 {
+			continue
+		}
+		hops := map[string]bool{}
+		for _, h := range e.Router.Hops {
+			hops[h.Kind] = true
+		}
+		c := e.Children[0]
+		if hops["queue_wait"] && hops["backend_rtt"] && c.Error == "" &&
+			strings.Contains(string(c.Trace), `"probes"`) {
+			childTID = fmt.Sprintf("%s/%d", e.Router.TID, c.Span)
+			break
+		}
+	}
+	if childTID == "" {
+		return fmt.Errorf("router /debug/traces: no stitched SEARCH with router spans and a backend child\n%s", stitched)
+	}
+	// The same child is fetchable directly over the wire.
+	if got, err := ask("TRACE GET " + childTID); err != nil {
+		return err
+	} else if !strings.HasPrefix(got, "TRACE {") {
+		return fmt.Errorf("TRACE GET %s through router: got %q", childTID, got)
 	}
 
 	// The router's scrape: every caram_router_* family, per-backend
@@ -499,6 +594,15 @@ func runCluster() error {
 	} {
 		if !strings.Contains(body, "# TYPE "+fam+" ") {
 			return fmt.Errorf("router /metrics missing family %s\n%s", fam, body)
+		}
+	}
+	for _, want := range []string{
+		"# TYPE " + metrics.FamBuildInfo + " gauge",
+		metrics.FamBuildInfo + `{version=`,
+		"# TYPE " + metrics.FamUptime + " gauge",
+	} {
+		if !strings.Contains(body, want) {
+			return fmt.Errorf("router /metrics missing %q\n%s", want, body)
 		}
 	}
 	for _, addr := range bkAddrs {

@@ -6,6 +6,8 @@ import (
 	"net"
 	"sync"
 	"testing"
+
+	"caram/internal/trace"
 )
 
 // The PR-8 performance contract, frozen into BENCH_PR8.json:
@@ -378,5 +380,118 @@ func BenchmarkRouterForwardPath(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		roundTrip()
+	}
+}
+
+// TestRouterUntracedZeroAlloc is the PR-9 CI guard: a collector
+// compiled in but admitting nothing (sampling off, slowlog off) must
+// leave the forward path exactly as allocation-free as no collector at
+// all — Begin returns nil for ineligible requests before any trace
+// state is touched.
+func TestRouterUntracedZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector builds allocate in sync.Pool by design; make alloc-guard runs this without -race")
+	}
+	rt, err := NewRouter(RouterConfig{
+		Backends: []Backend{{Label: "b0", Addr: stubBackend(t)}},
+		Conns:    1,
+		Tracing:  trace.NewCollector(trace.Config{SampleN: 0, Slowlog: -1}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go rt.Serve(l) //nolint:errcheck
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 4<<10)
+	req := []byte("SEARCH db 5\n")
+	roundTrip := func() {
+		if _, err := conn.Write(req); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := br.ReadSlice('\n'); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		roundTrip()
+	}
+	if avg := testing.AllocsPerRun(300, roundTrip); avg >= 1 {
+		t.Errorf("forward path with idle collector allocates %.2f allocs/op, want 0", avg)
+	}
+}
+
+// BenchmarkRouterForwardPathTraced is BenchmarkRouterForwardPath with
+// an idle collector attached — the number BENCH_PR9.json compares
+// against the untraced baseline (< 5% added latency, still 0
+// allocs/op).
+func BenchmarkRouterForwardPathTraced(b *testing.B) {
+	rt, err := NewRouter(RouterConfig{
+		Backends: []Backend{{Label: "b0", Addr: stubBackend(b)}},
+		Conns:    1,
+		Tracing:  trace.NewCollector(trace.Config{SampleN: 0, Slowlog: -1}),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go rt.Serve(l) //nolint:errcheck
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReaderSize(conn, 4<<10)
+	req := []byte("SEARCH db 5\n")
+	roundTrip := func() {
+		if _, err := conn.Write(req); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := br.ReadSlice('\n'); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		roundTrip()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		roundTrip()
+	}
+}
+
+// BenchmarkRouterPipelinedSearchTraced mirrors the depth sweep with an
+// idle collector attached to the router; depth8 traced-vs-untraced is
+// the PR-9 overhead contract.
+func BenchmarkRouterPipelinedSearchTraced(b *testing.B) {
+	bks := benchCluster(b)
+	rt, _ := testRouter(b, bks, func(cfg *RouterConfig) {
+		cfg.Conns = 4
+		cfg.Tracing = trace.NewCollector(trace.Config{SampleN: 0, Slowlog: -1})
+	})
+	defer rt.Close()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go rt.Serve(l) //nolint:errcheck
+	for _, depth := range []int{1, 8} {
+		b.Run(fmt.Sprintf("depth%d", depth), func(b *testing.B) {
+			b.ReportAllocs()
+			driveFrontend(b, l.Addr().String(), depth)
+		})
 	}
 }

@@ -51,6 +51,17 @@ type Call struct {
 	done    chan struct{} // cap 1; signalled exactly once per flight
 	settled bool          // the done token was consumed (Wait is idempotent)
 	met     *metrics.RouterBackend
+
+	// Tracing stamps, recorded only for traced submissions so the
+	// untraced forward path pays no clock reads. tSubmit is taken at
+	// SubmitLaneT, tWrite by the connection writer just before the
+	// coalesced flush (one clock read per burst), tDone by finish.
+	// burst is how many calls shared the flush this call rode in.
+	traced  bool
+	tSubmit int64 // unix nanos
+	tWrite  int64 // 0 when the call failed before reaching a connection
+	tDone   int64
+	burst   int32
 }
 
 // Wait blocks until the call completes and returns the reply line
@@ -70,6 +81,9 @@ func (c *Call) Wait() ([]byte, error) {
 // calls it per flight (each call is popped from the pending queue
 // once), so the cap-1 channel never blocks.
 func (c *Call) finish(resp []byte, err error) {
+	if c.traced {
+		c.tDone = time.Now().UnixNano()
+	}
 	c.resp = append(c.resp[:0], resp...)
 	c.err = err
 	if err != nil {
@@ -95,6 +109,8 @@ func (c *Call) Release() {
 	c.err = nil
 	c.met = nil
 	c.settled = false
+	c.traced = false
+	c.tSubmit, c.tWrite, c.tDone, c.burst = 0, 0, 0, 0
 	callPool.Put(c)
 }
 
@@ -177,7 +193,12 @@ func (p *Pool) Backend() Backend { return p.backend }
 // Callers that pipeline ordered requests (the router's per-client
 // streams) must use SubmitLane with a stable lane instead.
 func (p *Pool) Submit(line []byte) *Call {
-	return p.SubmitLane(line, p.next.Add(1))
+	return p.SubmitLaneT(line, p.next.Add(1), false)
+}
+
+// SubmitT is Submit with the tracing stamps on when traced is true.
+func (p *Pool) SubmitT(line []byte, traced bool) *Call {
+	return p.SubmitLaneT(line, p.next.Add(1), traced)
 }
 
 // SubmitLane enqueues one request line (with or without its trailing
@@ -190,7 +211,19 @@ func (p *Pool) Submit(line []byte) *Call {
 // pool is closed. The line is copied; the caller's buffer is free
 // immediately.
 func (p *Pool) SubmitLane(line []byte, lane uint64) *Call {
+	return p.SubmitLaneT(line, lane, false)
+}
+
+// SubmitLaneT is SubmitLane with per-call tracing stamps: when traced
+// is true the call records submit/write/done timestamps and its burst
+// membership, which the router turns into queue-wait and backend-RTT
+// spans. The untraced form takes no clock reads.
+func (p *Pool) SubmitLaneT(line []byte, lane uint64, traced bool) *Call {
 	c := callPool.Get().(*Call)
+	if traced {
+		c.traced = true
+		c.tSubmit = time.Now().UnixNano()
+	}
 	c.met = p.met
 	c.req = append(c.req[:0], line...)
 	if n := len(c.req); n == 0 || c.req[n-1] != '\n' {
@@ -340,8 +373,18 @@ func (pc *pconn) run() {
 			go pc.read(g)
 		}
 		wbuf = wbuf[:0]
+		var now int64 // one clock read per burst, only if someone is traced
 		for _, c := range burst {
 			wbuf = append(wbuf, c.req...)
+			if c.traced {
+				if now == 0 {
+					now = time.Now().UnixNano()
+				}
+				// Stamp before the FIFO hand-off below: once a call is in
+				// pending, the reader may finish it concurrently.
+				c.tWrite = now
+				c.burst = int32(len(burst))
+			}
 		}
 		// FIFO hand-off before the bytes go out: replies arrive in
 		// pipeline order, and the reader must never see a reply whose

@@ -7,6 +7,7 @@ import (
 	"io"
 	"log/slog"
 	"net"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 
 	"caram/internal/metrics"
 	"caram/internal/server"
+	"caram/internal/trace"
 )
 
 // Router puts N caram-server backends behind one wire endpoint. It
@@ -53,6 +55,11 @@ import (
 //   - METRICS (bare) answers from the router's own registry; SLOWLOG
 //     and per-engine METRICS on sharded engines are per-backend state
 //     the router does not fake — they answer a routed ERR instead.
+//     With Tracing attached both become fleet-wide: METRICS scatters
+//     and sums counters (LATENCY histograms merge bucket-wise),
+//     SLOWLOG GET scatter/gathers every backend's slowlog plus the
+//     router's own, k-way merged by latency and node=-tagged, and
+//     TRACE GET answers from the router's rings or any backend's.
 //   - Anything unparseable forwards to backend 0 so the backend's own
 //     grammar renders the authoritative ERR, byte-identical to a
 //     direct connection.
@@ -71,6 +78,8 @@ type Router struct {
 	pools []*Pool
 	met   *metrics.RouterMetrics
 	log   *slog.Logger
+	trc   *trace.Collector // nil = router tracing off (legacy local SLOWLOG/METRICS)
+	order []int            // backend indices sorted by address: scatter-merge iteration order
 
 	pinMu  sync.Mutex
 	pinned atomic.Pointer[map[string]bool] // COW; read on the hot path
@@ -110,6 +119,15 @@ type RouterConfig struct {
 
 	Metrics *metrics.RouterMetrics // optional; nil runs unmetered
 	Logger  *slog.Logger           // optional
+
+	// Tracing attaches a trace collector to the router: every proxied
+	// request grows its own span tree (ring lookup, queue wait, backend
+	// RTT, retries, breaker state), eligible requests tag their
+	// forwarded commands with a wire trace id so backend traces become
+	// children, and the SLOWLOG / METRICS / TRACE wire commands answer
+	// fleet-wide (scatter/gather-merged) instead of the pre-tracing
+	// local forms. nil keeps the legacy behavior byte-exactly.
+	Tracing *trace.Collector
 }
 
 // NewRouter builds the ring and one pipelined pool per backend, and
@@ -136,11 +154,27 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		ring:         ring,
 		met:          cfg.Metrics,
 		log:          cfg.Logger,
+		trc:          cfg.Tracing,
 		retries:      cfg.Retries,
 		retryBackoff: cfg.RetryBackoff,
 		listeners:    make(map[net.Listener]struct{}),
 		conns:        make(map[net.Conn]struct{}),
 	}
+	// Scatter merges iterate backends in address order, not config
+	// order, so admin output is stable regardless of how the backend
+	// list was spelled (ties — tests use synthetic labels — break by
+	// label, then config position).
+	rt.order = make([]int, len(cfg.Backends))
+	for i := range rt.order {
+		rt.order[i] = i
+	}
+	sort.SliceStable(rt.order, func(a, b int) bool {
+		ba, bb := cfg.Backends[rt.order[a]], cfg.Backends[rt.order[b]]
+		if ba.Addr != bb.Addr {
+			return ba.Addr < bb.Addr
+		}
+		return ba.Label < bb.Label
+	})
 	rt.pools = make([]*Pool, len(cfg.Backends))
 	for i, b := range cfg.Backends {
 		rt.pools[i] = NewPool(b, PoolConfig{
@@ -335,6 +369,13 @@ const (
 	mergeHealthEngine
 	mergeScrub
 	mergeStats
+	mergeSlowlogLen
+	mergeSlowlogGet
+	mergeMetricsAll
+	mergeMetricsEngine
+	mergeHistQuantiles
+	mergeHistSum
+	mergeTrace
 )
 
 // pendingOp is one in-flight request of a client burst. The struct
@@ -347,9 +388,10 @@ type pendingOp struct {
 	idempotent bool // retry on in-flight transport death
 	pin        string
 	unpin      string
-	calls      []*Call // opForward: 1; scatter/msearch: per-backend (nil = uninvolved)
-	slotBk     []int   // opMSearch: original slot -> backend
-	local      []byte  // opLocal reply
+	calls      []*Call      // opForward: 1; scatter/msearch: per-backend (nil = uninvolved)
+	slotBk     []int        // opMSearch: original slot -> backend
+	local      []byte       // opLocal reply
+	tr         *trace.Trace // router-side trace of this request (nil = untraced)
 }
 
 func (op *pendingOp) reset() {
@@ -358,6 +400,7 @@ func (op *pendingOp) reset() {
 	op.calls = op.calls[:0]
 	op.slotBk = op.slotBk[:0]
 	op.local = op.local[:0]
+	op.tr = nil
 }
 
 // rconn is one client connection's reusable state: the line reader,
@@ -372,8 +415,11 @@ type rconn struct {
 	out  []byte
 	lane uint64
 	ops  []pendingOp
-	reqb [][]byte // per-backend MSEARCH builders
-	curs []int    // per-backend reassembly cursors
+	reqb [][]byte     // per-backend MSEARCH builders
+	curs []int        // per-backend reassembly cursors
+	tr   *trace.Trace // trace of the request currently dispatching
+	tagb []byte       // *TID tagging scratch (reused per submission)
+	cmdb []byte       // rewritten-command scratch (METRICS ... LATENCY -> HIST)
 }
 
 // laneCounter hands each handled connection its lane.
@@ -463,12 +509,39 @@ func (rt *Router) Handle(r io.Reader, w io.Writer) {
 // dispatch routes one request line: submit its call(s) and append the
 // pending op. It never blocks on replies — that is settle's job — so
 // a pipelined client burst reaches the pools as one coalesced window.
+// When the router has a collector, each request grows its own trace;
+// ineligible traces (sampler missed, slowlog off) recycle immediately
+// so the untraced forward path stays allocation-free.
 func (rt *Router) dispatch(st *rconn, line []byte) {
+	if tr := rt.trc.Begin(); tr != nil {
+		if rt.trc.Eligible(tr) {
+			st.tr = tr
+		} else {
+			rt.trc.End(tr)
+		}
+	}
+	rt.route(st, line)
+	if st.tr != nil {
+		// Every route path appends exactly one op; hand the trace to it
+		// for settle-time span recording and admission.
+		st.ops[len(st.ops)-1].tr = st.tr
+		st.tr = nil
+	}
+}
+
+// route picks the backend(s) for one line and submits. Split from
+// dispatch so trace bookkeeping wraps every return path once.
+func (rt *Router) route(st *rconn, line []byte) {
 	sc := bscan{b: line}
 	cmd, ok := sc.next()
 	if !ok {
 		rt.forward(st, line, 0, false) // empty request: backend renders the ERR
 		return
+	}
+	if st.tr != nil {
+		// Clone eagerly: the line buffer dies at the next ReadSlice,
+		// long before settle finishes this trace.
+		st.tr.Request(upperString(cmd), "", "")
 	}
 	switch {
 	case eqFold(cmd, "SEARCH"):
@@ -479,6 +552,9 @@ func (rt *Router) dispatch(st *rconn, line []byte) {
 		if !ok1 || !ok2 || extra {
 			rt.forwardUsage(st, line, eng, ok1)
 			return
+		}
+		if st.tr != nil {
+			st.tr.Request(upperString(cmd), string(eng), string(key))
 		}
 		if rt.Pinned(string(eng)) {
 			rt.forward(st, line, rt.ring.OwnerEngine(string(eng)), true)
@@ -500,6 +576,9 @@ func (rt *Router) dispatch(st *rconn, line []byte) {
 		if !ok1 || !ok2 {
 			rt.forwardUsage(st, line, eng, ok1)
 			return
+		}
+		if st.tr != nil {
+			st.tr.Request(upperString(cmd), string(eng), string(key))
 		}
 		if rt.Pinned(string(eng)) {
 			rt.forward(st, line, rt.ring.OwnerEngine(string(eng)), false)
@@ -605,34 +684,11 @@ func (rt *Router) dispatch(st *rconn, line []byte) {
 		}
 		rt.scatter(st, line, mergeOK)
 	case eqFold(cmd, "METRICS"):
-		if _, hasArg := sc.next(); !hasArg {
-			op := st.nextOp()
-			op.kind = opLocal
-			ops, errs := rt.met.Totals()
-			op.local = append(op.local, "METRICS backends="...)
-			op.local = strconv.AppendInt(op.local, int64(len(rt.pools)), 10)
-			op.local = append(op.local, " ops="...)
-			op.local = strconv.AppendUint(op.local, ops, 10)
-			op.local = append(op.local, " errors="...)
-			op.local = strconv.AppendUint(op.local, errs, 10)
-			return
-		}
-		sc = bscan{b: line}
-		sc.next() // re-scan: METRICS <eng> [...]
-		eng, _ := sc.next()
-		if rt.Pinned(string(eng)) {
-			rt.forward(st, line, rt.ring.OwnerEngine(string(eng)), true)
-			return
-		}
-		op := st.nextOp()
-		op.kind = opLocal
-		op.local = append(op.local, "ERR metrics: engine "...)
-		op.local = strconv.AppendQuote(op.local, string(eng))
-		op.local = append(op.local, " is key-sharded; scrape the router /metrics or query backends"...)
+		rt.dispatchMetrics(st, line)
 	case eqFold(cmd, "SLOWLOG"):
-		op := st.nextOp()
-		op.kind = opLocal
-		op.local = append(op.local, "ERR slowlog: per-backend state; query backends directly"...)
+		rt.dispatchSlowlog(st, line, sc)
+	case eqFold(cmd, "TRACE"):
+		rt.dispatchTrace(st, line, sc)
 	default:
 		rt.forward(st, line, 0, false)
 	}
@@ -644,8 +700,48 @@ func (rt *Router) forward(st *rconn, line []byte, backend int, idempotent bool) 
 	op.kind = opForward
 	op.backend = backend
 	op.idempotent = idempotent
+	if tr := st.tr; tr != nil {
+		tr.Span(trace.KindRoute, tr.Begin) // parse + ring lookup, dispatch-relative
+		tr.Add(trace.Event{Kind: trace.KindBreaker, Bucket: uint32(backend),
+			Hit: rt.pools[backend].BreakerOpen()})
+		op.calls = append(op.calls, rt.pools[backend].SubmitLaneT(st.tag(line, 1), st.lane, true))
+		return op
+	}
 	op.calls = append(op.calls, rt.pools[backend].SubmitLane(line, st.lane))
 	return op
+}
+
+// tag prefixes line with the trace's wire annotation — "*TID
+// <hex-id>/<span> <line>" — into the rconn scratch. The backend joins
+// its own trace to the id, so a later TRACE GET <id>/<span> on that
+// backend returns this hop's child trace. The trace id is minted
+// lazily, once per router trace.
+func (st *rconn) tag(line []byte, span uint32) []byte {
+	tr := st.tr
+	if tr.TID == 0 {
+		tr.SetWire(trace.NewTraceID(), 0)
+	}
+	b := append(st.tagb[:0], "*TID "...)
+	b = strconv.AppendUint(b, tr.TID, 16)
+	b = append(b, '/')
+	b = strconv.AppendUint(b, uint64(span), 10)
+	b = append(b, ' ')
+	b = append(b, line...)
+	st.tagb = b
+	return b
+}
+
+// upperString clones b as an upper-cased string (commands are matched
+// case-insensitively but recorded canonically).
+func upperString(b []byte) string {
+	s := make([]byte, len(b))
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		s[i] = c
+	}
+	return string(s)
 }
 
 // forwardUsage anchors a malformed engine-op line: to the engine's
@@ -660,14 +756,24 @@ func (rt *Router) forwardUsage(st *rconn, line []byte, eng []byte, haveEng bool)
 	}
 }
 
-// scatter submits line to every backend with a merge rule.
-func (rt *Router) scatter(st *rconn, line []byte, merge mergeKind) {
+// scatter submits line to every backend with a merge rule. Traced
+// scatters tag backend b's copy with child span b+1.
+func (rt *Router) scatter(st *rconn, line []byte, merge mergeKind) *pendingOp {
 	op := st.nextOp()
 	op.kind = opScatter
 	op.merge = merge
+	if tr := st.tr; tr != nil {
+		tr.Span(trace.KindRoute, tr.Begin)
+		for i, p := range rt.pools {
+			tr.Add(trace.Event{Kind: trace.KindBreaker, Bucket: uint32(i), Hit: p.BreakerOpen()})
+			op.calls = append(op.calls, p.SubmitLaneT(st.tag(line, uint32(i+1)), st.lane, true))
+		}
+		return op
+	}
 	for _, p := range rt.pools {
 		op.calls = append(op.calls, p.SubmitLane(line, st.lane))
 	}
+	return op
 }
 
 // dispatchMSearch splits the pair list by ring owner and issues one
@@ -719,11 +825,17 @@ func (rt *Router) dispatchMSearch(st *rconn, line []byte, sc bscan) {
 		st.reqb[b] = append(st.reqb[b], key...)
 		op.slotBk = append(op.slotBk, b)
 	}
+	if st.tr != nil {
+		st.tr.Span(trace.KindRoute, st.tr.Begin)
+	}
 	for b := range rt.pools {
-		if len(st.reqb[b]) > 0 {
-			op.calls = append(op.calls, rt.pools[b].SubmitLane(st.reqb[b], st.lane))
-		} else {
+		switch {
+		case len(st.reqb[b]) == 0:
 			op.calls = append(op.calls, nil)
+		case st.tr != nil:
+			op.calls = append(op.calls, rt.pools[b].SubmitLaneT(st.tag(st.reqb[b], uint32(b+1)), st.lane, true))
+		default:
+			op.calls = append(op.calls, rt.pools[b].SubmitLane(st.reqb[b], st.lane))
 		}
 	}
 }
@@ -739,6 +851,7 @@ var replyUnavailable = []byte("ERR unavailable")
 func (rt *Router) settle(st *rconn, w io.Writer) bool {
 	for i := range st.ops {
 		op := &st.ops[i]
+		mark := len(st.out)
 		switch op.kind {
 		case opLocal:
 			st.out = append(st.out, op.local...)
@@ -748,6 +861,19 @@ func (rt *Router) settle(st *rconn, w io.Writer) bool {
 			st.out = rt.settleMSearch(st, st.out, op)
 		case opScatter:
 			st.out = rt.settleScatter(st.out, op)
+		}
+		if op.tr != nil {
+			op.tr.SetResult(server.ResultToken(st.out[mark:]))
+			if slow := rt.trc.End(op.tr); slow && rt.log != nil {
+				rt.log.Warn("slow proxied request",
+					"id", op.tr.ID,
+					"cmd", op.tr.Cmd,
+					"engine", op.tr.Engine,
+					"key", op.tr.Key,
+					"us", op.tr.Dur.Microseconds(),
+					"result", op.tr.Result)
+			}
+			op.tr = nil
 		}
 		st.out = append(st.out, '\n')
 	}
@@ -768,12 +894,17 @@ func (rt *Router) settleForward(out []byte, op *pendingOp) []byte {
 	resp, err := c.Wait()
 	for attempt := 1; err != nil && op.idempotent && errors.Is(err, ErrBackendDown) && attempt <= rt.retries; attempt++ {
 		rt.met.Backend(op.backend).IncRetries()
+		if op.tr != nil {
+			op.tr.Add(trace.Event{Kind: trace.KindRetry, Bucket: uint32(op.backend),
+				Matches: int32(attempt)})
+		}
 		time.Sleep(rt.retryBackoff << uint(attempt-1))
-		nc := rt.pools[op.backend].Submit(c.req)
+		nc := rt.pools[op.backend].SubmitT(c.req, c.traced) // the *TID tag rides in c.req
 		c.Release()
 		c = nc
 		resp, err = c.Wait()
 	}
+	recordCall(op.tr, c, op.backend, 1)
 	ok := err == nil && tokenEq(resp, server.ReplyOK)
 	if op.pin != "" && !ok {
 		rt.pin(op.pin, false) // CREATE failed: roll the speculative pin back
@@ -840,8 +971,9 @@ func (rt *Router) settleMSearch(st *rconn, out []byte, op *pendingOp) []byte {
 		st.curs[b] = next
 		out = append(out, slot...)
 	}
-	for _, c := range op.calls {
+	for b, c := range op.calls {
 		if c != nil {
+			recordCall(op.tr, c, b, uint32(b+1))
 			c.Release()
 		}
 	}
@@ -861,18 +993,56 @@ func (rt *Router) settleScatter(out []byte, op *pendingOp) []byte {
 	case mergeEngines:
 		out = mergeEngineUnion(out, op)
 	case mergeHealthAll:
-		out = mergeHealthRoster(out, op)
+		out = rt.mergeHealthRoster(out, op)
 	case mergeHealthEngine:
-		out = mergeHealthCounters(out, op)
+		out = rt.mergeHealthCounters(out, op)
 	case mergeScrub:
-		out = mergeScrubReports(out, op)
+		out = rt.mergeScrubReports(out, op)
 	case mergeStats:
 		out = mergeStatsAgg(out, op)
+	case mergeSlowlogLen:
+		out = rt.mergeSlowlogLen(out, op)
+	case mergeSlowlogGet:
+		out = rt.mergeSlowlogGet(out, op)
+	case mergeMetricsAll:
+		out = rt.mergeMetricsAll(out, op)
+	case mergeMetricsEngine:
+		out = rt.mergeMetricsEngine(out, op)
+	case mergeHistQuantiles:
+		out = rt.mergeHistQuantiles(out, op)
+	case mergeHistSum:
+		out = rt.mergeHistSum(out, op)
+	case mergeTrace:
+		out = rt.mergeTrace(out, op)
 	}
-	for _, c := range op.calls {
+	for b, c := range op.calls {
+		recordCall(op.tr, c, b, uint32(b+1))
 		c.Release()
 	}
 	return out
+}
+
+// recordCall turns one traced pool call's timestamps into router
+// spans: queue_wait (submit -> pool writer picked it up), backend_rtt
+// (write -> reply decoded; Span carries the child span id a stitcher
+// resolves via TRACE GET on that backend), and the coalesced write
+// burst size. A call shed before reaching a connection (open breaker,
+// closed pool) never got a write stamp: all of its time was queueing.
+func recordCall(tr *trace.Trace, c *Call, backend int, span uint32) {
+	if tr == nil || !c.traced {
+		return
+	}
+	begin := tr.Begin.UnixNano()
+	if c.tWrite != 0 {
+		tr.Add(trace.Event{Kind: trace.KindQueue, Bucket: uint32(backend),
+			Offset: time.Duration(c.tSubmit - begin), Dur: time.Duration(c.tWrite - c.tSubmit)})
+		tr.Add(trace.Event{Kind: trace.KindRTT, Bucket: uint32(backend), Span: span,
+			Offset: time.Duration(c.tWrite - begin), Dur: time.Duration(c.tDone - c.tWrite)})
+		tr.Add(trace.Event{Kind: trace.KindBurst, Bucket: uint32(backend), Matches: c.burst})
+	} else {
+		tr.Add(trace.Event{Kind: trace.KindQueue, Bucket: uint32(backend),
+			Offset: time.Duration(c.tSubmit - begin), Dur: time.Duration(c.tDone - c.tSubmit)})
+	}
 }
 
 // mergeAllOK: every backend must say OK; otherwise the first non-OK
@@ -977,16 +1147,18 @@ var healthNames = [...]string{"healthy", "degraded", "failed"}
 
 // mergeHealthRoster: per engine name, the worst state reported by any
 // backend (a sharded engine is only as available as its sickest
-// shard), names in first-seen order.
-func mergeHealthRoster(out []byte, op *pendingOp) []byte {
+// shard), names in first-seen order scanning backends by address — so
+// the merged roster is deterministic regardless of how the backend
+// list was spelled.
+func (rt *Router) mergeHealthRoster(out []byte, op *pendingOp) []byte {
 	type ent struct {
 		name string
 		rank int
 	}
 	var ents []ent
 	idx := make(map[string]int, 8)
-	for _, c := range op.calls {
-		resp, err := c.Wait()
+	for _, bi := range rt.order {
+		resp, err := op.calls[bi].Wait()
 		if err != nil {
 			return append(out, replyUnavailable...)
 		}
@@ -1025,8 +1197,9 @@ func mergeHealthRoster(out []byte, op *pendingOp) []byte {
 }
 
 // mergeHealthCounters: HEALTH <eng> across shards — worst state,
-// summed error-coding counters, summed overflow occupancy.
-func mergeHealthCounters(out []byte, op *pendingOp) []byte {
+// summed error-coding counters, summed overflow occupancy. Backends
+// scan in address order so the surviving ERR (if any) is stable.
+func (rt *Router) mergeHealthCounters(out []byte, op *pendingOp) []byte {
 	var (
 		got      bool
 		rank     int
@@ -1038,8 +1211,8 @@ func mergeHealthCounters(out []byte, op *pendingOp) []byte {
 	)
 	order := []string{"quarantined", "corrected", "uncorrectable", "read_errors", "scrubs", "scrub_bits"}
 	sums = make(map[string]int64, len(order))
-	for _, c := range op.calls {
-		resp, err := c.Wait()
+	for _, bi := range rt.order {
+		resp, err := op.calls[bi].Wait()
 		if err != nil {
 			return append(out, replyUnavailable...)
 		}
@@ -1100,14 +1273,14 @@ func mergeHealthCounters(out []byte, op *pendingOp) []byte {
 }
 
 // mergeScrubReports: HEALTH <eng> SCRUB across shards — every shard
-// scrubs, repairs sum.
-func mergeScrubReports(out []byte, op *pendingOp) []byte {
+// scrubs, repairs sum, backends scanned in address order.
+func (rt *Router) mergeScrubReports(out []byte, op *pendingOp) []byte {
 	var rows, bits, released int64
 	var engine []byte
 	got := false
 	var firstErr []byte
-	for _, c := range op.calls {
-		resp, err := c.Wait()
+	for _, bi := range rt.order {
+		resp, err := op.calls[bi].Wait()
 		if err != nil {
 			return append(out, replyUnavailable...)
 		}

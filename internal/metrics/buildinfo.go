@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Process-identity families, emitted by both the server and router
+// expositions so every scrape says which build answered it.
+const (
+	// FamBuildInfo is the conventional constant-1 info metric with the
+	// build identity as labels (module version, Go toolchain, VCS
+	// revision when the binary was built from a checkout).
+	FamBuildInfo = "caram_build_info"
+	// FamUptime is seconds since this process's metrics layer was
+	// initialized — a restart detector that needs no server-side state.
+	FamUptime = "caram_uptime_seconds"
+)
+
+var (
+	startTime = time.Now()
+
+	buildOnce     sync.Once
+	buildVersion  string
+	buildRevision string
+)
+
+// buildIdentity resolves the version/revision labels once. The values
+// come from the runtime's embedded build info, so they are correct for
+// any caller (server, router, tests) without threading flags around.
+func buildIdentity() (version, goVersion, revision string) {
+	buildOnce.Do(func() {
+		buildVersion, buildRevision = "unknown", "unknown"
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		if bi.Main.Version != "" {
+			buildVersion = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				buildRevision = s.Value
+			}
+		}
+	})
+	return buildVersion, runtime.Version(), buildRevision
+}
+
+// writeBuildInfo emits the process-identity families onto an
+// in-flight exposition.
+func writeBuildInfo(bw *errWriter) {
+	version, goVersion, revision := buildIdentity()
+	bw.printf("# HELP %s Build identity of this process (constant 1).\n# TYPE %s gauge\n", FamBuildInfo, FamBuildInfo)
+	bw.printf("%s{version=%q,go=%q,revision=%q} 1\n", FamBuildInfo, version, goVersion, revision)
+	bw.printf("# HELP %s Seconds since this process started serving metrics.\n# TYPE %s gauge\n", FamUptime, FamUptime)
+	bw.printf("%s %g\n", FamUptime, time.Since(startTime).Seconds())
+}

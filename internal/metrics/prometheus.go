@@ -114,6 +114,7 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 
 	bw.printf("# HELP %s Requests addressed to no registered engine.\n# TYPE %s counter\n", FamUnknown, FamUnknown)
 	bw.printf("%s %d\n", FamUnknown, s.Unknown)
+	writeBuildInfo(bw)
 	return bw.err
 }
 

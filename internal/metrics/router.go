@@ -231,6 +231,7 @@ func WriteRouterPrometheus(w io.Writer, rm *RouterMetrics) error {
 		bw.printf("%s_sum{backend=%q} %d\n", FamRouterBurst, b.name, b.burstSum.Load())
 		bw.printf("%s_count{backend=%q} %d\n", FamRouterBurst, b.name, b.burstN.Load())
 	}
+	writeBuildInfo(bw)
 	return bw.err
 }
 

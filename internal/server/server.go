@@ -563,6 +563,26 @@ func (s *Server) execAppend(dst []byte, line string, tr *trace.Trace) []byte {
 	if !ok {
 		return append(dst, "ERR empty request"...)
 	}
+	if cmd[0] == '*' {
+		// Optional wire-tracing annotation: `*TID <hex-id>/<span-id>`
+		// prefixed to any command. It joins this request's trace to the
+		// caller's trace id and is otherwise invisible — the annotation
+		// is stripped and the reply is byte-identical to the bare
+		// command (tracing on or off). Cost when absent: this one
+		// first-byte branch.
+		if !strings.EqualFold(cmd, "*TID") {
+			return append(append(dst, "ERR unknown annotation "...), cmd...)
+		}
+		arg, okArg := fs.next()
+		tid, span, okID := parseWireID(arg)
+		if !okArg || !okID {
+			return append(dst, "ERR usage: *TID <hex-id>/<span-id> <command ...>"...)
+		}
+		tr.SetWire(tid, span)
+		if cmd, ok = fs.next(); !ok {
+			return append(dst, "ERR empty request"...)
+		}
+	}
 	cmd = strings.ToUpper(cmd)
 	tr.Request(cmd, "", "") // branches with an engine/key refine this
 	switch cmd {
@@ -716,6 +736,8 @@ func (s *Server) execAppend(dst []byte, line string, tr *trace.Trace) []byte {
 		return s.execSlowlogAppend(dst, &fs)
 	case "EXPLAIN":
 		return s.execExplainAppend(dst, &fs)
+	case "TRACE":
+		return s.execTraceAppend(dst, &fs)
 	case "HEALTH":
 		return s.execHealthAppend(dst, &fs)
 	case "STATS":
@@ -815,7 +837,7 @@ func (s *Server) execMetricsAppend(dst []byte, fs *FieldScanner) []byte {
 		}
 		return dst
 	case 3:
-		if !strings.EqualFold(args[1], "LATENCY") {
+		if !strings.EqualFold(args[1], "LATENCY") && !strings.EqualFold(args[1], "HIST") {
 			return append(dst, usage...)
 		}
 		em := s.met.Engine(args[0])
@@ -827,6 +849,30 @@ func (s *Server) execMetricsAppend(dst []byte, fs *FieldScanner) []byte {
 		if err != nil {
 			dst = append(dst, "ERR metrics: unknown op "...)
 			return append(dst, args[2]...)
+		}
+		if strings.EqualFold(args[1], "HIST") {
+			// Raw power-of-two bucket counts, the machine-readable form
+			// the cluster router scatters and merges bucket-wise into a
+			// fleet histogram. LATENCY below is the human quantile view.
+			h := em.Latency(op).Snapshot()
+			dst = append(dst, "METRICS engine="...)
+			dst = append(dst, em.Name()...)
+			dst = append(dst, " op="...)
+			dst = append(dst, op.String()...)
+			dst = append(dst, " n="...)
+			dst = appendUint(dst, h.N)
+			dst = append(dst, " err="...)
+			dst = appendUint(dst, em.Errors(op))
+			dst = append(dst, " sum_ns="...)
+			dst = appendInt(dst, h.SumNs)
+			dst = append(dst, " buckets="...)
+			for i, c := range h.Counts {
+				if i > 0 {
+					dst = append(dst, ',')
+				}
+				dst = appendUint(dst, c)
+			}
+			return dst
 		}
 		h := em.Latency(op).Snapshot()
 		qs := h.Quantiles(0.5, 0.9, 0.99, 1)

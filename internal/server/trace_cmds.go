@@ -51,8 +51,71 @@ func resultToken(reply []byte) string {
 		return "SLOWLOG"
 	case "EXPLAIN":
 		return "EXPLAIN"
+	case "TRACE":
+		return "TRACE"
 	}
 	return strings.Clone(string(reply[:i]))
+}
+
+// ResultToken returns the first token of a wire reply as an interned
+// constant — the label a trace records as its Result. Exported for the
+// cluster router, which stamps the same vocabulary on its own spans.
+func ResultToken(reply []byte) string { return resultToken(reply) }
+
+// parseWireID parses the `<hex-id>[/<span-id>]` operand of the *TID
+// annotation and the TRACE GET command: a 64-bit hex trace id,
+// optionally followed by a slash and a decimal span id.
+func parseWireID(s string) (tid uint64, span uint32, ok bool) {
+	idS := s
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		idS = s[:i]
+		v, err := strconv.ParseUint(s[i+1:], 10, 32)
+		if err != nil {
+			return 0, 0, false
+		}
+		span = uint32(v)
+	}
+	v, err := parseHex64(idS)
+	if err != nil {
+		return 0, 0, false
+	}
+	return v, span, true
+}
+
+// execTraceAppend answers TRACE GET: it fetches a retained trace by
+// its wire trace id and prints it as one compact JSON object — the
+// remote side of cross-node trace stitching. The caller that tagged
+// the request (normally the cluster router) knows the id it minted;
+// everyone else discovers ids via SLOWLOG GET or /debug/traces. A
+// SEARCH trace's reply also carries the engine's current §3.4
+// expected-rows value, computed at fetch time, so the stitched view
+// shows the measured probe chain next to the model.
+func (s *Server) execTraceAppend(dst []byte, fs *FieldScanner) []byte {
+	const usage = "ERR usage: TRACE GET <hex-id>[/<span-id>]"
+	sub, ok0 := fs.next()
+	arg, ok1 := fs.next()
+	if _, extra := fs.next(); !ok0 || !ok1 || extra || !strings.EqualFold(sub, "GET") {
+		return append(dst, usage...)
+	}
+	if s.trc == nil {
+		return append(dst, "ERR tracing disabled"...)
+	}
+	tid, span, ok := parseWireID(arg)
+	if !ok {
+		return append(dst, usage...)
+	}
+	t := s.trc.Find(tid, span)
+	if t == nil {
+		return append(dst, "ERR trace: notfound"...)
+	}
+	var expected float64
+	if t.Cmd == "SEARCH" && t.Engine != "" {
+		if e, ok := s.con.ExpectedRows(t.Engine); ok {
+			expected = e
+		}
+	}
+	dst = append(dst, "TRACE "...)
+	return t.AppendJSON(dst, expected)
 }
 
 // maxSlowlogGet bounds the n of SLOWLOG GET n: far above any sane ring

@@ -1,0 +1,138 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"caram/internal/trace"
+)
+
+// The *TID wire annotation and the TRACE GET command: the server half
+// of cross-node trace stitching.
+
+func TestWireAnnotationJoinsTrace(t *testing.T) {
+	// Sampling off, slowlog off: only the annotation can retain a trace.
+	s, col := tracedServer(trace.Config{Slowlog: -1, Ring: 8})
+	got := drive(t, s,
+		"INSERT db dead 42",
+		"*TID deadbeef/3 SEARCH db dead",
+	)
+	if got[0] != "OK" || !strings.HasPrefix(got[1], "HIT") {
+		t.Fatalf("replies: %q", got)
+	}
+	if n := col.Tagged().Len(); n != 1 {
+		t.Fatalf("tagged ring retained %d traces, want 1 (the annotated SEARCH)", n)
+	}
+	tr := col.Find(0xdeadbeef, 3)
+	if tr == nil {
+		t.Fatal("Find(deadbeef, 3) missed the annotated trace")
+	}
+	if tr.Cmd != "SEARCH" || tr.Key != "dead" || tr.SpanID != 3 {
+		t.Errorf("annotated trace: cmd=%q key=%q span=%d", tr.Cmd, tr.Key, tr.SpanID)
+	}
+	// Span 0 matches any span of the id.
+	if col.Find(0xdeadbeef, 0) == nil {
+		t.Error("Find(deadbeef, 0) should match any span")
+	}
+	if col.Find(0xdeadbeef, 4) != nil {
+		t.Error("Find(deadbeef, 4) matched a trace with span 3")
+	}
+}
+
+// TestWireAnnotationTransparent: the annotation is stripped and the
+// reply is byte-identical to the bare command — tracing attached or
+// not.
+func TestWireAnnotationTransparent(t *testing.T) {
+	traced, _ := tracedServer(trace.Config{Slowlog: 0, Ring: 8})
+	plain := allocServer() // no collector at all
+	for _, s := range []*Server{traced, plain} {
+		if got := s.Exec("INSERT db dead 42"); got != "OK" {
+			t.Fatalf("INSERT: %q", got)
+		}
+		for _, req := range []string{
+			"SEARCH db dead",
+			"SEARCH db beef",
+			"STATS db",
+			"SEARCH db", // usage error: annotation must not eat the blame
+		} {
+			bare := s.Exec(req)
+			annotated := s.Exec("*TID c0ffee/1 " + req)
+			if bare != annotated {
+				t.Errorf("annotation changed the reply for %q:\n  bare:      %q\n  annotated: %q",
+					req, bare, annotated)
+			}
+		}
+	}
+}
+
+func TestWireAnnotationErrors(t *testing.T) {
+	s, _ := tracedServer(trace.Config{Slowlog: 0, Ring: 8})
+	const usage = "ERR usage: *TID <hex-id>/<span-id> <command ...>"
+	for req, want := range map[string]string{
+		"*TID":                      usage,
+		"*TID zzz SEARCH db 5":      usage,
+		"*TID deadbeef/x SEARCH db": usage,
+		"*TID deadbeef":             "ERR empty request",
+		"*FOO SEARCH db 5":          "ERR unknown annotation *FOO",
+	} {
+		if got := s.Exec(req); got != want {
+			t.Errorf("%q = %q, want %q", req, got, want)
+		}
+	}
+}
+
+// TestTraceGetLifecycle walks a wire id through retained -> evicted:
+// TRACE GET answers while the ring holds the trace and reports
+// notfound after wraparound evicts it.
+func TestTraceGetLifecycle(t *testing.T) {
+	s, col := tracedServer(trace.Config{Slowlog: -1, Ring: 4})
+	if got := s.Exec("TRACE GET deadbeef"); got != "ERR trace: notfound" {
+		t.Fatalf("miss before admission: %q", got)
+	}
+	s.Exec("*TID deadbeef/1 SEARCH db 5")
+	got := s.Exec("TRACE GET deadbeef/1")
+	if !strings.HasPrefix(got, "TRACE {") ||
+		!strings.Contains(got, `"tid":"deadbeef"`) || !strings.Contains(got, `"span":1`) {
+		t.Fatalf("retained hit: %q", got)
+	}
+	// Fill the ring past capacity with other ids; deadbeef falls out.
+	for i := 0; i < col.Tagged().Cap(); i++ {
+		s.Exec("*TID " + string(rune('a'+i)) + "1 SEARCH db 5")
+	}
+	if got := s.Exec("TRACE GET deadbeef/1"); got != "ERR trace: notfound" {
+		t.Fatalf("after eviction: %q", got)
+	}
+
+	const usage = "ERR usage: TRACE GET <hex-id>[/<span-id>]"
+	for _, req := range []string{"TRACE", "TRACE GET", "TRACE PUT a1", "TRACE GET zzz", "TRACE GET a1 extra"} {
+		if got := s.Exec(req); got != usage {
+			t.Errorf("%q = %q, want usage", req, got)
+		}
+	}
+	if got := allocServer().Exec("TRACE GET a1"); got != "ERR tracing disabled" {
+		t.Errorf("untraced server: %q", got)
+	}
+}
+
+// TestTraceGetVsResetRace hammers TRACE GET lookups against concurrent
+// ring resets; run under -race by make trace-guard. The property is
+// freedom from data races, not any particular hit/miss outcome.
+func TestTraceGetVsResetRace(t *testing.T) {
+	s, col := tracedServer(trace.Config{Slowlog: 0, Ring: 8})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 400; i++ {
+			col.Slow().Reset()
+			col.Tagged().Reset()
+		}
+	}()
+	for i := 0; i < 400; i++ {
+		s.Exec("*TID deadbeef/1 SEARCH db 5")
+		if got := s.Exec("TRACE GET deadbeef/1"); got != "ERR trace: notfound" &&
+			!strings.HasPrefix(got, "TRACE {") {
+			t.Fatalf("TRACE GET under reset: %q", got)
+		}
+	}
+	<-done
+}

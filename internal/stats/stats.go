@@ -45,6 +45,21 @@ func (h *Histogram) AddN(v int, n int64) {
 	h.sumSq += float64(v) * float64(v) * float64(n)
 }
 
+// Merge folds another histogram into this one by bucket-wise
+// addition: every value bucket of o is added with its full count, so
+// moments, extrema, and quantiles afterwards describe the union of
+// both observation streams. It is the aggregation seam the cluster
+// router uses to merge per-backend latency histograms into one
+// fleet-wide view. o is not modified; a nil o is a no-op.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil {
+		return
+	}
+	for v, n := range o.counts {
+		h.AddN(v, n)
+	}
+}
+
 // N returns the number of observations.
 func (h *Histogram) N() int64 { return h.n }
 

@@ -712,6 +712,24 @@ func (c *Concurrent) Explain(port string, key bitutil.Ternary, tr *trace.Trace) 
 	return sr, expected, nil
 }
 
+// ExpectedRows returns the engine's current §3.4 analytic expectation
+// of rows accessed per lookup — the same value EXPLAIN prints — taken
+// under the read lock without running a search. TRACE GET uses it to
+// annotate a retained trace with the model value at fetch time.
+func (c *Concurrent) ExpectedRows(port string) (float64, bool) {
+	if c.down.Load() {
+		return 0, false
+	}
+	g, ok := c.engine(port)
+	if !ok {
+		return 0, false
+	}
+	g.mu.RLock()
+	expected := g.e.Main.ExpectedRows()
+	g.mu.RUnlock()
+	return expected, true
+}
+
 // Delete removes the exact key from the named engine under its write
 // lock.
 func (c *Concurrent) Delete(port string, key bitutil.Ternary) error {

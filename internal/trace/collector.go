@@ -40,6 +40,7 @@ type Collector struct {
 	seen    atomic.Uint64 // requests begun (drives the 1-in-N sampler)
 	sampled *Ring
 	slow    *Ring
+	tagged  *Ring // wire-propagated traces (*TID) a parent tier may fetch
 	pool    sync.Pool
 }
 
@@ -62,6 +63,7 @@ func NewCollector(cfg Config) *Collector {
 		slowNs:  slowNs,
 		sampled: NewRing(size),
 		slow:    NewRing(size),
+		tagged:  NewRing(size),
 		pool: sync.Pool{New: func() any {
 			return &Trace{Events: make([]Event, 0, 16)}
 		}},
@@ -112,6 +114,16 @@ func (c *Collector) Slow() *Ring {
 	return c.slow
 }
 
+// Tagged returns the wire-propagated trace ring (nil on a nil
+// collector): traces that carried a *TID annotation but were neither
+// slow nor sampled, retained so the tagging tier can stitch them.
+func (c *Collector) Tagged() *Ring {
+	if c == nil {
+		return nil
+	}
+	return c.tagged
+}
+
 // SlowAdmit is the slowlog admission predicate: latency strictly
 // greater than the threshold, never on a disabled slowlog. Exposed so
 // the admission property ("admitted exactly when d > threshold") is
@@ -154,11 +166,18 @@ func (c *Collector) Observe(t *Trace, d time.Duration) (slow bool) {
 		return false
 	}
 	t.Dur = d
+	// A trace lands in exactly one ring (Ring.Put rewrites Trace.ID, so
+	// double admission would corrupt the older ring's slot validation).
+	// Priority: slowlog > tagged > sampled.
 	switch {
 	case c.SlowAdmit(d):
 		t.detach()
 		c.slow.Put(t)
 		return true
+	case t.TID != 0:
+		t.detach()
+		c.tagged.Put(t)
+		return false
 	case t.sampled:
 		t.detach()
 		c.sampled.Put(t)
@@ -168,4 +187,35 @@ func (c *Collector) Observe(t *Trace, d time.Duration) (slow bool) {
 		c.pool.Put(t)
 		return false
 	}
+}
+
+// Eligible reports whether the trace has any chance of being retained
+// under the collector's policies: it was picked by the sampler, or the
+// slowlog is on (any request may turn out slow). Parent tiers use it
+// to decide whether tagging downstream requests is worth the bytes —
+// with sampling and the slowlog both off, Eligible is false for every
+// trace and the forward path stays allocation-free.
+func (c *Collector) Eligible(t *Trace) bool {
+	return c != nil && t != nil && (t.sampled || c.slowNs >= 0)
+}
+
+// Find returns the newest retained trace carrying the wire trace id
+// tid (and, when span is nonzero, exactly that span id), scanning the
+// slowlog, tagged, and sampled rings. It is the lookup behind the
+// TRACE GET wire command; a miss — never admitted, or already evicted
+// by ring wraparound — returns nil.
+func (c *Collector) Find(tid uint64, span uint32) *Trace {
+	if c == nil || tid == 0 {
+		return nil
+	}
+	var buf []*Trace
+	for _, r := range []*Ring{c.slow, c.tagged, c.sampled} {
+		buf = r.Snapshot(buf[:0], r.Cap())
+		for _, t := range buf { // Snapshot is newest first
+			if t.TID == tid && (span == 0 || t.SpanID == span) {
+				return t
+			}
+		}
+	}
+	return nil
 }

@@ -25,8 +25,24 @@ type spanJSON struct {
 	DurNs    int64  `json:"dur_ns"`
 }
 
+// hopJSON is a router-side span: one event of the proxied request's
+// journey through the backend pools. Backend is the pool index (the
+// stitcher maps it to a label); Span is the child span id for
+// backend_rtt hops.
+type hopJSON struct {
+	Kind     string `json:"kind"`
+	Backend  uint32 `json:"backend"`
+	Span     uint32 `json:"span,omitempty"`
+	N        int32  `json:"n,omitempty"`
+	Open     bool   `json:"open,omitempty"`
+	OffsetNs int64  `json:"offset_ns"`
+	DurNs    int64  `json:"dur_ns"`
+}
+
 type entryJSON struct {
 	ID        uint64      `json:"id"`
+	TID       string      `json:"tid,omitempty"` // wire trace id, hex
+	Span      uint32      `json:"span,omitempty"`
 	Cmd       string      `json:"cmd"`
 	Engine    string      `json:"engine,omitempty"`
 	Key       string      `json:"key,omitempty"`
@@ -37,8 +53,10 @@ type entryJSON struct {
 	Reach     int32       `json:"reach"`
 	Rows      int32       `json:"rows"`
 	Found     bool        `json:"found"`
+	Expected  float64     `json:"expected_rows,omitempty"`
 	Probes    []probeJSON `json:"probes,omitempty"`
 	Spans     []spanJSON  `json:"spans,omitempty"`
+	Hops      []hopJSON   `json:"hops,omitempty"`
 }
 
 type ringJSON struct {
@@ -55,6 +73,7 @@ type tracesJSON struct {
 	} `json:"policy"`
 	Seen    uint64   `json:"seen"`
 	Slowlog ringJSON `json:"slowlog"`
+	Tagged  ringJSON `json:"tagged"`
 	Sampled ringJSON `json:"sampled"`
 }
 
@@ -72,6 +91,10 @@ func entryView(t *Trace) entryJSON {
 		Rows:      t.Rows,
 		Found:     t.Found,
 	}
+	if t.TID != 0 {
+		e.TID = formatHex(t.TID)
+		e.Span = t.SpanID
+	}
 	for _, ev := range t.Events {
 		switch ev.Kind {
 		case KindProbe:
@@ -86,6 +109,19 @@ func entryView(t *Trace) entryJSON {
 		case KindOverflow, KindEcc:
 			// Positional, untimed events: render kind-only.
 			e.Spans = append(e.Spans, spanJSON{Kind: ev.Kind.String()})
+		case KindRoute, KindQueue, KindRTT, KindBurst, KindBreaker, KindRetry:
+			h := hopJSON{
+				Kind:     ev.Kind.String(),
+				Backend:  ev.Bucket,
+				Span:     ev.Span,
+				OffsetNs: int64(ev.Offset),
+				DurNs:    int64(ev.Dur),
+				Open:     ev.Hit,
+			}
+			if ev.Kind == KindBurst || ev.Kind == KindRetry {
+				h.N = ev.Matches
+			}
+			e.Hops = append(e.Hops, h)
 		default:
 			e.Spans = append(e.Spans, spanJSON{
 				Kind:     ev.Kind.String(),
@@ -95,6 +131,42 @@ func entryView(t *Trace) entryJSON {
 		}
 	}
 	return e
+}
+
+func formatHex(v uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	i := len(b)
+	for {
+		i--
+		b[i] = digits[v&0xf]
+		v >>= 4
+		if v == 0 {
+			break
+		}
+	}
+	return string(b[i:])
+}
+
+// AppendJSON appends the trace's compact single-line JSON entry — the
+// same shape /debug/traces serves — to dst. expected, when positive,
+// is the engine's §3.4 analytic expected-rows value computed at fetch
+// time; it rides along so a stitched view can show measured probe
+// chains next to the model. This is the payload of the TRACE GET wire
+// reply; it allocates and is not for hot paths.
+func (t *Trace) AppendJSON(dst []byte, expected float64) []byte {
+	if t == nil {
+		return append(dst, "null"...)
+	}
+	e := entryView(t)
+	if expected > 0 {
+		e.Expected = expected
+	}
+	b, err := json.Marshal(e)
+	if err != nil { // unreachable: entryJSON has no unmarshalable fields
+		return append(dst, "null"...)
+	}
+	return append(dst, b...)
 }
 
 func ringView(r *Ring, max int) ringJSON {
@@ -135,6 +207,7 @@ func (c *Collector) Handler() http.Handler {
 		v.Policy.Ring = c.slow.Cap()
 		v.Seen = c.Seen()
 		v.Slowlog = ringView(c.slow, max)
+		v.Tagged = ringView(c.tagged, max)
 		v.Sampled = ringView(c.sampled, max)
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")

@@ -65,6 +65,33 @@ const (
 	// publish (Matches = torn snapshots retried). Emitted at most once
 	// per request, only when nonzero. Not timed.
 	KindRetries
+
+	// The remaining kinds are router-side spans (internal/cluster): a
+	// proxied request's lifecycle from the frontend parser through the
+	// backend pools. Bucket carries the backend index for all of them.
+
+	// KindRoute covers frontend parsing plus the consistent-hash ring
+	// lookup that picked the backend. Timed.
+	KindRoute
+	// KindQueue is the FIFO-lane queue wait: submission to the
+	// backend pool until the connection writer picked the call up.
+	// Timed (Offset/Dur are measured on the pool's own clock stamps).
+	KindQueue
+	// KindRTT is the backend round trip: the coalesced write until the
+	// reply was matched off the wire. Span carries the child span id
+	// this call was tagged with (*TID <id>/<span>), so a stitcher can
+	// fetch the backend's own trace for exactly this hop. Timed.
+	KindRTT
+	// KindBurst records coalesced-burst membership: Matches is how
+	// many calls shared the single write this call rode in. Not timed.
+	KindBurst
+	// KindBreaker records the backend's circuit-breaker state at
+	// dispatch (Hit = breaker open, the call was shed or about to be
+	// probed). Not timed.
+	KindBreaker
+	// KindRetry is one idempotent-read retry attempt after a backend
+	// connection died (Matches = attempt number, 1-based). Not timed.
+	KindRetry
 )
 
 // String names the kind for logs and JSON.
@@ -86,6 +113,18 @@ func (k Kind) String() string {
 		return "ecc"
 	case KindRetries:
 		return "retries"
+	case KindRoute:
+		return "route"
+	case KindQueue:
+		return "queue_wait"
+	case KindRTT:
+		return "backend_rtt"
+	case KindBurst:
+		return "burst"
+	case KindBreaker:
+		return "breaker"
+	case KindRetry:
+		return "retry"
 	}
 	return "unknown"
 }
@@ -102,6 +141,7 @@ type Event struct {
 	SlotsTested  int32  // valid slots compared in this row / lookup
 	Matches      int32  // slots that matched
 	Passes       int32  // pipelined match passes (KindMatch)
+	Span         uint32 // child span id this hop was tagged with (KindRTT)
 	Overflow     bool   // probe left the home bucket (an overflow hop)
 	Hit          bool   // this probe (or the overflow CAM) matched
 
@@ -121,6 +161,8 @@ type Event struct {
 // branches beyond what the compiler generates for the nil check.
 type Trace struct {
 	ID     uint64        // admission sequence number (0 until admitted)
+	TID    uint64        // wire trace id (*TID annotation); 0 = unpropagated
+	SpanID uint32        // span id within the parent trace (0 = root)
 	Cmd    string        // wire command, upper-case
 	Engine string        // target engine ("" when the command has none)
 	Key    string        // key field as received ("" when none)
@@ -152,6 +194,29 @@ func (t *Trace) Request(cmd, engine, key string) {
 		return
 	}
 	t.Cmd, t.Engine, t.Key = cmd, engine, key
+}
+
+// SetWire joins this trace to a caller-supplied wire trace id: the
+// server records the (*TID <id>/<span>) annotation here, and the
+// router stamps the ids it tags forwarded commands with. A nonzero
+// TID makes the trace retainable in the collector's tagged ring, so a
+// parent tier can fetch it later with TRACE GET.
+func (t *Trace) SetWire(tid uint64, span uint32) {
+	if t == nil {
+		return
+	}
+	t.TID, t.SpanID = tid, span
+}
+
+// Add appends one pre-built event. The typed recorders above cover the
+// engine path; Add is the generic seam for router-side events whose
+// field mix (backend index, child span id, burst size) has no
+// dedicated recorder.
+func (t *Trace) Add(e Event) {
+	if t == nil {
+		return
+	}
+	t.Events = append(t.Events, e)
 }
 
 // SetResult records the first token of the reply.

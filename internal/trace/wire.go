@@ -1,0 +1,33 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Wire trace ids. The router (or any client) mints one id per request
+// it wants stitched, tags every downstream command with it
+// (*TID <hex-id>/<span-id>), and later fetches the children with
+// TRACE GET. Ids only need to be unique enough that two traces
+// retained in the same ring window never collide, so a splitmix64
+// stream seeded from the process start time is plenty — no crypto, no
+// coordination.
+
+var (
+	tidSeed    = uint64(time.Now().UnixNano()) | 1
+	tidCounter atomic.Uint64
+)
+
+// NewTraceID returns a nonzero process-unique wire trace id.
+func NewTraceID() uint64 {
+	x := tidSeed + tidCounter.Add(1)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	if x == 0 {
+		x = 1
+	}
+	return x
+}
