@@ -35,19 +35,26 @@
 #                       2-backend cluster, kill-a-backend failover
 #                       under stress) plus the forward-path
 #                       zero-alloc guard
+#   make crash-guard    durability gate: the WAL suite (torn-tail
+#                       recovery at every byte offset, snapshot
+#                       truncation, graceful-drain Close) under -race,
+#                       then the kill-injection harness against the
+#                       real binary (SIGKILL mid-fsync, restart,
+#                       acked-present / unacked-absent)
 #   make ci             the CI gate: check + race + alloc-guard +
 #                       trace-guard + seqlock-guard + typed-guard +
-#                       cluster-guard + chaos + metrics-smoke
+#                       cluster-guard + crash-guard + chaos +
+#                       metrics-smoke
 #   make all            everything above, in that order
 
 GO       ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all check vet race stress fuzz bench bench-json alloc-guard trace-guard seqlock-guard typed-guard cluster-guard chaos metrics-smoke ci
+.PHONY: all check vet race stress fuzz bench bench-json alloc-guard trace-guard seqlock-guard typed-guard cluster-guard crash-guard chaos metrics-smoke ci
 
-all: check race stress fuzz bench trace-guard seqlock-guard typed-guard cluster-guard chaos metrics-smoke
+all: check race stress fuzz bench trace-guard seqlock-guard typed-guard cluster-guard crash-guard chaos metrics-smoke
 
-ci: check race alloc-guard trace-guard seqlock-guard typed-guard cluster-guard chaos metrics-smoke
+ci: check race alloc-guard trace-guard seqlock-guard typed-guard cluster-guard crash-guard chaos metrics-smoke
 
 check: vet
 	$(GO) build ./...
@@ -57,7 +64,7 @@ vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./internal/server ./internal/subsystem ./internal/metrics ./internal/trace
+	$(GO) test -race ./internal/server ./internal/subsystem ./internal/metrics ./internal/trace ./internal/wal
 
 metrics-smoke:
 	$(GO) run ./cmd/metrics-smoke
@@ -86,6 +93,20 @@ bench:
 alloc-guard:
 	$(GO) test -run ZeroAlloc -count=1 ./internal/match ./internal/caram ./internal/server
 	$(GO) test -run 'ForwardPathAllocs|RouterUntracedZeroAlloc' -count=1 ./internal/cluster
+
+# Durability gate: the whole WAL suite under the race detector (the
+# exhaustive torn-tail property, snapshot truncation + replay gating,
+# CREATE/DROP replay, relaxed-policy seal flushing), the server-side
+# graceful-drain / WAL STATUS suites, the fleet WAL STATUS merge, and
+# the kill-injection harness — the real binary SIGKILLed mid-group-
+# commit (the -wal-slow-sync hook widens the fsync window), restarted,
+# and audited: every acked write present, every unacked write absent.
+# CRASH_GUARD_ITERS (default 3) extends the kill loop for soak runs.
+crash-guard:
+	$(GO) test -race -count=1 ./internal/wal
+	$(GO) test -race -run 'Close|WALStatus|WALExec' -count=1 ./internal/server
+	$(GO) test -race -run 'RouterWALStatus' -count=1 ./internal/cluster
+	$(GO) test -run 'Crash|GracefulShutdown' -count=1 ./cmd/caram-server
 
 # Tracing-layer gate: the lock-free ring under the race detector, the
 # slowlog admission property (admitted exactly when latency exceeds the
@@ -144,3 +165,5 @@ bench-json:
 		-benchmem ./internal/cluster | $(GO) run ./cmd/bench2json > BENCH_PR8.json
 	$(GO) test -run '^$$' -bench 'RouterForwardPath|RouterPipelinedSearch/depth8' \
 		-benchmem ./internal/cluster | $(GO) run ./cmd/bench2json > BENCH_PR9.json
+	$(GO) test -run '^$$' -bench WALInsert -benchtime 2000x \
+		-benchmem ./internal/wal | $(GO) run ./cmd/bench2json > BENCH_PR10.json

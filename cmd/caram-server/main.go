@@ -34,6 +34,16 @@
 // chaos-testing mode; combine it with -ecc to watch the error coding
 // absorb the faults.
 //
+// Durability is opt-in with -data <dir>: every acknowledged mutation
+// is journaled to a segmented write-ahead log under the -wal-sync
+// policy (always fsyncs before each ack; interval=<d> group-commits on
+// a timer; never leaves fsync to segment boundaries), periodic
+// snapshots (-snapshot-every) serialize each engine's shadow image and
+// truncate sealed segments, and boot recovers the latest snapshot plus
+// the WAL tail — truncating, never replaying, a torn final record.
+// The WAL STATUS wire command and the caram_wal_* /metrics families
+// expose the commit horizon.
+//
 // Overload protection is opt-in too: -max-conns sheds connections
 // beyond the cap with one "ERR BUSY" line; -read-timeout and
 // -idle-timeout arm the per-connection read deadlines (slow-loris
@@ -69,6 +79,7 @@ import (
 	"caram/internal/server"
 	"caram/internal/subsystem"
 	"caram/internal/trace"
+	"caram/internal/wal"
 )
 
 func main() {
@@ -87,6 +98,12 @@ func main() {
 		maxConns = flag.Int("max-conns", 0, "cap on concurrently served connections; excess accepts are shed with ERR BUSY (0 = unlimited)")
 		readTO   = flag.Duration("read-timeout", 0, "per-read deadline once a request has started arriving (slow-loris defense; 0 = none)")
 		idleTO   = flag.Duration("idle-timeout", 0, "deadline for the start of the next request on an idle connection (0 = none)")
+
+		dataDir     = flag.String("data", "", "durability directory: WAL segments + snapshots; boot recovers the latest snapshot and replays the log tail (empty = no durability)")
+		walSync     = flag.String("wal-sync", "always", "WAL sync policy: always (fsync before every ack), interval=<d> (group fsync on a timer), never (fsync only at segment roll/seal)")
+		walSegBytes = flag.Int64("wal-segment-bytes", 0, "WAL segment size before rolling to a new file (0 = 64 MiB default)")
+		snapEvery   = flag.Duration("snapshot-every", time.Minute, "interval between background snapshots (which truncate sealed WAL segments); 0 disables periodic snapshots")
+		walSlowSync = flag.Duration("wal-slow-sync", 0, "test hook: sleep this long at the start of every WAL flush (widens the crash window for the kill harness)")
 
 		faultSeed    = flag.Int64("fault-seed", 0, "install a deterministic soft-error injector per engine, seeded with this base (0 = off)")
 		faultSingle  = flag.Float64("fault-single", 0.001, "per-fetch single-bit-flip probability when -fault-seed is set")
@@ -109,6 +126,7 @@ func main() {
 	}
 	names := strings.Split(*engines, ",")
 	sub := subsystem.New(0)
+	var bootstrap []*subsystem.Engine
 	var rows, perRow int
 	for i, name := range names {
 		name = strings.TrimSpace(name)
@@ -149,10 +167,7 @@ func main() {
 				e.Main.Array().InstallFaults(inj)
 				inj.Enable()
 			}
-			if err := sub.AddEngine(e); err != nil {
-				logger.Error("add engine", "engine", name, "err", err)
-				os.Exit(1)
-			}
+			bootstrap = append(bootstrap, e)
 			rows, perRow = e.Main.Config().Rows(), e.Main.Config().Slots()
 			continue
 		}
@@ -182,11 +197,49 @@ func main() {
 			sl.Array().InstallFaults(inj)
 			inj.Enable()
 		}
-		if err := sub.AddEngine(&subsystem.Engine{Name: name, Main: sl}); err != nil {
-			logger.Error("add engine", "engine", name, "err", err)
+		bootstrap = append(bootstrap, &subsystem.Engine{Name: name, Main: sl})
+		rows, perRow = sl.Config().Rows(), sl.Config().Slots()
+	}
+
+	// With -data, boot goes through recovery: the latest valid snapshot
+	// overlays the flag-configured roster (geometry-compatible images
+	// load in place, preserving any fault injector), the WAL tail
+	// replays over it, and a torn tail record is truncated, never
+	// applied. Without -data the bootstrap roster serves as-is and
+	// nothing survives a restart.
+	roster := bootstrap
+	var w *wal.Log
+	var rec *wal.RecoverResult
+	if *dataDir != "" {
+		pol, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			logger.Error("bad -wal-sync", "value", *walSync, "err", err)
+			os.Exit(2)
+		}
+		w, rec, err = wal.Recover(*dataDir, bootstrap, wal.Options{
+			Sync:         pol,
+			SegmentBytes: *walSegBytes,
+			SlowSync:     *walSlowSync,
+		})
+		if err != nil {
+			logger.Error("wal recovery", "dir", *dataDir, "err", err)
 			os.Exit(1)
 		}
-		rows, perRow = sl.Config().Rows(), sl.Config().Slots()
+		roster = rec.Engines
+		logger.Info("wal recovered",
+			"dir", *dataDir,
+			"snapshot_lsn", rec.SnapshotLSN,
+			"last_lsn", rec.LastLSN,
+			"replayed", rec.Replayed,
+			"truncated_bytes", rec.TruncatedBytes,
+			"clean_shutdown", rec.CleanShutdown,
+			"sync", pol.String())
+	}
+	for _, e := range roster {
+		if err := sub.AddEngine(e); err != nil {
+			logger.Error("add engine", "engine", e.Name, "err", err)
+			os.Exit(1)
+		}
 	}
 
 	slowlog := time.Duration(-1)
@@ -200,6 +253,9 @@ func main() {
 	}
 	if *readTO > 0 || *idleTO > 0 {
 		srvOpts = append(srvOpts, server.WithTimeouts(*readTO, *idleTO))
+	}
+	if w != nil {
+		srvOpts = append(srvOpts, server.WithWAL(w, rec.RosterLSN, *snapEvery))
 	}
 	srv := server.New(sub, srvOpts...)
 
@@ -225,6 +281,23 @@ func main() {
 		logger.Error("listen", "addr", *addr, "err", err)
 		os.Exit(1)
 	}
+
+	// Install the handler before announcing "serving": a supervisor
+	// that reacts to that line may signal immediately, and a SIGTERM
+	// landing before Notify would kill the process with no drain, no
+	// final snapshot, and no seal.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	closeDone := make(chan struct{})
+	go func() {
+		defer close(closeDone)
+		s := <-sig
+		logger.Info("shutting down", "signal", s.String())
+		if err := srv.Close(); err != nil {
+			logger.Error("close", "err", err)
+		}
+	}()
+
 	logger.Info("serving",
 		"engines", len(names),
 		"names", strings.Join(names, ","),
@@ -235,19 +308,17 @@ func main() {
 		"trace_sample", *sampleN,
 		"ecc", *eccOn,
 		"fault_seed", *faultSeed,
-		"max_conns", *maxConns)
+		"max_conns", *maxConns,
+		"data", *dataDir)
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		s := <-sig
-		logger.Info("shutting down", "signal", s.String())
-		if err := srv.Close(); err != nil {
-			logger.Error("close", "err", err)
-		}
-	}()
-
-	if err := srv.Serve(l); err != nil && !errors.Is(err, server.ErrServerClosed) {
+	err = srv.Serve(l)
+	switch {
+	case errors.Is(err, server.ErrServerClosed):
+		// Serve unblocks as soon as the listener drops; Close is still
+		// draining handlers, snapshotting, and sealing the WAL. Exiting
+		// now would turn every graceful shutdown into a crash recovery.
+		<-closeDone
+	case err != nil:
 		logger.Error("serve", "err", err)
 		os.Exit(1)
 	}

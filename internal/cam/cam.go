@@ -237,6 +237,16 @@ func (d *Device) Entry(i int) (match.Record, bool) {
 	return d.entries[i], true
 }
 
+// EntryAt returns the stored record and its priority at a physical
+// row — the enumerator durability snapshots use to serialize the
+// device (Insert(rec, priority) round-trips each entry).
+func (d *Device) EntryAt(i int) (match.Record, int, bool) {
+	if i < 0 || i >= d.total {
+		return match.Record{}, 0, false
+	}
+	return d.entries[i], d.prio[i], true
+}
+
 // Stats returns a snapshot of activity counters.
 func (d *Device) Stats() Stats { return d.stats }
 

@@ -176,6 +176,24 @@ func (s *Slice) Image() []uint64 {
 	return out
 }
 
+// LogicalImage returns the slice's logical contents row by row — the
+// same word layout as Image, except quarantined rows contribute their
+// shadow contents (the §3.2 authoritative host-side copy) instead of
+// the corrupt stored bits. This is the image durability snapshots
+// persist: reloading it through LoadImage reconstructs the logical
+// database even when rows were quarantined at capture time. Uncharged
+// (PeekRow), like Records: serialization is host work, not a modeled
+// memory access.
+func (s *Slice) LogicalImage() []uint64 {
+	rw := s.array.RowWords()
+	out := make([]uint64, s.array.Words())
+	for b := 0; b < s.cfg.Rows(); b++ {
+		row := s.logicalRow(uint32(b), s.array.PeekRow(uint32(b)))
+		copy(out[b*rw:(b+1)*rw], row)
+	}
+	return out
+}
+
 // LoadImage installs a raw storage image produced by Image on a slice
 // with identical geometry, rebuilding the placement bookkeeping. The
 // receiving slice must use the same layout and index generator for the

@@ -60,6 +60,11 @@ import (
 //     SLOWLOG GET scatter/gathers every backend's slowlog plus the
 //     router's own, k-way merged by latency and node=-tagged, and
 //     TRACE GET answers from the router's rings or any backend's.
+//   - WAL STATUS scatters and merges into one fleet line: lsn /
+//     durable / segments sum, snapshot_lsn is the fleet minimum (the
+//     replay bound), sync is the common policy or "mixed". Any node
+//     answering ERR (wal disabled) fails the whole merge with that
+//     ERR — a partial sum would overstate durability.
 //   - Anything unparseable forwards to backend 0 so the backend's own
 //     grammar renders the authoritative ERR, byte-identical to a
 //     direct connection.
@@ -376,6 +381,7 @@ const (
 	mergeHistQuantiles
 	mergeHistSum
 	mergeTrace
+	mergeWALStatus
 )
 
 // pendingOp is one in-flight request of a client burst. The struct
@@ -651,6 +657,8 @@ func (rt *Router) route(st *rconn, line []byte) {
 		default:
 			rt.scatter(st, line, mergeHealthEngine)
 		}
+	case eqFold(cmd, "WAL"):
+		rt.scatter(st, line, mergeWALStatus)
 	case eqFold(cmd, "CREATE"):
 		kw, okKw := sc.next()
 		name, okName := sc.next()
@@ -1014,6 +1022,8 @@ func (rt *Router) settleScatter(out []byte, op *pendingOp) []byte {
 		out = rt.mergeHistSum(out, op)
 	case mergeTrace:
 		out = rt.mergeTrace(out, op)
+	case mergeWALStatus:
+		out = rt.mergeWALStatus(out, op)
 	}
 	for b, c := range op.calls {
 		recordCall(op.tr, c, b, uint32(b+1))
@@ -1327,6 +1337,90 @@ func (rt *Router) mergeScrubReports(out []byte, op *pendingOp) []byte {
 	out = strconv.AppendInt(out, bits, 10)
 	out = append(out, " released="...)
 	return strconv.AppendInt(out, released, 10)
+}
+
+// mergeWALStatus: WAL STATUS across the fleet — summed commit
+// horizons (lsn, durable, segments; each node numbers its own log, so
+// the sums are fleet totals), the most conservative snapshot bound
+// (min), and the sync policy when every node agrees ("mixed"
+// otherwise). Node-local latency keys of the SYNC form are dropped
+// from the merged reply. A backend that answers ERR (wal disabled, or
+// a usage error) wins verbatim, address order making it stable.
+func (rt *Router) mergeWALStatus(out []byte, op *pendingOp) []byte {
+	var (
+		got                    bool
+		nodes                  int64
+		lsn, durable, segments int64
+		snapMin                int64 = -1
+		policy                 []byte
+		mixed                  bool
+	)
+	for _, bi := range rt.order {
+		resp, err := op.calls[bi].Wait()
+		if err != nil {
+			return append(out, replyUnavailable...)
+		}
+		sc := bscan{b: resp}
+		if tok, ok := sc.next(); !ok || !eqFold(tok, "WAL") {
+			// Any node without a WAL (or otherwise erring) fails the
+			// whole fleet answer: a partial sum would overstate what is
+			// actually durable.
+			return append(out, resp...)
+		}
+		got = true
+		nodes++
+		for {
+			pair, ok := sc.next()
+			if !ok {
+				break
+			}
+			k, v, ok := splitKV(pair)
+			if !ok {
+				continue
+			}
+			switch {
+			case eqFold(k, "lsn"):
+				lsn += parseInt(v)
+			case eqFold(k, "durable"):
+				durable += parseInt(v)
+			case eqFold(k, "segments"):
+				segments += parseInt(v)
+			case eqFold(k, "snapshot_lsn"):
+				if s := parseInt(v); snapMin < 0 || s < snapMin {
+					snapMin = s
+				}
+			case eqFold(k, "sync"):
+				if policy == nil {
+					policy = v
+				} else if string(policy) != string(v) {
+					mixed = true
+				}
+			}
+		}
+	}
+	if !got {
+		return append(out, replyUnavailable...)
+	}
+	if snapMin < 0 {
+		snapMin = 0
+	}
+	out = append(out, "WAL nodes="...)
+	out = strconv.AppendInt(out, nodes, 10)
+	out = append(out, " lsn="...)
+	out = strconv.AppendInt(out, lsn, 10)
+	out = append(out, " durable="...)
+	out = strconv.AppendInt(out, durable, 10)
+	out = append(out, " segments="...)
+	out = strconv.AppendInt(out, segments, 10)
+	out = append(out, " snapshot_lsn="...)
+	out = strconv.AppendInt(out, snapMin, 10)
+	out = append(out, " sync="...)
+	if mixed {
+		out = append(out, "mixed"...)
+	} else {
+		out = append(out, policy...)
+	}
+	return out
 }
 
 // mergeStatsAgg: STATS across shards. Counts sum exactly; alpha is

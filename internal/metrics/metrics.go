@@ -128,6 +128,38 @@ type Registry struct {
 	mu      sync.Mutex // serializes roster writers
 	set     atomic.Pointer[registrySet]
 	unknown atomic.Uint64 // requests addressed to no registered engine
+
+	// walFn, when set, samples the durability layer for Snapshot —
+	// the same generic-callback decoupling SetGaugeFunc uses, so this
+	// package never imports the wal implementation.
+	walFn atomic.Pointer[func() WALStats]
+}
+
+// WALStats is one observation of the durability layer, sampled at
+// Snapshot time via SetWALFunc. LSNs are cumulative positions; the
+// fsync counters are totals since boot.
+type WALStats struct {
+	AppendedLSN uint64 // highest LSN assigned
+	DurableLSN  uint64 // highest LSN fsynced
+	SnapshotLSN uint64 // bound of the newest on-disk snapshot
+	Pending     uint64 // records appended but not yet durable
+	Segments    int    // on-disk segments, including the active one
+	Fsyncs      uint64
+	FsyncNanos  uint64 // cumulative time spent in fsync
+	LastFsync   int64  // unix nanos of the last fsync; 0 = never
+}
+
+// SetWALFunc installs the durability sampler (nil clears it). Safe on
+// a nil registry.
+func (r *Registry) SetWALFunc(fn func() WALStats) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		r.walFn.Store(nil)
+		return
+	}
+	r.walFn.Store(&fn)
 }
 
 // registrySet is one immutable roster snapshot.
@@ -371,6 +403,9 @@ type EngineSnapshot struct {
 type Snapshot struct {
 	Engines []EngineSnapshot
 	Unknown uint64
+	// WAL is the durability layer's state at snapshot time; nil when
+	// the server runs without one.
+	WAL *WALStats
 }
 
 // Snapshot captures every engine's counters, histograms and gauges.
@@ -396,6 +431,10 @@ func (r *Registry) Snapshot() Snapshot {
 		}
 		es.Gauges, es.HasGauges = em.SampleGauges()
 		s.Engines = append(s.Engines, es)
+	}
+	if fn := r.walFn.Load(); fn != nil {
+		ws := (*fn)()
+		s.WAL = &ws
 	}
 	return s
 }

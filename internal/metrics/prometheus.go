@@ -3,6 +3,7 @@ package metrics
 import (
 	"fmt"
 	"io"
+	"time"
 )
 
 // Metric family names of the Prometheus exposition. README documents
@@ -37,6 +38,19 @@ const (
 const (
 	FamSearchRetries = "caram_search_retries_total"
 	FamLockFallbacks = "caram_search_lock_fallbacks_total"
+)
+
+// Durability families (PR 10): the write-ahead log's commit horizon
+// and fsync cost.
+const (
+	FamWALAppended     = "caram_wal_appended_lsn"
+	FamWALDurable      = "caram_wal_durable_lsn"
+	FamWALPending      = "caram_wal_pending_records"
+	FamWALSegments     = "caram_wal_segments"
+	FamWALSnapshot     = "caram_wal_snapshot_lsn"
+	FamWALFsyncs       = "caram_wal_fsyncs_total"
+	FamWALFsyncSeconds = "caram_wal_fsync_seconds_total"
+	FamWALLastFsyncAge = "caram_wal_last_fsync_age_seconds"
 )
 
 // WritePrometheus renders a snapshot in the Prometheus text exposition
@@ -114,6 +128,9 @@ func WritePrometheus(w io.Writer, s Snapshot) error {
 
 	bw.printf("# HELP %s Requests addressed to no registered engine.\n# TYPE %s counter\n", FamUnknown, FamUnknown)
 	bw.printf("%s %d\n", FamUnknown, s.Unknown)
+	if s.WAL != nil {
+		writeWAL(bw, s.WAL)
+	}
 	writeBuildInfo(bw)
 	return bw.err
 }
@@ -143,6 +160,27 @@ func writeLatency(bw *errWriter, engine, typ string, op Op, h HistSnapshot) {
 // formatSeconds renders a nanosecond edge as seconds for an `le` label.
 func formatSeconds(ns int64) string {
 	return fmt.Sprintf("%g", float64(ns)/1e9)
+}
+
+// writeWAL renders the durability families. LSNs are monotone but
+// exposed as gauges (they are positions, not event counts; rate() on
+// the appended/durable pair still yields write and commit throughput).
+func writeWAL(bw *errWriter, w *WALStats) {
+	emit := func(fam, help, typ string, val string) {
+		bw.printf("# HELP %s %s\n# TYPE %s %s\n%s %s\n", fam, help, fam, typ, fam, val)
+	}
+	emit(FamWALAppended, "Highest WAL LSN assigned.", "gauge", fmt.Sprintf("%d", w.AppendedLSN))
+	emit(FamWALDurable, "Highest WAL LSN fsynced to disk.", "gauge", fmt.Sprintf("%d", w.DurableLSN))
+	emit(FamWALPending, "WAL records appended but not yet durable (commit lag).", "gauge", fmt.Sprintf("%d", w.Pending))
+	emit(FamWALSegments, "On-disk WAL segments, including the active one.", "gauge", fmt.Sprintf("%d", w.Segments))
+	emit(FamWALSnapshot, "LSN bound of the newest on-disk snapshot.", "gauge", fmt.Sprintf("%d", w.SnapshotLSN))
+	emit(FamWALFsyncs, "WAL fsync calls.", "counter", fmt.Sprintf("%d", w.Fsyncs))
+	emit(FamWALFsyncSeconds, "Cumulative time spent in WAL fsync.", "counter", fmt.Sprintf("%g", float64(w.FsyncNanos)/1e9))
+	age := -1.0
+	if w.LastFsync > 0 {
+		age = float64(time.Now().UnixNano()-w.LastFsync) / 1e9
+	}
+	emit(FamWALLastFsyncAge, "Seconds since the last WAL fsync (-1 = never).", "gauge", fmt.Sprintf("%g", age))
 }
 
 // errWriter folds the repeated error checks of sequential printfs.

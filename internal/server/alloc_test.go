@@ -6,6 +6,7 @@ import (
 	"caram/internal/caram"
 	"caram/internal/hash"
 	"caram/internal/subsystem"
+	"caram/internal/wal"
 )
 
 func allocServer(opts ...Option) *Server {
@@ -88,5 +89,32 @@ func TestTypedExecAppendSearchZeroAlloc(t *testing.T) {
 				t.Fatalf("%s ExecAppend allocated %.1f times per run, want 0", tc.req, n)
 			}
 		})
+	}
+}
+
+// TestWALExecAppendSearchZeroAlloc re-runs the zero-alloc guard with
+// the durability layer attached: journaling is an insert-side cost,
+// and SEARCH through a WAL-enabled server must stay allocation-free —
+// the read hot path sees only a nil-journal check it never takes.
+// Run by `make alloc-guard` / `make ci`.
+func TestWALExecAppendSearchZeroAlloc(t *testing.T) {
+	w, res, err := wal.Recover(t.TempDir(), nil, wal.Options{Sync: wal.SyncPolicy{Mode: wal.SyncAlways}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := allocServer(WithWAL(w, res.RosterLSN, 0))
+	defer s.Close() //nolint:errcheck
+	if got := s.Exec("INSERT db dead 42"); got != "OK" {
+		t.Fatalf("INSERT: %q", got)
+	}
+	buf := make([]byte, 0, 64)
+	if n := testing.AllocsPerRun(200, func() {
+		buf = s.ExecAppend(buf[:0], "SEARCH db dead")
+		buf = s.ExecAppend(buf[:0], "SEARCH db f00d")
+	}); n != 0 {
+		t.Fatalf("SEARCH with WAL enabled allocated %.1f times per run, want 0", n)
+	}
+	if got := string(s.ExecAppend(buf[:0], "SEARCH db dead")); got != "HIT 0:0000000000000042" {
+		t.Fatalf("SEARCH reply = %q", got)
 	}
 }

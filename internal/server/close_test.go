@@ -1,0 +1,172 @@
+package server
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"caram/internal/subsystem"
+	"caram/internal/wal"
+)
+
+// walServer builds a server over a recovered WAL in dir with one
+// bootstrap exact engine "db".
+func walServer(t *testing.T, dir string, opts wal.Options) (*Server, *wal.Log) {
+	t.Helper()
+	boot, err := subsystem.NewTypedEngine("db", subsystem.ExactEngine,
+		subsystem.TypedConfig{IndexBits: 6, Slots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, res, err := wal.Recover(dir, []*subsystem.Engine{boot}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := subsystem.New(0)
+	for _, e := range res.Engines {
+		if err := sub.AddEngine(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return New(sub, WithWAL(w, res.RosterLSN, 0)), w
+}
+
+// TestCloseDrainsInflightHandlers is the graceful-shutdown drain
+// regression: Close fired while a handler is mid-commit (the WAL's
+// slow-sync hook holds the fsync open) must still deliver every reply
+// for requests the handler had read, and the sealed log must be a
+// clean recovery point needing zero replay — the final snapshot runs
+// only after the drain, so it captures those very mutations.
+//
+// Before the fix, Close hard-closed every connection before
+// handlers.Wait, so replies to already-executed requests were lost
+// with the socket.
+func TestCloseDrainsInflightHandlers(t *testing.T) {
+	dir := t.TempDir()
+	srv, _ := walServer(t, dir, wal.Options{
+		Sync:     wal.SyncPolicy{Mode: wal.SyncAlways},
+		SlowSync: 150 * time.Millisecond,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(l) //nolint:errcheck
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second)) //nolint:errcheck
+	// A pipelined burst: both inserts are read into the handler's
+	// buffer at once; each blocks in the slow group commit.
+	if _, err := conn.Write([]byte("INSERT db 1 aa\nINSERT db 2 bb\n")); err != nil {
+		t.Fatal(err)
+	}
+	// Let the handler pick the burst up and enter the first commit,
+	// then shut down while it is still in flight.
+	time.Sleep(40 * time.Millisecond)
+	closeErr := make(chan error, 1)
+	go func() { closeErr <- srv.Close() }()
+
+	br := bufio.NewReader(conn)
+	for i := 0; i < 2; i++ {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("reply %d lost in shutdown: %v", i+1, err)
+		}
+		if line != "OK\n" {
+			t.Fatalf("reply %d = %q, want OK", i+1, line)
+		}
+	}
+	if err := <-closeErr; err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// The graceful shutdown must have left a sealed log whose final
+	// snapshot already covers both acked inserts: zero replay.
+	boot, err := subsystem.NewTypedEngine("db", subsystem.ExactEngine,
+		subsystem.TypedConfig{IndexBits: 6, Slots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, res, err := wal.Recover(dir, []*subsystem.Engine{boot}, wal.Options{Sync: wal.SyncPolicy{Mode: wal.SyncAlways}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Seal() //nolint:errcheck
+	if !res.CleanShutdown {
+		t.Fatal("graceful Close did not seal the log")
+	}
+	if res.Replayed != 0 {
+		t.Fatalf("graceful Close left %d records to replay, want 0", res.Replayed)
+	}
+	sub := subsystem.New(0)
+	for _, e := range res.Engines {
+		if err := sub.AddEngine(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv2 := New(sub)
+	for req, want := range map[string]string{
+		"SEARCH db 1": "HIT 0:00000000000000aa",
+		"SEARCH db 2": "HIT 0:00000000000000bb",
+	} {
+		if got := srv2.Exec(req); got != want {
+			t.Fatalf("%s after recovery = %q, want %q", req, got, want)
+		}
+	}
+}
+
+// TestCloseIdempotent: double Close stays safe with a WAL attached
+// (the second call must not re-seal or re-snapshot).
+func TestCloseIdempotent(t *testing.T) {
+	srv, _ := walServer(t, t.TempDir(), wal.Options{Sync: wal.SyncPolicy{Mode: wal.SyncAlways}})
+	if err := srv.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+// TestWALStatusCommand covers the wire command against a live WAL:
+// the deterministic base form tracks the commit horizon, the SYNC form
+// adds fsync telemetry, and arguments are validated.
+func TestWALStatusCommand(t *testing.T) {
+	srv, _ := walServer(t, t.TempDir(), wal.Options{Sync: wal.SyncPolicy{Mode: wal.SyncAlways}})
+	defer srv.Close() //nolint:errcheck
+	if got := srv.Exec("WAL STATUS"); got != "WAL lsn=0 durable=0 segments=1 snapshot_lsn=0 sync=always" {
+		t.Fatalf("fresh WAL STATUS = %q", got)
+	}
+	for _, req := range []string{"INSERT db 1 aa", "INSERT db 2 bb", "DELETE db 1"} {
+		if got := srv.Exec(req); got != "OK" {
+			t.Fatalf("%s: %q", req, got)
+		}
+	}
+	if got := srv.Exec("WAL STATUS"); got != "WAL lsn=3 durable=3 segments=1 snapshot_lsn=0 sync=always" {
+		t.Fatalf("WAL STATUS after 3 mutations = %q", got)
+	}
+	sync := srv.Exec("WAL STATUS SYNC")
+	for _, want := range []string{"WAL lsn=3 durable=3", " pending=0 ", " fsyncs=", " fsync_avg_us=", " last_fsync_age_ms="} {
+		if !strings.Contains(sync, want) {
+			t.Fatalf("WAL STATUS SYNC = %q, missing %q", sync, want)
+		}
+	}
+	for _, bad := range []string{"WAL", "WAL FLUSH", "WAL STATUS EXTRA", "WAL STATUS SYNC MORE"} {
+		if got := srv.Exec(bad); got != "ERR usage: WAL STATUS [SYNC]" {
+			t.Fatalf("%s = %q, want usage error", bad, got)
+		}
+	}
+}
+
+// TestWALStatusDisabled: a server without a WAL answers ERR.
+func TestWALStatusDisabled(t *testing.T) {
+	srv := allocServer()
+	if got := srv.Exec("WAL STATUS"); got != "ERR wal disabled" {
+		t.Fatalf("WAL STATUS without wal = %q", got)
+	}
+}

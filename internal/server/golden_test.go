@@ -13,6 +13,7 @@ import (
 	"caram/internal/hash"
 	"caram/internal/subsystem"
 	"caram/internal/trace"
+	"caram/internal/wal"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden protocol files")
@@ -23,6 +24,9 @@ var updateGolden = flag.Bool("update", false, "rewrite golden protocol files")
 // deterministic (nothing is ever admitted) while the commands
 // themselves are exercised; EXPLAIN forces its own trace and prints
 // only positional (timing-free) facts, so its full output is golden.
+// A fresh sync=always WAL is attached per replay: WAL STATUS is then a
+// pure function of the scripted mutations (durable==lsn at every
+// reply), so its exchanges golden too.
 func goldenServer(t *testing.T) *Server {
 	t.Helper()
 	sub := subsystem.New(0)
@@ -38,7 +42,15 @@ func goldenServer(t *testing.T) *Server {
 			t.Fatal(err)
 		}
 	}
-	return New(sub, WithTracing(trace.NewCollector(trace.Config{Slowlog: time.Hour})))
+	w, res, err := wal.Recover(t.TempDir(), nil, wal.Options{Sync: wal.SyncPolicy{Mode: wal.SyncAlways}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(sub,
+		WithTracing(trace.NewCollector(trace.Config{Slowlog: time.Hour})),
+		WithWAL(w, res.RosterLSN, 0))
+	t.Cleanup(func() { s.Close() }) //nolint:errcheck
+	return s
 }
 
 // TestGoldenSession replays the scripted session in testdata and

@@ -21,6 +21,7 @@
 //	SLOWLOG GET [n] | LEN | RESET
 //	EXPLAIN SEARCH <engine> <key> [mask]
 //	HEALTH  [engine [SCRUB]]
+//	WAL     STATUS [SYNC]
 //
 // CREATE ENGINE adds a typed engine to the live server (type one of
 // exact, lpm, pktclass, trigram); DROP ENGINE removes one. SEARCH on
@@ -112,6 +113,7 @@ import (
 	"caram/internal/metrics"
 	"caram/internal/subsystem"
 	"caram/internal/trace"
+	"caram/internal/wal"
 )
 
 // flushThreshold caps how much reply data accumulates before Handle
@@ -142,6 +144,16 @@ type Server struct {
 	// test. Never set in production.
 	panicLine string
 
+	// wal is the durability layer (nil when the server runs without
+	// one): every mutation journals through it, Close snapshots and
+	// seals it. closing flips at the start of Close so connection
+	// readers stop re-arming deadlines and the shutdown nudge reads
+	// as "drain and hang up", not "ERR timeout".
+	wal      *wal.Log
+	snapStop chan struct{} // stops the periodic-snapshot loop
+	snapWG   sync.WaitGroup
+	closing  atomic.Bool
+
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
@@ -153,12 +165,15 @@ type Server struct {
 type Option func(*options)
 
 type options struct {
-	metrics  bool
-	trc      *trace.Collector
-	log      *slog.Logger
-	maxConns int
-	readTO   time.Duration
-	idleTO   time.Duration
+	metrics   bool
+	trc       *trace.Collector
+	log       *slog.Logger
+	maxConns  int
+	readTO    time.Duration
+	idleTO    time.Duration
+	wal       *wal.Log
+	walRoster uint64
+	snapEvery time.Duration
 }
 
 // WithoutMetrics builds the server without the observability layer:
@@ -208,6 +223,21 @@ func WithTimeouts(read, idle time.Duration) Option {
 	return func(o *options) { o.readTO, o.idleTO = read, idle }
 }
 
+// WithWAL attaches a durability layer: every acknowledged mutation is
+// journaled through w (acks ordered after the fsync under the
+// sync=always policy), rosterLSN seeds the CREATE/DROP replay gate
+// recovered from disk, and snapshotEvery > 0 starts a background loop
+// that serializes the subsystem's shadow image and truncates sealed
+// segments. Close snapshots once more after the drain and seals the
+// log, so a graceful shutdown leaves a log needing zero replay.
+func WithWAL(w *wal.Log, rosterLSN uint64, snapshotEvery time.Duration) Option {
+	return func(o *options) {
+		o.wal = w
+		o.walRoster = rosterLSN
+		o.snapEvery = snapshotEvery
+	}
+}
+
 // New wraps a subsystem whose engine registration is complete. By
 // default the per-engine metrics layer is attached (see
 // internal/metrics); the registry is reachable via Metrics for HTTP
@@ -223,7 +253,26 @@ func New(sub *subsystem.Subsystem, opts ...Option) *Server {
 		reg = metrics.NewRegistry(con.Engines())
 		con.Instrument(reg)
 	}
-	return &Server{
+	if o.wal != nil {
+		con.SetJournal(o.wal, o.walRoster)
+		if reg != nil {
+			w := o.wal
+			reg.SetWALFunc(func() metrics.WALStats {
+				st := w.Stats()
+				return metrics.WALStats{
+					AppendedLSN: st.LSN,
+					DurableLSN:  st.Durable,
+					SnapshotLSN: st.SnapshotLSN,
+					Pending:     st.Pending,
+					Segments:    st.Segments,
+					Fsyncs:      st.Fsyncs,
+					FsyncNanos:  st.FsyncNanos,
+					LastFsync:   st.LastFsync,
+				}
+			})
+		}
+	}
+	s := &Server{
 		con:         con,
 		met:         reg,
 		trc:         o.trc,
@@ -231,9 +280,25 @@ func New(sub *subsystem.Subsystem, opts ...Option) *Server {
 		maxConns:    o.maxConns,
 		readTimeout: o.readTO,
 		idleTimeout: o.idleTO,
+		wal:         o.wal,
 		listeners:   make(map[net.Listener]struct{}),
 		conns:       make(map[net.Conn]struct{}),
 	}
+	if s.wal != nil && o.snapEvery > 0 {
+		s.snapStop = make(chan struct{})
+		s.snapWG.Add(1)
+		go func() {
+			defer s.snapWG.Done()
+			wal.Snapshotter(o.snapEvery, s.snapStop,
+				func() error { return s.wal.Snapshot(s.con.SnapshotImage) },
+				func(err error) {
+					if s.log != nil {
+						s.log.Error("wal snapshot failed", "err", err)
+					}
+				})
+		}()
+	}
+	return s
 }
 
 // Metrics returns the server's registry, or nil when built
@@ -318,7 +383,7 @@ func (s *Server) Serve(l net.Listener) error {
 			}()
 			rd := io.Reader(conn)
 			if s.readTimeout > 0 || s.idleTimeout > 0 {
-				rd = &connReader{c: conn, read: s.readTimeout, idle: s.idleTimeout}
+				rd = &connReader{srv: s, c: conn, read: s.readTimeout, idle: s.idleTimeout}
 			}
 			s.Handle(rd, conn)
 		}()
@@ -348,11 +413,16 @@ func (s *Server) admit() bool {
 // at request boundaries; the zero value of either duration clears the
 // deadline for reads it would govern.
 type connReader struct {
+	srv     *Server
 	c       net.Conn
 	read    time.Duration
 	idle    time.Duration
 	atStart bool
 }
+
+// aLongTimeAgo is a deadline guaranteed to be expired; used to keep a
+// connection's reads failing fast during graceful shutdown.
+var aLongTimeAgo = time.Unix(1, 0)
 
 func (cr *connReader) Read(p []byte) (int, error) {
 	d := cr.read
@@ -367,28 +437,71 @@ func (cr *connReader) Read(p []byte) (int, error) {
 		return 0, err
 	}
 	cr.atStart = false
+	// During graceful shutdown the deadline must stay expired: Close
+	// nudged every connection with an expired deadline, and re-arming
+	// it here would let this read block for a full idle period. The
+	// re-check after SetReadDeadline closes the race with the nudge.
+	if cr.srv != nil && cr.srv.closing.Load() {
+		cr.c.SetReadDeadline(aLongTimeAgo) //nolint:errcheck
+	}
 	return cr.c.Read(p)
 }
 
-// Close shuts the server down: it closes every listener and active
-// connection, then blocks until all accept loops and in-flight handlers
-// have drained. Close is idempotent; Serve calls racing it return
-// ErrServerClosed.
+// closeWriteGrace bounds how long a draining handler may block writing
+// its final replies to a client that has stopped reading.
+const closeWriteGrace = 5 * time.Second
+
+// Close shuts the server down gracefully: it closes every listener,
+// then *nudges* each active connection by expiring its read deadline —
+// the connection stays writable, so every in-flight handler finishes
+// the requests it has already read (including a buffered pipelined
+// burst) and writes their replies before returning. Only after all
+// handlers have drained does Close take a final snapshot, close the
+// subsystem, and seal the WAL — which is why a graceful shutdown is a
+// clean recovery point needing zero replay. Close is idempotent; Serve
+// calls racing it return ErrServerClosed.
 func (s *Server) Close() error {
 	s.mu.Lock()
-	if !s.closed {
+	first := !s.closed
+	if first {
 		s.closed = true
+		s.closing.Store(true)
 		for l := range s.listeners {
 			l.Close()
 		}
+		now := time.Now()
 		for c := range s.conns {
-			c.Close()
+			// Expired read deadline: pending and future reads fail fast,
+			// but buffered requests still execute and replies still
+			// flush. The write grace keeps a non-reading client from
+			// pinning the drain forever.
+			c.SetReadDeadline(now)                       //nolint:errcheck
+			c.SetWriteDeadline(now.Add(closeWriteGrace)) //nolint:errcheck
 		}
 	}
+	stop := s.snapStop
 	s.mu.Unlock()
+	if first && stop != nil {
+		close(stop)
+	}
+	s.snapWG.Wait()
 	s.handlers.Wait()
+	var err error
+	if first && s.wal != nil {
+		// The drain is complete: this snapshot captures every applied
+		// mutation, so the sealed log below needs zero replay on the
+		// next boot.
+		if serr := s.wal.Snapshot(s.con.SnapshotImage); serr != nil {
+			err = serr
+		}
+	}
 	s.con.Close()
-	return nil
+	if first && s.wal != nil {
+		if serr := s.wal.Seal(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	return err
 }
 
 func (s *Server) isClosed() bool {
@@ -488,6 +601,14 @@ func (s *Server) Handle(r io.Reader, w io.Writer) {
 		default:
 			var ne net.Error
 			if errors.As(err, &ne) && ne.Timeout() {
+				if s.closing.Load() {
+					// Graceful-shutdown nudge, not a client timeout: every
+					// request read before the nudge has its reply buffered
+					// above — flush them and hang up without a spurious
+					// error line.
+					flush()
+					return
+				}
 				// Deadline expiry (WithTimeouts): a partially received
 				// line is untrusted input cut off mid-flight — never
 				// execute it, just report and hang up.
@@ -612,7 +733,7 @@ func (s *Server) execAppend(dst []byte, line string, tr *trace.Trace) []byte {
 			return appendErr(dst, err)
 		}
 		rec := match.Record{Key: bitutil.Exact(key), Data: data}
-		if err := s.con.Insert(eng, rec); err != nil {
+		if err := s.con.InsertTraced(eng, rec, tr); err != nil {
 			return appendErr(dst, err)
 		}
 		return append(dst, "OK"...)
@@ -714,7 +835,7 @@ func (s *Server) execAppend(dst []byte, line string, tr *trace.Trace) []byte {
 		if err != nil {
 			return appendErr(dst, err)
 		}
-		if err := s.con.Delete(eng, bitutil.Exact(key)); err != nil {
+		if err := s.con.DeleteTraced(eng, bitutil.Exact(key), tr); err != nil {
 			return appendErr(dst, err)
 		}
 		return append(dst, "OK"...)
@@ -740,6 +861,8 @@ func (s *Server) execAppend(dst []byte, line string, tr *trace.Trace) []byte {
 		return s.execTraceAppend(dst, &fs)
 	case "HEALTH":
 		return s.execHealthAppend(dst, &fs)
+	case "WAL":
+		return s.execWALAppend(dst, &fs)
 	case "STATS":
 		eng, ok1 := fs.next()
 		if _, extra := fs.next(); !ok1 || extra {

@@ -175,7 +175,7 @@ func (s *Server) execMInsertAppend(dst []byte, fs *FieldScanner, tr *trace.Trace
 		return append(dst, typ.String()...)
 	}
 	rec := match.Record{Key: bitutil.NewTernary(key, mask), Data: data}
-	if err := s.con.Insert(eng, rec); err != nil {
+	if err := s.con.InsertTraced(eng, rec, tr); err != nil {
 		return appendErr(dst, err)
 	}
 	return append(dst, "OK"...)
@@ -207,7 +207,7 @@ func (s *Server) execMDeleteAppend(dst []byte, fs *FieldScanner, tr *trace.Trace
 		dst = append(dst, "ERR mdelete: engine type "...)
 		return append(dst, typ.String()...)
 	}
-	if err := s.con.Delete(eng, bitutil.NewTernary(key, mask)); err != nil {
+	if err := s.con.DeleteTraced(eng, bitutil.NewTernary(key, mask), tr); err != nil {
 		return appendErr(dst, err)
 	}
 	return append(dst, "OK"...)
@@ -257,7 +257,7 @@ func (s *Server) execTInsertAppend(dst []byte, fs *FieldScanner, tr *trace.Trace
 		Key:  bitutil.Exact(trigram.Entry{Text: text}.Key()),
 		Data: bitutil.FromUint64(score),
 	}
-	if err := s.con.Insert(eng, rec); err != nil {
+	if err := s.con.InsertTraced(eng, rec, tr); err != nil {
 		return appendErr(dst, err)
 	}
 	return append(dst, "OK"...)

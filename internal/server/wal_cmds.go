@@ -1,0 +1,64 @@
+package server
+
+import (
+	"strings"
+	"time"
+)
+
+// execWALAppend answers the WAL command against the durability layer.
+//
+//	WAL STATUS       — commit horizon in deterministic form: appended
+//	                   and durable LSNs, on-disk segment count, newest
+//	                   snapshot bound, and the sync policy. Under
+//	                   sync=always durable equals lsn at reply time
+//	                   (the ack ordering guarantees it), so the reply
+//	                   is a pure function of the session — golden tests
+//	                   rely on that.
+//	WAL STATUS SYNC  — adds the nondeterministic fsync counters
+//	                   (count, mean latency, age of the last one) and
+//	                   the pending-record lag, following the METRICS /
+//	                   METRICS LATENCY split.
+func (s *Server) execWALAppend(dst []byte, fs *FieldScanner) []byte {
+	const usage = "ERR usage: WAL STATUS [SYNC]"
+	sub, ok := fs.next()
+	if !ok || !strings.EqualFold(sub, "STATUS") {
+		return append(dst, usage...)
+	}
+	arg, hasArg := fs.next()
+	if _, extra := fs.next(); extra || (hasArg && !strings.EqualFold(arg, "SYNC")) {
+		return append(dst, usage...)
+	}
+	if s.wal == nil {
+		return append(dst, "ERR wal disabled"...)
+	}
+	st := s.wal.Stats()
+	dst = append(dst, "WAL lsn="...)
+	dst = appendUint(dst, st.LSN)
+	dst = append(dst, " durable="...)
+	dst = appendUint(dst, st.Durable)
+	dst = append(dst, " segments="...)
+	dst = appendInt(dst, int64(st.Segments))
+	dst = append(dst, " snapshot_lsn="...)
+	dst = appendUint(dst, st.SnapshotLSN)
+	dst = append(dst, " sync="...)
+	dst = append(dst, st.Policy...)
+	if hasArg {
+		dst = append(dst, " pending="...)
+		dst = appendUint(dst, st.Pending)
+		dst = append(dst, " fsyncs="...)
+		dst = appendUint(dst, st.Fsyncs)
+		dst = append(dst, " fsync_avg_us="...)
+		var avg uint64
+		if st.Fsyncs > 0 {
+			avg = st.FsyncNanos / st.Fsyncs / 1000
+		}
+		dst = appendUint(dst, avg)
+		dst = append(dst, " last_fsync_age_ms="...)
+		if st.LastFsync == 0 {
+			dst = appendInt(dst, -1)
+		} else {
+			dst = appendInt(dst, (time.Now().UnixNano()-st.LastFsync)/1e6)
+		}
+	}
+	return dst
+}

@@ -48,10 +48,17 @@ type Concurrent struct {
 	// atomic load and index an immutable map, so the hot path stays
 	// exactly as cheap as the pre-dynamic frozen map. setMu serializes
 	// the writers (CreateEngine, DropEngine, Close).
-	set   atomic.Pointer[engineSet]
-	setMu sync.Mutex
-	met   *metrics.Registry // nil when uninstrumented
+	set    atomic.Pointer[engineSet]
+	setMu  sync.Mutex
+	met    *metrics.Registry // nil when uninstrumented
 	policy HealthPolicy
+
+	// jr, when non-nil, receives one journal record per applied
+	// mutation and roster change (SetJournal). rosterLSN is the LSN of
+	// the last CREATE/DROP reflected in the roster — written under
+	// setMu, captured by SnapshotImage as the roster replay gate.
+	jr        Journal
+	rosterLSN uint64
 
 	// lockedReads forces every search through the serialized path —
 	// the pre-seqlock behavior, kept for A/B benchmarks and as an
@@ -246,6 +253,20 @@ func (c *Concurrent) CreateEngine(name string, typ EngineType, tc TypedConfig) e
 	if err != nil {
 		return err
 	}
+	if c.jr != nil {
+		// Roster records append under setMu (their lock boundary) and
+		// commit before the engine is published: an acknowledged CREATE
+		// must be durable, and one the log rejected must never publish.
+		lsn, jerr := c.jr.Append(JournalEntry{Op: JournalCreate, Engine: name, Type: typ, Conf: tc})
+		if jerr != nil {
+			return jerr
+		}
+		if jerr := c.jr.Commit(lsn); jerr != nil {
+			return jerr
+		}
+		e.AppliedLSN = lsn
+		c.rosterLSN = lsn
+	}
 	g := newGuarded(e, &EngineStats{})
 	if c.met != nil {
 		em := c.met.Register(name, typ.String())
@@ -282,6 +303,16 @@ func (c *Concurrent) DropEngine(name string) error {
 	g, ok := cur.m[name]
 	if !ok {
 		return errNoEngine(name)
+	}
+	if c.jr != nil {
+		lsn, jerr := c.jr.Append(JournalEntry{Op: JournalDrop, Engine: name})
+		if jerr != nil {
+			return jerr
+		}
+		if jerr := c.jr.Commit(lsn); jerr != nil {
+			return jerr
+		}
+		c.rosterLSN = lsn
 	}
 	next := &engineSet{
 		order: make([]string, 0, len(cur.order)-1),
@@ -571,6 +602,18 @@ func (c *Concurrent) EngineType(port string) (EngineType, error) {
 // Failed engine fails fast with ErrEngineUnavailable before the lock
 // (the circuit breaker), so a broken engine cannot queue work.
 func (c *Concurrent) Insert(port string, rec match.Record) error {
+	return c.InsertTraced(port, rec, nil)
+}
+
+// InsertTraced is Insert recording into a request-scoped trace. With a
+// journal attached, the applied record is appended under the engine
+// lock — so per-engine LSN order equals apply order, the invariant the
+// replay gate relies on — and the durability wait (Commit) happens
+// after unlock, so one connection's fsync never blocks the engine's
+// other writers (group commit). The caller's ack is ordered after the
+// wait: Insert returning nil means the record is durable under the
+// journal's sync policy. The wal_append span covers append + wait.
+func (c *Concurrent) InsertTraced(port string, rec match.Record, tr *trace.Trace) error {
 	if c.down.Load() {
 		return ErrClosed
 	}
@@ -582,19 +625,39 @@ func (c *Concurrent) Insert(port string, rec match.Record) error {
 	if Health(g.health.Load()) == Failed {
 		return ErrEngineUnavailable
 	}
-	if g.em == nil {
+	if g.em == nil && c.jr == nil {
 		g.mu.Lock()
 		defer g.mu.Unlock()
 		err := g.e.Insert(rec, g.st)
 		g.raiseTo(c.evalHealth(g))
 		return err
 	}
-	start := time.Now()
+	var start, walStart time.Time
+	if g.em != nil {
+		start = time.Now()
+	}
+	var lsn uint64
 	g.mu.Lock()
 	err := g.e.Insert(rec, g.st)
+	if err == nil && c.jr != nil {
+		if tr.Enabled() {
+			walStart = time.Now()
+		}
+		lsn, err = c.journalInsert(g, port, rec)
+	}
 	g.raiseTo(c.evalHealth(g))
 	g.mu.Unlock()
-	g.em.Observe(metrics.OpInsert, time.Since(start), err)
+	if lsn != 0 {
+		if cerr := c.jr.Commit(lsn); cerr != nil && err == nil {
+			err = cerr
+		}
+		if !walStart.IsZero() {
+			tr.Span(trace.KindWALAppend, walStart)
+		}
+	}
+	if g.em != nil {
+		g.em.Observe(metrics.OpInsert, time.Since(start), err)
+	}
 	return err
 }
 
@@ -733,6 +796,15 @@ func (c *Concurrent) ExpectedRows(port string) (float64, bool) {
 // Delete removes the exact key from the named engine under its write
 // lock.
 func (c *Concurrent) Delete(port string, key bitutil.Ternary) error {
+	return c.DeleteTraced(port, key, nil)
+}
+
+// DeleteTraced is Delete recording into a request-scoped trace. With a
+// journal attached the delete is logged before it applies: a logged
+// delete that then finds nothing replays as the same harmless no-op,
+// so failed deletes need no undo. As with inserts, the durability wait
+// happens after unlock and the caller's ack after the wait.
+func (c *Concurrent) DeleteTraced(port string, key bitutil.Ternary, tr *trace.Trace) error {
 	if c.down.Load() {
 		return ErrClosed
 	}
@@ -744,16 +816,41 @@ func (c *Concurrent) Delete(port string, key bitutil.Ternary) error {
 	if Health(g.health.Load()) == Failed {
 		return ErrEngineUnavailable
 	}
-	if g.em == nil {
+	if g.em == nil && c.jr == nil {
 		g.mu.Lock()
 		defer g.mu.Unlock()
 		return g.e.Delete(key)
 	}
-	start := time.Now()
+	var start, walStart time.Time
+	if g.em != nil {
+		start = time.Now()
+	}
+	var lsn uint64
+	var err error
 	g.mu.Lock()
-	err := g.e.Delete(key)
+	if c.jr != nil {
+		if tr.Enabled() {
+			walStart = time.Now()
+		}
+		if lsn, err = c.jr.Append(JournalEntry{Op: JournalDelete, Engine: port, Key: key}); err == nil {
+			g.e.AppliedLSN = lsn
+		}
+	}
+	if err == nil {
+		err = g.e.Delete(key)
+	}
 	g.mu.Unlock()
-	g.em.Observe(metrics.OpDelete, time.Since(start), err)
+	if lsn != 0 {
+		if cerr := c.jr.Commit(lsn); cerr != nil && err == nil {
+			err = cerr
+		}
+		if !walStart.IsZero() {
+			tr.Span(trace.KindWALAppend, walStart)
+		}
+	}
+	if g.em != nil {
+		g.em.Observe(metrics.OpDelete, time.Since(start), err)
+	}
 	return err
 }
 

@@ -42,6 +42,12 @@ type Engine struct {
 	// Sel.TernaryIndices(key) (one copy per wildcard hash-bit combo,
 	// §4's ternary duplication) and deletes remove every copy.
 	Sel *hash.BitSelect
+	// AppliedLSN is the journal LSN of the last mutation applied to
+	// this engine (written under the engine's write lock, captured in
+	// snapshots). Replay skips records with lsn <= AppliedLSN: they
+	// are already reflected in the recovered image. Zero when no
+	// journal is attached.
+	AppliedLSN uint64
 }
 
 // EngineStats tracks engine-level placement.

@@ -92,6 +92,9 @@ const (
 	// KindRetry is one idempotent-read retry attempt after a backend
 	// connection died (Matches = attempt number, 1-based). Not timed.
 	KindRetry
+	// KindWALAppend times a mutation's durability window: journal
+	// append through the group-commit wait (fsync under sync=always).
+	KindWALAppend
 )
 
 // String names the kind for logs and JSON.
@@ -125,6 +128,8 @@ func (k Kind) String() string {
 		return "breaker"
 	case KindRetry:
 		return "retry"
+	case KindWALAppend:
+		return "wal_append"
 	}
 	return "unknown"
 }

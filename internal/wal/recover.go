@@ -1,0 +1,341 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"caram/internal/cam"
+	"caram/internal/subsystem"
+)
+
+// RecoverResult describes what boot recovery found and rebuilt.
+type RecoverResult struct {
+	// Engines is the recovered roster in deterministic order: snapshot
+	// order, then bootstrap engines absent from the snapshot, then
+	// engines created by replayed records, minus replayed drops (with
+	// dropped bootstrap engines re-added empty at the end — flag
+	// engines are guaranteed present at every boot).
+	Engines []*subsystem.Engine
+	// RosterLSN seeds Concurrent.SetJournal's roster replay gate.
+	RosterLSN uint64
+	// SnapshotLSN is the bound of the snapshot recovery anchored on
+	// (0 when none existed).
+	SnapshotLSN uint64
+	// LastLSN is the highest LSN observed; the reopened log continues
+	// from LastLSN+1.
+	LastLSN uint64
+	// Replayed counts log records applied over the snapshot. Zero
+	// after a graceful shutdown — the property the shutdown test and
+	// the crash harness's SIGTERM leg assert.
+	Replayed int
+	// TruncatedBytes is how much torn tail was cut from the final
+	// segment (0 on a clean log).
+	TruncatedBytes int
+	// CleanShutdown reports that the log ended with a seal record.
+	CleanShutdown bool
+}
+
+// errTorn marks a frame that cannot be trusted: short, CRC-mismatched,
+// or undecodable. In the final segment it means "the tail ends here";
+// anywhere else it is corruption of fsynced history and recovery
+// refuses to guess.
+var errTorn = errors.New("wal: torn record")
+
+// Recover rebuilds state from a data directory and opens the log for
+// appending. bootstrap is the flag-configured roster of empty engines:
+// snapshot images load into a bootstrap engine when the geometry
+// matches (preserving any attached fault injector); otherwise the
+// engine is rebuilt from the snapshot's own config. The WAL tail is
+// then replayed in LSN order through the same Insert/Delete/typed-
+// construction paths live traffic uses, gated per engine by
+// AppliedLSN and for CREATE/DROP by RosterLSN, so nothing applies
+// twice. A torn or corrupt record at the tail of the final segment is
+// truncated, never replayed; the same damage in an earlier (sealed,
+// fsynced) segment is a hard error.
+func Recover(dir string, bootstrap []*subsystem.Engine, opts Options) (*Log, *RecoverResult, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+
+	st := &replayState{
+		m:   make(map[string]*subsystem.Engine),
+		res: &RecoverResult{},
+	}
+	for _, e := range bootstrap {
+		st.m[e.Name] = e
+		st.order = append(st.order, e.Name)
+	}
+
+	bound, snap, err := loadLatestSnapshot(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	if snap != nil {
+		st.res.SnapshotLSN = bound
+		st.rosterLSN = snap.RosterLSN
+		st.lastLSN = bound
+		if err := st.overlay(snap); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i, seg := range segs {
+		final := i == len(segs)-1
+		if err := st.replaySegment(filepath.Join(dir, seg.name), seg.start, final); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Flag engines are guaranteed present at every boot: one dropped in
+	// a previous life comes back empty (its durable history ended at
+	// the drop), new flag engines appear empty.
+	for _, e := range bootstrap {
+		if _, ok := st.m[e.Name]; !ok {
+			e.Main.Clear()
+			e.AppliedLSN = st.lastLSN
+			st.m[e.Name] = e
+			st.order = append(st.order, e.Name)
+		}
+	}
+	for _, name := range st.order {
+		st.res.Engines = append(st.res.Engines, st.m[name])
+	}
+	st.res.RosterLSN = st.rosterLSN
+	st.res.LastLSN = st.lastLSN
+	st.res.CleanShutdown = st.sealed
+
+	l := &Log{
+		dir:     dir,
+		opts:    opts,
+		nextLSN: st.lastLSN + 1,
+		written: st.lastLSN,
+		durable: st.lastLSN,
+		snapLSN: st.res.SnapshotLSN,
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	l.cond = sync.NewCond(&l.mu)
+	// A crash just after a segment roll can leave a record-free
+	// segment already named for lastLSN+1; recovery proved it holds no
+	// replayable record (otherwise lastLSN would be higher), so the
+	// fresh active segment replaces it.
+	if err := os.Remove(filepath.Join(dir, segmentName(st.lastLSN+1))); err != nil && !os.IsNotExist(err) {
+		return nil, nil, err
+	}
+	remaining, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l.segments.Store(int64(len(remaining)))
+	l.ioMu.Lock()
+	err = l.openSegmentLocked(st.lastLSN + 1)
+	l.ioMu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	l.bg.Add(1)
+	go l.syncer()
+	return l, st.res, nil
+}
+
+// replayState threads the roster through snapshot overlay and segment
+// replay.
+type replayState struct {
+	m         map[string]*subsystem.Engine
+	order     []string
+	rosterLSN uint64
+	lastLSN   uint64
+	sealed    bool
+	res       *RecoverResult
+}
+
+// overlay loads the snapshot image over the bootstrap roster. The
+// snapshot's engine order wins (bootstrap-only engines keep their
+// relative order after it).
+func (st *replayState) overlay(img *subsystem.Image) error {
+	order := make([]string, 0, len(img.Engines)+len(st.order))
+	seen := make(map[string]bool, len(img.Engines))
+	for i := range img.Engines {
+		ei := &img.Engines[i]
+		eng := st.m[ei.Name]
+		if eng == nil || eng.Main.LoadImage(ei.Rows) != nil {
+			ne, err := subsystem.NewTypedEngine(ei.Name, ei.Type, ei.Conf)
+			if err != nil {
+				return fmt.Errorf("wal: snapshot engine %q: %w", ei.Name, err)
+			}
+			if err := ne.Main.LoadImage(ei.Rows); err != nil {
+				return fmt.Errorf("wal: snapshot engine %q: %w", ei.Name, err)
+			}
+			eng = ne
+		}
+		eng.AppliedLSN = ei.AppliedLSN
+		if ei.HasOverflow {
+			if eng.Overflow == nil {
+				dev, err := cam.New(ei.OverflowCfg)
+				if err != nil {
+					return fmt.Errorf("wal: snapshot engine %q overflow: %w", ei.Name, err)
+				}
+				eng.Overflow = dev
+			}
+			for _, oe := range ei.Overflow {
+				if err := eng.Overflow.Insert(oe.Rec, oe.Priority); err != nil {
+					return fmt.Errorf("wal: snapshot engine %q overflow: %w", ei.Name, err)
+				}
+			}
+		}
+		st.m[ei.Name] = eng
+		order = append(order, ei.Name)
+		seen[ei.Name] = true
+	}
+	for _, name := range st.order {
+		if !seen[name] {
+			order = append(order, name)
+		}
+	}
+	st.order = order
+	return nil
+}
+
+// replaySegment applies one segment's records. final marks the last
+// segment on disk — the only place torn records are legal; they are
+// truncated away so the next boot sees a clean tail.
+func (st *replayState) replaySegment(path string, wantStart uint64, final bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) < 16 || string(data[:8]) != segMagic ||
+		binary.LittleEndian.Uint64(data[8:]) != wantStart {
+		if final {
+			// A crash during segment creation can leave a torn header;
+			// nothing in this file was ever acknowledged as written.
+			st.res.TruncatedBytes += len(data)
+			return os.Remove(path)
+		}
+		return fmt.Errorf("wal: segment %s: bad header", path)
+	}
+	off := 16
+	for off < len(data) {
+		n, payload := frameAt(data, off)
+		if payload == nil {
+			if !final {
+				return fmt.Errorf("wal: segment %s: corrupt record at offset %d: %w", path, off, errTorn)
+			}
+			st.res.TruncatedBytes += len(data) - off
+			return os.Truncate(path, int64(off))
+		}
+		lsn, e, err := decodeRecord(payload)
+		if err != nil {
+			if !final {
+				return fmt.Errorf("wal: segment %s: offset %d: %w", path, off, err)
+			}
+			st.res.TruncatedBytes += len(data) - off
+			return os.Truncate(path, int64(off))
+		}
+		if err := st.apply(lsn, e); err != nil {
+			return fmt.Errorf("wal: segment %s: lsn %d: %w", path, lsn, err)
+		}
+		off += n
+	}
+	return nil
+}
+
+// frameAt validates the frame at off and returns its total length and
+// payload, or (0, nil) when the frame is torn, oversized, or fails its
+// CRC.
+func frameAt(data []byte, off int) (int, []byte) {
+	if len(data)-off < frameHeader {
+		return 0, nil
+	}
+	n := int(binary.LittleEndian.Uint32(data[off:]))
+	crc := binary.LittleEndian.Uint32(data[off+4:])
+	if n == 0 || n > maxRecordBytes || len(data)-off-frameHeader < n {
+		return 0, nil
+	}
+	payload := data[off+frameHeader : off+frameHeader+n]
+	if crc32.Checksum(payload, castagnoli) != crc {
+		return 0, nil
+	}
+	return frameHeader + n, payload
+}
+
+// apply replays one record through the idempotence gates.
+func (st *replayState) apply(lsn uint64, e subsystem.JournalEntry) error {
+	if lsn > st.lastLSN {
+		st.lastLSN = lsn
+	}
+	st.sealed = e.Op == subsystem.JournalSeal
+	switch e.Op {
+	case subsystem.JournalSeal:
+		// Clean-shutdown marker; nothing to apply.
+	case subsystem.JournalCreate:
+		if lsn <= st.rosterLSN {
+			return nil
+		}
+		st.rosterLSN = lsn
+		if _, dup := st.m[e.Engine]; dup {
+			return fmt.Errorf("wal: create of existing engine %q", e.Engine)
+		}
+		eng, err := subsystem.NewTypedEngine(e.Engine, e.Type, e.Conf)
+		if err != nil {
+			return err
+		}
+		eng.AppliedLSN = lsn
+		st.m[e.Engine] = eng
+		st.order = append(st.order, e.Engine)
+		st.res.Replayed++
+	case subsystem.JournalDrop:
+		if lsn <= st.rosterLSN {
+			return nil
+		}
+		st.rosterLSN = lsn
+		delete(st.m, e.Engine)
+		for i, n := range st.order {
+			if n == e.Engine {
+				st.order = append(st.order[:i], st.order[i+1:]...)
+				break
+			}
+		}
+		st.res.Replayed++
+	case subsystem.JournalInsert:
+		eng := st.m[e.Engine]
+		if eng == nil || lsn <= eng.AppliedLSN {
+			return nil
+		}
+		// Insert errors are swallowed deliberately: the record was
+		// applied (and possibly acked) in the previous life; a replay
+		// failure here could only come from capacity already consumed
+		// by the very same record's snapshot image, which the
+		// AppliedLSN gate excludes — but fault-injected engines may
+		// legitimately differ, and losing one record beats refusing to
+		// boot.
+		eng.Insert(e.Rec, nil) //nolint:errcheck
+		eng.AppliedLSN = lsn
+		st.res.Replayed++
+	case subsystem.JournalDelete:
+		eng := st.m[e.Engine]
+		if eng == nil || lsn <= eng.AppliedLSN {
+			return nil
+		}
+		// Deletes are logged before they apply, so a logged delete may
+		// have found nothing: ErrNotFound replays as the same no-op.
+		eng.Delete(e.Key) //nolint:errcheck
+		eng.AppliedLSN = lsn
+		st.res.Replayed++
+	default:
+		return fmt.Errorf("wal: unknown op %d", e.Op)
+	}
+	return nil
+}
